@@ -1,0 +1,119 @@
+package gmsubpage
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/sim"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// ClusterConfig describes a simulated multi-node GMS cluster: several
+// active workstations, each running a workload in reduced local memory,
+// sharing a finite pool of idle-node memory managed with epoch-based
+// global replacement.
+type ClusterConfig struct {
+	// Workloads names one workload per active node (see Workloads()).
+	Workloads []string
+	// Scale is the per-workload trace scale (default 0.25).
+	Scale float64
+	// MemoryFraction sizes each node's local memory relative to its own
+	// workload footprint (default 0.5).
+	MemoryFraction float64
+	// Policy and SubpageSize apply to every node (defaults Eager, 1024).
+	Policy      Policy
+	SubpageSize int
+	// IdleNodes donate memory (default 2); DonatedPagesPerIdle is each
+	// one's capacity in 8 KB pages (0 = unbounded).
+	IdleNodes           int
+	DonatedPagesPerIdle int
+	// LeastLoaded disables GMS's epoch-weighted placement in favour of
+	// simple least-loaded placement.
+	LeastLoaded bool
+}
+
+// NodeReport is one active node's outcome in a cluster run.
+type NodeReport struct {
+	Workload   string
+	RuntimeMs  float64
+	Faults     int64
+	DiskFaults int64
+	Evictions  int64
+}
+
+// ClusterReport aggregates a cluster run.
+type ClusterReport struct {
+	Nodes []NodeReport
+
+	// MakespanMs is the slowest node's runtime.
+	MakespanMs float64
+	// DiskFaults counts refaults that fell through to disk because the
+	// global cache had discarded the page.
+	DiskFaults int64
+	// Discards counts globally-oldest pages dropped for space.
+	Discards int64
+	// GlobalHits counts faults served from network memory.
+	GlobalHits int64
+	// Epochs counts replacement-epoch boundaries (0 with LeastLoaded).
+	Epochs int64
+}
+
+// SimulateCluster runs every workload against one shared global memory,
+// interleaved in simulated-time order.
+func SimulateCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("gmsubpage: cluster needs at least one workload")
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.25
+	}
+	if cfg.MemoryFraction == 0 {
+		cfg.MemoryFraction = 0.5
+	}
+	if cfg.SubpageSize == 0 {
+		cfg.SubpageSize = 1024
+	}
+	if cfg.IdleNodes == 0 {
+		cfg.IdleNodes = 2
+	}
+	if !units.ValidSubpageSize(cfg.SubpageSize) {
+		return nil, fmt.Errorf("gmsubpage: invalid subpage size %d", cfg.SubpageSize)
+	}
+	pol, err := policyFor(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]*trace.App, len(cfg.Workloads))
+	for i, name := range cfg.Workloads {
+		apps[i] = trace.ByName(name, cfg.Scale)
+		if apps[i] == nil {
+			return nil, fmt.Errorf("gmsubpage: unknown workload %q (have %v)", name, Workloads())
+		}
+	}
+	res := sim.RunCluster(sim.ClusterConfig{
+		Apps:               apps,
+		MemFraction:        cfg.MemoryFraction,
+		Policy:             pol,
+		SubpageSize:        cfg.SubpageSize,
+		IdleNodes:          cfg.IdleNodes,
+		GlobalPagesPerIdle: cfg.DonatedPagesPerIdle,
+		UseEpoch:           !cfg.LeastLoaded,
+	})
+	out := &ClusterReport{
+		MakespanMs: res.TotalRuntime().Ms(),
+		DiskFaults: res.DiskFaults(),
+		Discards:   res.Discards,
+		GlobalHits: res.GlobalHits,
+		Epochs:     res.Epochs,
+	}
+	for _, n := range res.Nodes {
+		out.Nodes = append(out.Nodes, NodeReport{
+			Workload:   n.AppName,
+			RuntimeMs:  n.Runtime.Ms(),
+			Faults:     n.Faults,
+			DiskFaults: n.DiskFaults,
+			Evictions:  n.Evictions,
+		})
+	}
+	return out, nil
+}

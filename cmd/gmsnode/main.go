@@ -1,0 +1,159 @@
+// Command gmsnode runs one node of the live remote-memory prototype.
+//
+// Start a global cache directory:
+//
+//	gmsnode dir -addr :7000
+//
+// Donate memory as a page server (registers with the directory):
+//
+//	gmsnode server -addr :7001 -dir localhost:7000 -pages 4096
+//
+// Run a faulting client benchmark against the cluster:
+//
+//	gmsnode client -dir localhost:7000 -pages 4096 -subpage 1024 -policy eager
+//
+// The client measures what the paper's prototype measured: the time from
+// fault to faulted-subpage arrival versus the time to the complete page.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	gmsubpage "github.com/gms-sim/gmsubpage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dir":
+		runDir(os.Args[2:])
+	case "server":
+		runServer(os.Args[2:])
+	case "client":
+		runClient(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|server|client [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmsnode:", err)
+	os.Exit(1)
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func runDir(args []string) {
+	fs := flag.NewFlagSet("dir", flag.ExitOnError)
+	addr := fs.String("addr", ":7000", "listen address")
+	fs.Parse(args)
+	d, err := gmsubpage.StartDirectory(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+	fmt.Println("directory listening on", d.Addr())
+	waitForInterrupt()
+}
+
+func runServer(args []string) {
+	fs := flag.NewFlagSet("server", flag.ExitOnError)
+	addr := fs.String("addr", ":7001", "listen address")
+	dir := fs.String("dir", "localhost:7000", "directory address")
+	pages := fs.Int("pages", 4096, "pages of memory to donate (8 KB each)")
+	first := fs.Uint64("first", 0, "first page number to serve")
+	wire := fs.Float64("wire", 0, "emulate a link of this many Mb/s (0 = none; 155 = the paper's AN2)")
+	fs.Parse(args)
+	s, err := gmsubpage.StartServer(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	s.SetWireMbps(*wire)
+	s.StoreRange(*first, *pages)
+	if err := s.Register(*dir); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("page server on %s donating %d pages (%d MB), registered with %s\n",
+		s.Addr(), *pages, *pages*gmsubpage.PageSize/(1<<20), *dir)
+	waitForInterrupt()
+}
+
+func runClient(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	dir := fs.String("dir", "localhost:7000", "directory address")
+	pages := fs.Int("pages", 1024, "pages to touch")
+	cache := fs.Int("cache", 128, "local cache size in pages")
+	subpage := fs.Int("subpage", 1024, "subpage size in bytes")
+	policy := fs.String("policy", "eager", "fullpage|lazy|eager|pipelined")
+	workload := fs.String("workload", "", "replay a paper workload (modula3|ld|atom|render|gdb) instead of the page sweep")
+	scale := fs.Float64("scale", 0.1, "workload trace scale for -workload")
+	readahead := fs.Bool("readahead", false, "prefetch the next page on sequential fault runs")
+	fs.Parse(args)
+
+	c, err := gmsubpage.DialClient(*dir, gmsubpage.ClientOptions{
+		CachePages:  *cache,
+		SubpageSize: *subpage,
+		Policy:      gmsubpage.Policy(*policy),
+		Readahead:   *readahead,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	if *workload != "" {
+		need, err := gmsubpage.WorkloadPages(*workload, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replaying %s (scale %g, %d pages of remote memory) with %s at %d-byte subpages...\n",
+			*workload, *scale, need, *policy, *subpage)
+		rep, err := c.ReplayWorkload(*workload, *scale, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d references in %v\n", rep.Refs, rep.Elapsed.Round(time.Millisecond))
+		fmt.Printf("  faults            %d (%.0f/s), prefetches %d, evictions %d\n",
+			rep.Faults, rep.FaultsPerSecond(), rep.Prefetches, rep.Evictions)
+		fmt.Printf("  subpage latency   %.0f us (median)\n", rep.SubpageLatencyUs)
+		fmt.Printf("  full-page latency %.0f us (median)\n", rep.FullLatencyUs)
+		fmt.Printf("  bytes in          %.1f MB\n", float64(rep.BytesIn)/(1<<20))
+		return
+	}
+
+	fmt.Printf("faulting %d pages with %s at %d-byte subpages...\n",
+		*pages, *policy, *subpage)
+	var buf [64]byte
+	start := time.Now()
+	for p := 0; p < *pages; p++ {
+		// Touch an interior offset: the faulted subpage arrives first.
+		if err := c.Read(buf[:], uint64(p)*gmsubpage.PageSize+3072); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	st := c.Stats()
+	fmt.Printf("touched %d pages in %v (%.0f faults/s)\n",
+		*pages, elapsed.Round(time.Millisecond),
+		float64(st.Faults)/elapsed.Seconds())
+	fmt.Printf("  faults            %d\n", st.Faults)
+	fmt.Printf("  subpage latency   %.0f us (median, fault -> faulted subpage usable)\n", st.SubpageLatencyUs)
+	fmt.Printf("  full-page latency %.0f us (median, fault -> entire page resident)\n", st.FullLatencyUs)
+	fmt.Printf("  bytes in          %.1f MB\n", float64(st.BytesIn)/(1<<20))
+}

@@ -1,0 +1,105 @@
+// Command subpagesim runs the paper's experiments and ad-hoc simulations.
+//
+// Regenerate paper artifacts:
+//
+//	subpagesim -list
+//	subpagesim -run table2
+//	subpagesim -run all -scale 1.0        # full paper-scale traces
+//
+// Ad-hoc simulation:
+//
+//	subpagesim -app render -mem 0.5 -policy pipelined -subpage 1024
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	gmsubpage "github.com/gms-sim/gmsubpage"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		runID   = flag.String("run", "", "experiment id to regenerate, or \"all\"")
+		scale   = flag.Float64("scale", 0.25, "trace scale (1.0 = paper-sized traces)")
+		app     = flag.String("app", "", "run one simulation of this workload instead of an experiment")
+		traceIn = flag.String("trace", "", "simulate a trace file saved by tracegen instead of a workload")
+		mem     = flag.Float64("mem", 1.0, "local memory as a fraction of the workload footprint")
+		policy  = flag.String("policy", "eager", "transfer policy")
+		subpage = flag.Int("subpage", 1024, "subpage size in bytes")
+		disk    = flag.Bool("disk", false, "serve faults from disk instead of network memory")
+		pal     = flag.Bool("pal", false, "charge PALcode software valid-bit emulation costs")
+		asJSON  = flag.Bool("json", false, "emit -app/-trace results as JSON")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range gmsubpage.Experiments() {
+			fmt.Println(id)
+		}
+	case *runID == "all":
+		for _, id := range gmsubpage.Experiments() {
+			mustRun(id, *scale)
+		}
+	case *runID != "":
+		mustRun(*runID, *scale)
+	case *app != "" || *traceIn != "":
+		cfg := gmsubpage.Config{
+			Workload:       *app,
+			Scale:          *scale,
+			MemoryFraction: *mem,
+			Policy:         gmsubpage.Policy(*policy),
+			SubpageSize:    *subpage,
+			DiskBacking:    *disk,
+			PALEmulation:   *pal,
+		}
+		var rep *gmsubpage.Report
+		var err error
+		if *traceIn != "" {
+			rep, err = gmsubpage.SimulateTraceFile(*traceIn, cfg)
+		} else {
+			rep, err = gmsubpage.Simulate(cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("%s %s subpage=%d mem=%d pages\n", rep.Workload, rep.Policy,
+			rep.SubpageSize, rep.MemoryPages)
+		fmt.Printf("  runtime   %10.1f ms\n", rep.RuntimeMs)
+		fmt.Printf("  exec      %10.1f ms\n", rep.ExecMs)
+		fmt.Printf("  sp wait   %10.1f ms\n", rep.SubpageWaitMs)
+		fmt.Printf("  page wait %10.1f ms\n", rep.PageWaitMs)
+		fmt.Printf("  disk wait %10.1f ms\n", rep.DiskWaitMs)
+		fmt.Printf("  faults    %10d (+%d subpage refetches)\n", rep.Faults, rep.SubpageFaults)
+		fmt.Printf("  moved     %10.1f MB, io-overlap share %.0f%%\n",
+			float64(rep.BytesMoved)/(1<<20), rep.IOOverlapShare*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustRun(id string, scale float64) {
+	out, err := gmsubpage.RunExperiment(id, scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "subpagesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command tracegen generates and inspects the synthetic application
+// traces that drive the simulator.
+//
+//	tracegen -app modula3 -scale 0.25 -stats
+//	tracegen -app gdb -scale 1.0 -out gdb.trace
+//	tracegen -in gdb.trace -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "", "workload to generate (modula3|ld|atom|render|gdb)")
+		scale = flag.Float64("scale", 0.25, "trace scale (1.0 = paper-sized)")
+		out   = flag.String("out", "", "write the trace to this file")
+		in    = flag.String("in", "", "read a previously saved trace instead of generating")
+		stats = flag.Bool("stats", false, "print trace statistics")
+		list  = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range trace.Apps(*scale) {
+			fmt.Printf("%-8s %12d refs  %6d pages (%d MB footprint)\n",
+				a.Name, a.TotalRefs(), a.TotalPages,
+				a.TotalPages*units.PageSize/(1<<20))
+		}
+		return
+	}
+
+	reader, name := openReader(*app, *scale, *in)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.Write(f, reader)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d references of %s to %s\n", n, name, *out)
+		return
+	}
+
+	if !*stats {
+		fmt.Fprintln(os.Stderr, "tracegen: nothing to do (use -stats, -out or -list)")
+		os.Exit(2)
+	}
+	p := trace.ProfileOf(reader)
+	fmt.Printf("trace %s:\n", name)
+	fmt.Printf("  references     %d\n", p.Refs)
+	fmt.Printf("  distinct pages %d (%.1f MB footprint)\n", p.Pages,
+		float64(p.Pages*units.PageSize)/(1<<20))
+	fmt.Printf("  store fraction %.1f%%\n", p.StoreFrac()*100)
+	if len(p.FirstTouch) > 1 {
+		spread := float64(p.FirstTouch[len(p.FirstTouch)-1]) / float64(p.Refs)
+		fmt.Printf("  footprint growth spans %.0f%% of the trace\n", spread*100)
+	}
+}
+
+func openReader(app string, scale float64, in string) (trace.Reader, string) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := trace.Open(f)
+		if err != nil {
+			fatal(err)
+		}
+		return r, in
+	}
+	a := trace.ByName(app, scale)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown app %q (try -list)\n", app)
+		os.Exit(2)
+	}
+	return a.NewReader(), a.Name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate one memory-intensive workload in a global memory
+// environment and compare the paper's transfer policies, then regenerate a
+// paper table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmsubpage "github.com/gms-sim/gmsubpage"
+)
+
+func main() {
+	// A Modula-3 compile running in one quarter of its memory, paging to
+	// network memory over the modelled AN2 ATM network.
+	base := gmsubpage.Config{
+		Workload:       "modula3",
+		Scale:          0.25, // quarter-length trace; shapes are preserved
+		MemoryFraction: 0.25,
+		SubpageSize:    1024,
+	}
+
+	fmt.Println("modula3 at 1/4 memory, 1K subpages:")
+	var fullpage *gmsubpage.Report
+	for _, policy := range []gmsubpage.Policy{
+		gmsubpage.FullPage, gmsubpage.Eager, gmsubpage.Pipelined,
+	} {
+		cfg := base
+		cfg.Policy = policy
+		rep, err := gmsubpage.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("  %-18s %8.0f ms  (exec %.0f + subpage wait %.0f + page wait %.0f)",
+			policy, rep.RuntimeMs, rep.ExecMs, rep.SubpageWaitMs, rep.PageWaitMs)
+		if fullpage == nil {
+			fullpage = rep
+		} else {
+			line += fmt.Sprintf("  %.2fx faster than full pages", rep.Speedup(fullpage))
+		}
+		fmt.Println(line)
+	}
+
+	// The same workload paging to disk: the reason network memory exists.
+	diskCfg := base
+	diskCfg.Policy = gmsubpage.FullPage
+	diskCfg.DiskBacking = true
+	disk, err := gmsubpage.Simulate(diskCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-18s %8.0f ms\n\n", "disk paging", disk.RuntimeMs)
+
+	// Regenerate Table 2 of the paper: fault latencies per subpage size.
+	out, err := gmsubpage.RunExperiment("table2", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,3 @@
+module github.com/gms-sim/gmsubpage
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package analytic provides closed-form bounds on the performance of
+// subpage policies, derived only from the network model and a workload's
+// (execution time, fault count) pair. The paper reasons with exactly these
+// quantities: §2 observes that GMS speedups were "close to the maximum
+// achievable, given the ratio of disk access to remote memory access
+// time", and §2.2's overlap discussion brackets eager fullpage fetch
+// between the all-best-case and all-worst-case extremes.
+//
+// The simulator is validated against these bounds (the `bounds`
+// experiment): every simulated runtime must fall between BestCase and
+// WorstCase, and the position within the band is the achieved overlap.
+package analytic
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Workload is the pair of inputs the closed forms need.
+type Workload struct {
+	// ExecTicks is pure execution time (one tick per reference).
+	ExecTicks units.Ticks
+	// Faults is the number of page faults.
+	Faults int64
+}
+
+// Model computes bounds for one network and subpage size.
+type Model struct {
+	Net     *netmodel.Params
+	Subpage int
+
+	sub  units.Ticks // faulted-subpage latency
+	rest units.Ticks // rest-of-page arrival
+	full units.Ticks // full-page latency
+}
+
+// NewModel derives the per-fault latencies once.
+func NewModel(net *netmodel.Params, subpage int) *Model {
+	if net == nil {
+		net = netmodel.AN2ATM()
+	}
+	if !units.ValidSubpageSize(subpage) {
+		panic(fmt.Sprintf("analytic: invalid subpage size %d", subpage))
+	}
+	sub, rest := net.EagerLatencies(subpage)
+	return &Model{
+		Net:     net,
+		Subpage: subpage,
+		sub:     sub.ToTicks(),
+		rest:    rest.ToTicks(),
+		full:    net.FetchLatency(units.PageSize).ToTicks(),
+	}
+}
+
+// SubpageLatency returns the modelled fault-to-resume time.
+func (m *Model) SubpageLatency() units.Ticks { return m.sub }
+
+// RestLatency returns the modelled fault-to-page-complete time.
+func (m *Model) RestLatency() units.Ticks { return m.rest }
+
+// FullPageLatency returns the modelled full-page fault time.
+func (m *Model) FullPageLatency() units.Ticks { return m.full }
+
+// FullPage returns the runtime with classical full-page fetch: every fault
+// stalls for the whole page.
+func (m *Model) FullPage(w Workload) units.Ticks {
+	return w.ExecTicks + units.Ticks(w.Faults)*m.full
+}
+
+// BestCase returns the eager-fetch lower bound: every fault waits only for
+// its subpage and the rest of every page arrives entirely under overlap.
+func (m *Model) BestCase(w Workload) units.Ticks {
+	return w.ExecTicks + units.Ticks(w.Faults)*m.sub
+}
+
+// WorstCase returns the eager-fetch upper bound: every fault immediately
+// touches an uncovered subpage and stalls until the rest of the page
+// arrives (slightly above the full-page fetch time, since the split
+// transfer can finish later than one message for small subpages).
+func (m *Model) WorstCase(w Workload) units.Ticks {
+	return w.ExecTicks + units.Ticks(w.Faults)*m.rest
+}
+
+// Predict returns the expected eager runtime when a fraction bestFrac of
+// faults achieve the best case and the rest stall for the full window.
+func (m *Model) Predict(w Workload, bestFrac float64) units.Ticks {
+	if bestFrac < 0 {
+		bestFrac = 0
+	}
+	if bestFrac > 1 {
+		bestFrac = 1
+	}
+	perFault := float64(m.sub)*bestFrac + float64(m.rest)*(1-bestFrac)
+	return w.ExecTicks + units.Ticks(float64(w.Faults)*perFault)
+}
+
+// AchievedOverlap inverts Predict: given a measured eager runtime, it
+// returns the implied fraction of faults that achieved best-case overlap
+// (0 = all worst case, 1 = all best case), clamped to [0, 1].
+func (m *Model) AchievedOverlap(w Workload, measured units.Ticks) float64 {
+	lo, hi := m.BestCase(w), m.WorstCase(w)
+	if hi <= lo {
+		return 1
+	}
+	f := float64(hi-measured) / float64(hi-lo)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// MaxSpeedup returns the paper's ceiling on eager-fetch speedup over
+// full-page fetch: achieved when every fault is best case.
+func (m *Model) MaxSpeedup(w Workload) float64 {
+	best := m.BestCase(w)
+	if best == 0 {
+		return 1
+	}
+	return float64(m.FullPage(w)) / float64(best)
+}
+
+// MaxDiskSpeedup returns §2's "maximum achievable" speedup of remote
+// memory over disk paging, given an average disk service time.
+func MaxDiskSpeedup(w Workload, avgDisk units.Nanos, net *netmodel.Params) float64 {
+	if net == nil {
+		net = netmodel.AN2ATM()
+	}
+	remote := w.ExecTicks + units.Ticks(w.Faults)*net.FetchLatency(units.PageSize).ToTicks()
+	diskRt := w.ExecTicks + units.Ticks(w.Faults)*avgDisk.ToTicks()
+	if remote == 0 {
+		return 1
+	}
+	return float64(diskRt) / float64(remote)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Transfer is one in-flight remote fetch: the messages planned by the
+// policy plus their scheduled arrival times on the simulator clock.
+type Transfer struct {
+	Page     memmodel.PageID
+	FaultIdx int // subpage index of the faulted word
+
+	// FirstArrival is when the faulted subpage is usable and the program
+	// resumes; CompleteAt is when the last message lands.
+	Started      units.Ticks
+	FirstArrival units.Ticks
+	CompleteAt   units.Ticks
+
+	// PageWait accumulates stalls on this page after the program first
+	// resumed (waits for not-yet-arrived subpages).
+	PageWait units.Ticks
+
+	covers   []memmodel.Bitmap
+	arrivals []units.Ticks
+	pending  int // messages not yet applied to the frame
+}
+
+// ArrivalCovering returns when the byte at offset off becomes valid, and
+// false if no planned message covers it (lazy fetch).
+func (t *Transfer) ArrivalCovering(off int) (units.Ticks, bool) {
+	best := units.Ticks(0)
+	found := false
+	for i, c := range t.covers {
+		if !c.Has(off) {
+			continue
+		}
+		if !found || t.arrivals[i] < best {
+			best = t.arrivals[i]
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ApplyArrived returns the valid bits of all messages that have landed by
+// now and marks them applied. Done reports completion afterwards.
+func (t *Transfer) ApplyArrived(now units.Ticks) memmodel.Bitmap {
+	var got memmodel.Bitmap
+	for i := range t.arrivals {
+		if t.arrivals[i] == 0 {
+			continue // already applied
+		}
+		if t.arrivals[i] <= now {
+			got |= t.covers[i]
+			t.arrivals[i] = 0
+			t.pending--
+		}
+	}
+	return got
+}
+
+// Done reports whether every message has been applied.
+func (t *Transfer) Done() bool { return t.pending == 0 }
+
+// Covered returns the union of all planned valid bits (what the transfer
+// will eventually deliver).
+func (t *Transfer) Covered() memmodel.Bitmap {
+	var all memmodel.Bitmap
+	for _, c := range t.covers {
+		all |= c
+	}
+	return all
+}
+
+// Engine schedules fault transfers for one faulting node, models contention
+// on its network resources, and attributes overlap benefit.
+type Engine struct {
+	net     *netmodel.Params
+	policy  Policy
+	subpage int
+	res     netmodel.Resources
+
+	// Stall bookkeeping for overlap attribution: the disjoint, ordered
+	// stall intervals of the (serial) program, with a prefix sum of
+	// durations for O(log n) window queries.
+	stallStart []units.Ticks
+	stallEnd   []units.Ticks
+	stallSum   []units.Ticks // stallSum[i] = total stall before interval i
+	cumStall   units.Ticks
+
+	// Aggregate overlap attribution (see FinishTransfer).
+	IOOverlap   units.Ticks
+	CompOverlap units.Ticks
+	Faults      int64
+	BytesMoved  int64
+}
+
+// NewEngine returns an engine for the given network, policy and subpage
+// size. SubpageSize must be a valid subpage size.
+func NewEngine(net *netmodel.Params, policy Policy, subpageSize int) *Engine {
+	if !units.ValidSubpageSize(subpageSize) {
+		panic("core: invalid subpage size")
+	}
+	return &Engine{net: net, policy: policy, subpage: subpageSize}
+}
+
+// SubpageSize returns the configured subpage size.
+func (e *Engine) SubpageSize() int { return e.subpage }
+
+// Policy returns the configured policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// StartFault plans and schedules the transfer for a fault at byte offset
+// faultOff of page, issued at time now. The returned transfer's
+// FirstArrival is when the program may resume.
+func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int) *Transfer {
+	plan := e.policy.Plan(e.subpage, faultOff)
+	msgs := make([]netmodel.Message, len(plan))
+	for i, m := range plan {
+		msgs[i] = netmodel.Message{Bytes: m.Bytes, Deliver: m.Deliver}
+		e.BytesMoved += int64(m.Bytes)
+	}
+	arr := e.net.Transfer(now.ToNanos(), &e.res, msgs)
+
+	t := &Transfer{
+		Page:     page,
+		FaultIdx: memmodel.SubpageIndex(e.subpage, faultOff),
+		Started:  now,
+		covers:   make([]memmodel.Bitmap, len(plan)),
+		arrivals: make([]units.Ticks, len(plan)),
+		pending:  len(plan),
+	}
+	for i := range plan {
+		t.covers[i] = plan[i].Covers
+		at := arr[i].At.ToTicks()
+		if at <= now {
+			at = now + 1 // a transfer is never free on the event clock
+		}
+		t.arrivals[i] = at
+		if at > t.CompleteAt {
+			t.CompleteAt = at
+		}
+	}
+	t.FirstArrival = t.arrivals[0]
+	e.Faults++
+	return t
+}
+
+// NoteStall records that the program stalled from 'from' to 'to' waiting
+// for an arrival of tr. initial marks the resume-from-fault stall (the
+// subpage latency); later stalls are page waits and are charged to the
+// transfer for overlap accounting.
+func (e *Engine) NoteStall(from, to units.Ticks, tr *Transfer, initial bool) {
+	if to <= from {
+		return
+	}
+	d := to - from
+	e.stallStart = append(e.stallStart, from)
+	e.stallEnd = append(e.stallEnd, to)
+	e.stallSum = append(e.stallSum, e.cumStall)
+	e.cumStall += d
+	if !initial && tr != nil {
+		tr.PageWait += d
+	}
+}
+
+// stallBetween returns the exact stall time within [a, b]. Stalls are
+// disjoint and appended in time order, so the overlapping run is a
+// contiguous range of intervals.
+func (e *Engine) stallBetween(a, b units.Ticks) units.Ticks {
+	if b <= a || len(e.stallStart) == 0 {
+		return 0
+	}
+	// First interval ending after a; last interval starting before b.
+	i := sort.Search(len(e.stallEnd), func(k int) bool { return e.stallEnd[k] > a })
+	j := sort.Search(len(e.stallStart), func(k int) bool { return e.stallStart[k] >= b }) - 1
+	if i > j {
+		return 0
+	}
+	// Total duration of intervals i..j, then clip the two edges.
+	total := e.stallSum[j] + (e.stallEnd[j] - e.stallStart[j]) - e.stallSum[i]
+	if e.stallStart[i] < a {
+		total -= a - e.stallStart[i]
+	}
+	if e.stallEnd[j] > b {
+		total -= e.stallEnd[j] - b
+	}
+	return total
+}
+
+// FinishTransfer attributes the transfer's asynchronous window — the time
+// between program resumption and full-page arrival — to its three possible
+// uses: waiting on this page (no benefit; already in tr.PageWait), waiting
+// on other pages' transfers (overlapped I/O), and executing (overlapped
+// computation). Call it when the simulation clock has passed
+// tr.CompleteAt, or at end of trace with the final clock value.
+func (e *Engine) FinishTransfer(tr *Transfer, now units.Ticks) {
+	a, b := tr.FirstArrival, tr.CompleteAt
+	if b > now {
+		b = now
+	}
+	if b <= a {
+		return
+	}
+	window := b - a
+	stalled := e.stallBetween(a, b)
+	if stalled > window {
+		stalled = window
+	}
+	other := stalled - tr.PageWait
+	if other < 0 {
+		other = 0
+	}
+	e.IOOverlap += other
+	e.CompOverlap += window - stalled
+}
+
+// IOOverlapShare returns the fraction of overlap benefit attributable to
+// overlapped I/O rather than overlapped computation (Figure 9's companion
+// measurement), or 0 when there was no overlap at all.
+func (e *Engine) IOOverlapShare() float64 {
+	total := e.IOOverlap + e.CompOverlap
+	if total == 0 {
+		return 0
+	}
+	return float64(e.IOOverlap) / float64(total)
+}

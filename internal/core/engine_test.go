@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func newTestEngine(p Policy, subpage int) *Engine {
+	return NewEngine(netmodel.AN2ATM(), p, subpage)
+}
+
+func TestStartFaultEagerTimes(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	tr := e.StartFault(0, 42, 0)
+	if tr.Page != 42 || tr.FaultIdx != 0 {
+		t.Fatalf("bad transfer identity: %+v", tr)
+	}
+	// Times should match the netmodel's Table 2 values (±10%).
+	sub, rest := netmodel.AN2ATM().EagerLatencies(1024)
+	if got, want := tr.FirstArrival, sub.ToTicks(); absDiff(got, want)*10 > want {
+		t.Errorf("FirstArrival = %d ticks, want ~%d", got, want)
+	}
+	if got, want := tr.CompleteAt, rest.ToTicks(); absDiff(got, want)*10 > want {
+		t.Errorf("CompleteAt = %d ticks, want ~%d", got, want)
+	}
+}
+
+func absDiff(a, b units.Ticks) units.Ticks {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestArrivalCovering(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	tr := e.StartFault(0, 1, 2048) // fault in subpage 2
+	// The faulted subpage arrives first.
+	at, ok := tr.ArrivalCovering(2100)
+	if !ok || at != tr.FirstArrival {
+		t.Fatalf("faulted subpage arrival = %d, %v", at, ok)
+	}
+	// Another subpage arrives with the rest.
+	at, ok = tr.ArrivalCovering(0)
+	if !ok || at != tr.CompleteAt {
+		t.Fatalf("other subpage arrival = %d, %v (complete %d)", at, ok, tr.CompleteAt)
+	}
+}
+
+func TestLazyDoesNotCoverOtherSubpages(t *testing.T) {
+	e := newTestEngine(Lazy{}, 1024)
+	tr := e.StartFault(0, 1, 0)
+	if _, ok := tr.ArrivalCovering(4096); ok {
+		t.Fatal("lazy transfer should not cover other subpages")
+	}
+	if tr.Covered().Full() {
+		t.Fatal("lazy covers the full page?")
+	}
+}
+
+func TestApplyArrivedProgression(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	tr := e.StartFault(0, 1, 0)
+	if got := tr.ApplyArrived(tr.FirstArrival - 1); got != 0 {
+		t.Fatalf("nothing should have arrived yet, got %s", got)
+	}
+	first := tr.ApplyArrived(tr.FirstArrival)
+	if !first.Has(0) || first.Full() {
+		t.Fatalf("first arrival should be just the subpage: %s", first)
+	}
+	if tr.Done() {
+		t.Fatal("transfer not done after first message")
+	}
+	rest := tr.ApplyArrived(tr.CompleteAt)
+	if first|rest != 0xFFFFFFFF {
+		t.Fatalf("arrivals should cover the page: %s", first|rest)
+	}
+	if !tr.Done() {
+		t.Fatal("transfer should be done")
+	}
+	// Re-applying yields nothing.
+	if tr.ApplyArrived(tr.CompleteAt+1000) != 0 {
+		t.Fatal("already-applied messages reapplied")
+	}
+}
+
+func TestConcurrentFaultsContend(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	a := e.StartFault(0, 1, 0)
+	b := e.StartFault(0, 2, 0)
+	if b.FirstArrival <= a.FirstArrival {
+		t.Fatalf("second concurrent fault should land later: %d vs %d",
+			b.FirstArrival, a.FirstArrival)
+	}
+	// But engine state resets per engine: a fresh engine sees no queue.
+	e2 := newTestEngine(Eager{}, 1024)
+	c := e2.StartFault(0, 1, 0)
+	if c.FirstArrival != a.FirstArrival {
+		t.Fatalf("fresh engine should match first fault: %d vs %d",
+			c.FirstArrival, a.FirstArrival)
+	}
+}
+
+func TestArrivalsNeverAtOrBeforeStart(t *testing.T) {
+	e := newTestEngine(Pipelined{}, 256)
+	now := units.Ticks(12345)
+	tr := e.StartFault(now, 1, 0)
+	if tr.FirstArrival <= now || tr.CompleteAt < tr.FirstArrival {
+		t.Fatalf("bad arrival ordering: start %d first %d complete %d",
+			now, tr.FirstArrival, tr.CompleteAt)
+	}
+}
+
+func TestOverlapAttributionIO(t *testing.T) {
+	// Two faults back to back: while A's rest is in flight, the program
+	// stalls on B's subpage. That stall is I/O overlap for A.
+	e := newTestEngine(Eager{}, 1024)
+	a := e.StartFault(0, 1, 0)
+	nowAfterA := a.FirstArrival
+	b := e.StartFault(nowAfterA, 2, 0)
+	e.NoteStall(nowAfterA, b.FirstArrival, b, true)
+	e.FinishTransfer(a, a.CompleteAt)
+	if e.IOOverlap == 0 {
+		t.Fatal("stall on B during A's window should count as I/O overlap")
+	}
+}
+
+func TestOverlapAttributionComp(t *testing.T) {
+	// One fault, program executes through the whole window: all benefit
+	// is computational.
+	e := newTestEngine(Eager{}, 1024)
+	a := e.StartFault(0, 1, 0)
+	e.FinishTransfer(a, a.CompleteAt+1000)
+	if e.IOOverlap != 0 {
+		t.Fatalf("no other I/O: IOOverlap = %d", e.IOOverlap)
+	}
+	if want := a.CompleteAt - a.FirstArrival; e.CompOverlap != want {
+		t.Fatalf("CompOverlap = %d, want %d", e.CompOverlap, want)
+	}
+}
+
+func TestOverlapAttributionSelfWaitIsNotBenefit(t *testing.T) {
+	// The program immediately stalls for the rest of its own page: no
+	// overlap benefit at all.
+	e := newTestEngine(Eager{}, 1024)
+	a := e.StartFault(0, 1, 0)
+	e.NoteStall(a.FirstArrival, a.CompleteAt, a, false)
+	e.FinishTransfer(a, a.CompleteAt)
+	if e.IOOverlap != 0 || e.CompOverlap != 0 {
+		t.Fatalf("self-wait should give no overlap: io=%d comp=%d",
+			e.IOOverlap, e.CompOverlap)
+	}
+	if a.PageWait != a.CompleteAt-a.FirstArrival {
+		t.Fatalf("PageWait = %d", a.PageWait)
+	}
+}
+
+func TestIOOverlapShare(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	if e.IOOverlapShare() != 0 {
+		t.Fatal("empty engine share should be 0")
+	}
+	e.IOOverlap = 30
+	e.CompOverlap = 70
+	if got := e.IOOverlapShare(); got != 0.3 {
+		t.Fatalf("share = %v, want 0.3", got)
+	}
+}
+
+func TestFinishTransferClampsToNow(t *testing.T) {
+	// Trace ends before the transfer completes: window clamps.
+	e := newTestEngine(Eager{}, 1024)
+	a := e.StartFault(0, 1, 0)
+	mid := (a.FirstArrival + a.CompleteAt) / 2
+	e.FinishTransfer(a, mid)
+	if e.CompOverlap != mid-a.FirstArrival {
+		t.Fatalf("clamped CompOverlap = %d, want %d", e.CompOverlap, mid-a.FirstArrival)
+	}
+}
+
+func TestNoteStallIgnoresEmpty(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	e.NoteStall(100, 100, nil, true)
+	e.NoteStall(100, 50, nil, true)
+	if e.cumStall != 0 {
+		t.Fatal("empty stalls should be ignored")
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	e := newTestEngine(Eager{}, 1024)
+	e.StartFault(0, 1, 0)
+	if e.BytesMoved != units.PageSize {
+		t.Fatalf("BytesMoved = %d, want %d", e.BytesMoved, units.PageSize)
+	}
+	eLazy := newTestEngine(Lazy{}, 1024)
+	eLazy.StartFault(0, 1, 0)
+	if eLazy.BytesMoved != 1024 {
+		t.Fatalf("lazy BytesMoved = %d, want 1024", eLazy.BytesMoved)
+	}
+}
+
+func TestInvalidSubpagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine with bad subpage size should panic")
+		}
+	}()
+	NewEngine(netmodel.AN2ATM(), Eager{}, 100)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Property tests over the fault engine: random interleavings of faults
+// must preserve the structural invariants the simulator relies on.
+
+func TestQuickTransfersAlwaysCoverFault(t *testing.T) {
+	f := func(polIdx, sizeIdx uint8, rawOff uint16, rawNow uint32) bool {
+		p := allPolicies[int(polIdx)%len(allPolicies)]
+		sub := testSubpageSizes[int(sizeIdx)%len(testSubpageSizes)]
+		off := int(rawOff) % units.PageSize
+		now := units.Ticks(rawNow)
+		e := NewEngine(netmodel.AN2ATM(), p, sub)
+		tr := e.StartFault(now, 1, off)
+		// The faulted byte is always covered, and arrives first.
+		at, ok := tr.ArrivalCovering(off)
+		if !ok || at != tr.FirstArrival {
+			return false
+		}
+		// Arrivals are strictly after issue and complete no earlier
+		// than the first arrival.
+		return tr.FirstArrival > now && tr.CompleteAt >= tr.FirstArrival
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickApplyArrivedConvergesToCovered(t *testing.T) {
+	f := func(polIdx, sizeIdx uint8, rawOff uint16) bool {
+		p := allPolicies[int(polIdx)%len(allPolicies)]
+		sub := testSubpageSizes[int(sizeIdx)%len(testSubpageSizes)]
+		off := int(rawOff) % units.PageSize
+		e := NewEngine(netmodel.AN2ATM(), p, sub)
+		tr := e.StartFault(0, 1, off)
+		covered := tr.Covered()
+		// Applying at CompleteAt yields exactly the covered bits, once.
+		got := tr.ApplyArrived(tr.CompleteAt)
+		if got != covered || !tr.Done() {
+			return false
+		}
+		return tr.ApplyArrived(tr.CompleteAt+1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConcurrentFaultsFIFOPerEngine(t *testing.T) {
+	// Issuing faults in time order on a shared engine must produce
+	// non-decreasing first arrivals (the network link is FIFO).
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 || len(offsets) > 24 {
+			return true
+		}
+		e := NewEngine(netmodel.AN2ATM(), Eager{}, 1024)
+		now := units.Ticks(0)
+		prevArrival := units.Ticks(0)
+		for i, raw := range offsets {
+			tr := e.StartFault(now, memmodel.PageID(i), int(raw)%units.PageSize)
+			if tr.FirstArrival < prevArrival {
+				return false
+			}
+			prevArrival = tr.FirstArrival
+			now += units.Ticks(raw % 1000)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapNeverNegative(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		if len(gaps) == 0 || len(gaps) > 16 {
+			return true
+		}
+		e := NewEngine(netmodel.AN2ATM(), Eager{}, 1024)
+		now := units.Ticks(0)
+		var open []*Transfer
+		for i, g := range gaps {
+			tr := e.StartFault(now, memmodel.PageID(i), 0)
+			e.NoteStall(now, tr.FirstArrival, tr, true)
+			now = tr.FirstArrival + units.Ticks(g)
+			open = append(open, tr)
+		}
+		for _, tr := range open {
+			e.FinishTransfer(tr, now+1_000_000)
+		}
+		return e.IOOverlap >= 0 && e.CompOverlap >= 0 &&
+			e.IOOverlapShare() >= 0 && e.IOOverlapShare() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

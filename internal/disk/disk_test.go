@@ -1,0 +1,86 @@
+package disk
+
+import (
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func TestPaperLatencyRange(t *testing.T) {
+	// Paper: "an average local disk access takes 4 to 14 ms ... depending
+	// on the nature of the access - sequential or random."
+	p := Default()
+	seq := p.SequentialLatency(units.PageSize).Ms()
+	rnd := p.RandomLatency(units.PageSize).Ms()
+	if seq < 3 || seq > 6 {
+		t.Errorf("sequential 8K latency = %.2f ms, want ~4 ms", seq)
+	}
+	if rnd < 7 || rnd > 14 {
+		t.Errorf("random 8K latency = %.2f ms, want ~9 ms", rnd)
+	}
+	if seq >= rnd {
+		t.Errorf("sequential %.2f ms should beat random %.2f ms", seq, rnd)
+	}
+}
+
+func TestHighInterceptVsNetworks(t *testing.T) {
+	// Figure 1: "the disk subsystem exhibits high latency even for a
+	// 'zero-length' page"; networks have much lower initial overhead.
+	d := Default()
+	atm := netmodel.AN2ATM()
+	eth := netmodel.Ethernet10()
+	if d.RandomLatency(0) < 4*atm.FetchLatency(0) {
+		t.Errorf("disk zero-length latency %.2f ms should dwarf ATM %.2f ms",
+			d.RandomLatency(0).Ms(), atm.FetchLatency(0).Ms())
+	}
+	// Even Ethernet beats disk for very small pages...
+	if eth.FetchLatency(256) >= d.RandomLatency(256) {
+		t.Errorf("Ethernet 256B %.2f ms should beat disk %.2f ms",
+			eth.FetchLatency(256).Ms(), d.RandomLatency(256).Ms())
+	}
+	// ...while loaded Ethernet is much worse than disk for full pages.
+	loaded := netmodel.LoadedEthernet10()
+	if loaded.FetchLatency(units.PageSize) <= d.RandomLatency(units.PageSize) {
+		t.Errorf("loaded Ethernet 8K %.2f ms should exceed disk %.2f ms",
+			loaded.FetchLatency(units.PageSize).Ms(), d.RandomLatency(units.PageSize).Ms())
+	}
+}
+
+func TestLatencyMonotonicInSize(t *testing.T) {
+	p := Default()
+	prev := units.Nanos(-1)
+	for n := 0; n <= 64*units.KiB; n += 4 * units.KiB {
+		l := p.RandomLatency(n)
+		if l <= prev {
+			t.Fatalf("latency not increasing at %d bytes", n)
+		}
+		prev = l
+	}
+}
+
+func TestTrackerSequentialDetection(t *testing.T) {
+	tr := NewTracker(Default())
+	first := tr.Access(100, units.PageSize)
+	next := tr.Access(101, units.PageSize)
+	same := tr.Access(105, units.PageSize) // within the cluster window
+	if first != Default().RandomLatency(units.PageSize) {
+		t.Errorf("first access should be random")
+	}
+	if next != Default().SequentialLatency(units.PageSize) {
+		t.Errorf("adjacent access should be sequential")
+	}
+	if same != Default().SequentialLatency(units.PageSize) {
+		t.Errorf("near access should be sequential")
+	}
+	if far := tr.Access(500, units.PageSize); far != Default().RandomLatency(units.PageSize) {
+		t.Errorf("distant access should be random")
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	p := Default()
+	if p.RandomLatency(-100) != p.RandomLatency(0) {
+		t.Error("negative size should clamp to zero transfer")
+	}
+}

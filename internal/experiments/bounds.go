@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/analytic"
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Bounds validates the simulator against the closed-form model the way
+// §3.2 validates it against the prototype: for every application, the
+// simulated eager runtime must fall between the analytic best case (all
+// faults overlap fully) and worst case (every fault stalls for the rest of
+// its page). The position inside that band is the achieved overlap, which
+// should track each application's fault burstiness.
+func Bounds(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	model := analytic.NewModel(nil, 1024)
+	t := &stats.Table{
+		Title: "Simulator vs. analytic bounds (1/2-mem, 1K eager)",
+		Header: []string{"app", "faults", "best(ms)", "simulated(ms)", "worst(ms)",
+			"achieved-overlap", "in-band"},
+	}
+	res := &Result{ID: "bounds", Title: "Analytic validation"}
+	for _, app := range trace.Apps(cfg.Scale) {
+		r := run(app, 0.5, core.Eager{}, 1024, false)
+		w := analytic.Workload{ExecTicks: units.Ticks(r.Events), Faults: r.Faults}
+		lo, hi := model.BestCase(w), model.WorstCase(w)
+		// Congestion during bursts can push the simulated runtime
+		// slightly past the idle-network worst case; 2% headroom.
+		inBand := r.Runtime >= lo && r.Runtime <= hi+hi/50
+		t.AddRow(app.Name, fmt.Sprint(r.Faults),
+			stats.F(lo.Ms(), 0), stats.F(r.Runtime.Ms(), 0), stats.F(hi.Ms(), 0),
+			stats.Pct(model.AchievedOverlap(w, r.Runtime)),
+			fmt.Sprint(inBand))
+		if !inBand {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"WARNING: %s simulated runtime escapes the analytic band", app.Name))
+		}
+	}
+	res.Tables = []*stats.Table{t}
+	res.Notes = append(res.Notes,
+		"achieved overlap between 0 (all faults stall for the page) and 1 (perfect overlap)",
+		"burstier applications achieve more overlap, as in Figures 9 and 10")
+	return res
+}

@@ -1,0 +1,192 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations its text describes. Each experiment is
+// registered by ID (e.g. "table2", "fig5") and produces a Result whose
+// String form is the data behind the corresponding paper artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/sim"
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale is the trace scale: 1.0 regenerates at the paper's full trace
+	// lengths (minutes of CPU); the default 0.25 keeps every shape while
+	// running in seconds.
+	Scale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	return c
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+	Text   string // preformatted extra output (timelines etc.)
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.Text != "" {
+		b.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) *Result
+}
+
+// registry in presentation order.
+var registry = []Experiment{
+	{"fig1", "Latency vs. page size for disks and networks", Fig1},
+	{"table1", "PALcode load/store emulation performance", Table1},
+	{"table2", "Page-fault latencies for eager fullpage fetch", Table2},
+	{"fig2", "Remote page fetch timelines", Fig2},
+	{"fig3", "Subpage performance for 3 memory sizes (Modula-3)", Fig3},
+	{"fig4", "Runtime decomposition at 1/2 memory (Modula-3)", Fig4},
+	{"fig5", "Sorted per-fault waiting times", Fig5},
+	{"fig6", "Temporal clustering of page faults (Modula-3)", Fig6},
+	{"fig7", "Distance to next accessed subpage", Fig7},
+	{"fig8", "Eager fullpage fetch vs. subpage pipelining", Fig8},
+	{"fig9", "Speedups for all applications (1/2-mem, 1K subpages)", Fig9},
+	{"fig10", "Fault clustering: gdb vs. Atom", Fig10},
+	{"smallpage", "Ablation: small pages / lazy fetch lose", SmallPage},
+	{"pipevariants", "Ablation: pipelining variants (§4.3)", PipeVariants},
+	{"eventtime", "Methodology: average time per simulation event (§3.2)", EventTime},
+	{"cluster", "Extension: multi-node global memory under load", Cluster},
+	{"bounds", "Validation: simulator vs. closed-form bounds", Bounds},
+	{"future", "Extension: faster networks shrink the optimal subpage", Future},
+	{"tlbcover", "Motivation: TLB coverage vs. page size (§1)", TLBCoverage},
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Shared vocabulary.
+
+var subpageSizes = []int{4096, 2048, 1024, 512, 256}
+
+var memoryConfigs = []struct {
+	name string
+	frac float64
+}{
+	{"full-mem", 1},
+	{"1/2-mem", 0.5},
+	{"1/4-mem", 0.25},
+}
+
+// run executes one simulation with common defaults.
+func run(app *trace.App, frac float64, policy core.Policy, subpage int, track bool) *sim.Result {
+	return sim.Run(sim.Config{
+		App:           app,
+		MemFraction:   frac,
+		Policy:        policy,
+		SubpageSize:   subpage,
+		TrackPerFault: track,
+	})
+}
+
+// runDisk executes the disk_8192 baseline.
+func runDisk(app *trace.App, frac float64) *sim.Result {
+	return sim.Run(sim.Config{
+		App:         app,
+		MemFraction: frac,
+		Policy:      core.FullPage{},
+		Backing:     sim.Disk,
+	})
+}
+
+// improvement formats the reduction in execution time of b relative to a:
+// (a-b)/a, the paper's "performance increase due to subpages".
+func improvement(a, b units.Ticks) float64 {
+	if a == 0 {
+		return 0
+	}
+	return float64(a-b) / float64(a)
+}
+
+// burstiness computes the fraction of faults falling in the busiest tenth
+// of the run, measured in simulation events as the paper's Figures 6 and
+// 10 do. The run is split into 100 equal event windows and the 10 densest
+// are summed, so multiple separated bursts all count: ~0.1 means perfectly
+// smooth arrival, ~1.0 means all faults happen in bursts.
+func burstiness(faultEvents []int64, totalEvents int64) float64 {
+	if len(faultEvents) == 0 || totalEvents == 0 {
+		return 0
+	}
+	const windows = 100
+	counts := make([]int, windows)
+	for _, fe := range faultEvents {
+		w := int(fe * windows / (totalEvents + 1))
+		if w >= windows {
+			w = windows - 1
+		}
+		counts[w]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for _, c := range counts[:windows/10] {
+		top += c
+	}
+	return float64(top) / float64(len(faultEvents))
+}
+
+// sortedDesc returns a descending copy of per-fault waits in milliseconds.
+func sortedDesc(waits []units.Ticks) []float64 {
+	out := make([]float64, len(waits))
+	for i, w := range waits {
+		out[i] = w.Ms()
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

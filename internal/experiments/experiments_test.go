@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// testCfg runs the experiments on short traces; every paper shape
+// asserted here also holds at larger scales (see the sim shape tests).
+var testCfg = Config{Scale: 0.08}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs/All mismatch: %d vs %d", len(ids), len(All()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		e, ok := ByID(id)
+		if !ok || e.ID != id || e.Run == nil || e.Title == "" {
+			t.Fatalf("broken registration for %q", id)
+		}
+	}
+	for _, want := range []string{"fig1", "table1", "table2", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "smallpage", "pipevariants"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+// TestAllExperimentsRender executes every experiment end to end and checks
+// each produces presentable output.
+func TestAllExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(testCfg)
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			out := res.String()
+			if len(out) < 100 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("output does not name the experiment:\n%s", out)
+			}
+			if len(res.Tables) == 0 && res.Text == "" {
+				t.Fatal("no tables or text produced")
+			}
+		})
+	}
+}
+
+func TestTable2AgainstPaperColumns(t *testing.T) {
+	out := Table2(testCfg).String()
+	// The paper's measured values appear alongside the model's.
+	for _, v := range []string{"0.45", "1.49", "0.94", "1.23", "fullpage"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("Table2 missing %q:\n%s", v, out)
+		}
+	}
+}
+
+func TestFig2ShowsBothAnomalies(t *testing.T) {
+	res := Fig2(testCfg)
+	out := res.String()
+	if !strings.Contains(out, "Srv-DMA") || !strings.Contains(out, "Wire") {
+		t.Fatalf("timeline resources missing:\n%s", out)
+	}
+	// The text includes resume/complete milestones for all three cases.
+	if strings.Count(out, "program resumes at") != 3 {
+		t.Fatalf("expected 3 timelines:\n%s", out)
+	}
+}
+
+func TestBurstinessMetric(t *testing.T) {
+	// Perfectly smooth arrival: ~10%.
+	var smooth []int64
+	for i := int64(0); i < 100; i++ {
+		smooth = append(smooth, i*1000)
+	}
+	if b := burstiness(smooth, 100_000); b < 0.08 || b > 0.15 {
+		t.Errorf("smooth burstiness = %v, want ~0.1", b)
+	}
+	// One tight burst: ~1.0.
+	var burst []int64
+	for i := int64(0); i < 100; i++ {
+		burst = append(burst, 50_000+i)
+	}
+	if b := burstiness(burst, 100_000); b < 0.95 {
+		t.Errorf("burst burstiness = %v, want ~1", b)
+	}
+	// Two separated bursts still count fully (top-10-of-100 windows).
+	var two []int64
+	for i := int64(0); i < 50; i++ {
+		two = append(two, 10_000+i)
+	}
+	for i := int64(0); i < 50; i++ {
+		two = append(two, 90_000+i)
+	}
+	if b := burstiness(two, 100_000); b < 0.95 {
+		t.Errorf("two-burst burstiness = %v, want ~1", b)
+	}
+	if burstiness(nil, 100) != 0 || burstiness(smooth, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestSegmentFractions(t *testing.T) {
+	// A classic fig-5 curve: half best case at 0.55ms, half at the full
+	// 1.4ms, descending order.
+	var waits []float64
+	for i := 0; i < 50; i++ {
+		waits = append(waits, 1.4)
+	}
+	for i := 0; i < 50; i++ {
+		waits = append(waits, 0.55)
+	}
+	best, worst := segmentFractions(waits)
+	if best < 0.45 || best > 0.55 {
+		t.Errorf("best = %v, want ~0.5", best)
+	}
+	if worst < 0.45 || worst > 0.55 {
+		t.Errorf("worst = %v, want ~0.5", worst)
+	}
+	if b, w := segmentFractions(nil); b != 0 || w != 0 {
+		t.Error("empty input should give zeros")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if improvement(100, 80) != 0.2 {
+		t.Errorf("improvement(100,80) = %v", improvement(100, 80))
+	}
+	if improvement(0, 10) != 0 {
+		t.Error("zero baseline should give 0")
+	}
+	if improvement(100, 120) != -0.2 {
+		t.Error("regressions should be negative")
+	}
+}
+
+func TestSortedDesc(t *testing.T) {
+	waits := []units.Ticks{
+		units.FromMs(0.5).ToTicks(),
+		units.FromMs(1.5).ToTicks(),
+		units.FromMs(1.0).ToTicks(),
+	}
+	out := sortedDesc(waits)
+	if len(out) != 3 || out[0] < out[1] || out[1] < out[2] {
+		t.Fatalf("not descending: %v", out)
+	}
+	if out[0] < 1.49 || out[0] > 1.51 {
+		t.Fatalf("wrong ms conversion: %v", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 0.25 {
+		t.Fatalf("default scale = %v", cfg.Scale)
+	}
+	cfg = Config{Scale: 1}.withDefaults()
+	if cfg.Scale != 1 {
+		t.Fatal("explicit scale overridden")
+	}
+}

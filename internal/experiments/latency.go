@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gms-sim/gmsubpage/internal/disk"
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Fig1 regenerates Figure 1: transfer latency as a function of page size
+// for a disk subsystem, a heavily-loaded 10 Mb/s Ethernet, a lightly-loaded
+// Ethernet, and an ATM network.
+func Fig1(cfg Config) *Result {
+	t := &stats.Table{
+		Title: "Figure 1: Latency (ms) vs. Page Size",
+		Header: []string{"bytes", "disk(rand)", "disk(seq)",
+			"enet-loaded", "enet", "atm"},
+	}
+	d := disk.Default()
+	atm, eth, loaded := netmodel.AN2ATM(), netmodel.Ethernet10(), netmodel.LoadedEthernet10()
+	for _, n := range []int{0, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+		t.AddRow(fmt.Sprint(n),
+			stats.F(d.RandomLatency(n).Ms(), 2),
+			stats.F(d.SequentialLatency(n).Ms(), 2),
+			stats.F(loaded.FetchLatency(n).Ms(), 2),
+			stats.F(eth.FetchLatency(n).Ms(), 2),
+			stats.F(atm.FetchLatency(n).Ms(), 2))
+	}
+	return &Result{
+		ID: "fig1", Title: "Latency vs. page size",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"disk has high latency even for zero-length transfers; networks have low initial overhead",
+			"even loaded Ethernet beats disk for very small pages; loses badly for full pages",
+		},
+	}
+}
+
+// Table1 regenerates Table 1: the PALcode load/store emulation cost model.
+func Table1(cfg Config) *Result {
+	return &Result{
+		ID: "table1", Title: "PALcode load/store emulation",
+		Tables: []*stats.Table{memmodel.Alpha250().Table1()},
+		Notes: []string{
+			"a fast load is ~6.5x an L2 hit and ~1.6x faster than an L2 miss",
+		},
+	}
+}
+
+// Table2 regenerates Table 2: subpage and rest-of-page latencies for eager
+// fullpage fetch, with the improvement-potential columns, against the
+// paper's measured values.
+func Table2(cfg Config) *Result {
+	p := netmodel.AN2ATM()
+	t := &stats.Table{
+		Title: "Table 2: Page-fault Latencies for Eager-Fullpage Fetch",
+		Header: []string{"subpage", "sub(ms)", "paper", "rest(ms)", "paper",
+			"overlap-exec", "sender-pipe"},
+	}
+	paper := map[int][2]float64{
+		256: {0.45, 1.49}, 512: {0.47, 1.46}, 1024: {0.52, 1.38},
+		2048: {0.66, 1.25}, 4096: {0.94, 1.23}, units.PageSize: {1.48, 1.48},
+	}
+	for _, s := range []int{256, 512, 1024, 2048, 4096, units.PageSize} {
+		sub, rest := p.EagerLatencies(s)
+		oe, sp := p.OverlapPotential(s)
+		name := fmt.Sprint(s)
+		if s == units.PageSize {
+			name = "fullpage"
+		}
+		t.AddRow(name,
+			stats.F(sub.Ms(), 2), stats.F(paper[s][0], 2),
+			stats.F(rest.Ms(), 2), stats.F(paper[s][1], 2),
+			stats.Pct(oe), stats.Pct(sp))
+	}
+	return &Result{ID: "table2", Title: "Page-fault latencies", Tables: []*stats.Table{t}}
+}
+
+// Fig2 regenerates Figure 2: the remote page fetch timelines for a full 8K
+// page and for 2K and 1K subpages under eager fullpage fetch.
+func Fig2(cfg Config) *Result {
+	p := netmodel.AN2ATM()
+	var b strings.Builder
+	cases := []struct {
+		title string
+		msgs  []netmodel.Message
+	}{
+		{"1K subpages, eager fullpage fetch", []netmodel.Message{
+			{Bytes: 1024, Deliver: true}, {Bytes: 7168, Deliver: true}}},
+		{"2K subpages, eager fullpage fetch", []netmodel.Message{
+			{Bytes: 2048, Deliver: true}, {Bytes: 6144, Deliver: true}}},
+		{"fullpage (8K)", []netmodel.Message{{Bytes: 8192, Deliver: true}}},
+	}
+	for _, c := range cases {
+		spans := p.Timeline(c.msgs)
+		b.WriteString(netmodel.RenderTimeline(c.title, spans, 76))
+		arr := p.Transfer(0, nil, c.msgs)
+		fmt.Fprintf(&b, "  program resumes at %.2f ms; page complete at %.2f ms\n\n",
+			arr[0].At.Ms(), arr[len(arr)-1].At.Ms())
+	}
+	return &Result{
+		ID: "fig2", Title: "Remote page fetch timelines", Text: b.String(),
+		Notes: []string{
+			"2K: application restarts in half the fullpage time AND the whole page arrives sooner",
+			"1K: total completion is slightly later than 2K (the small first message leaves a wire gap)",
+		},
+	}
+}

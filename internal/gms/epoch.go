@@ -1,0 +1,161 @@
+package gms
+
+import (
+	"sort"
+
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/rng"
+)
+
+// This file implements the epoch-based global replacement algorithm of the
+// underlying GMS system (Feeley et al., SOSP '95), which the subpage paper
+// builds on. Time is divided into epochs; at each epoch boundary an
+// initiator gathers every node's page-age summary and computes, for the
+// coming epoch, the expected number of evictions M and per-node weights —
+// the fraction of the globally-oldest M pages each node holds. During the
+// epoch, putpage traffic is spread across nodes in proportion to those
+// weights, so the cluster approximates global LRU without a directory
+// lookup per eviction.
+
+// EpochConfig shapes the replacement algorithm.
+type EpochConfig struct {
+	// EvictionsPerEpoch is M: how many putpages an epoch is sized for.
+	EvictionsPerEpoch int
+	// Seed makes weighted placement deterministic.
+	Seed uint64
+}
+
+// DefaultEpochConfig mirrors the GMS paper's choice of sizing epochs to a
+// few hundred replacements.
+func DefaultEpochConfig() EpochConfig {
+	return EpochConfig{EvictionsPerEpoch: 256, Seed: 0x9e37}
+}
+
+// EpochManager drives weighted putpage placement for a Cluster.
+type EpochManager struct {
+	cfg     EpochConfig
+	cluster *Cluster
+	rand    *rng.Rand
+
+	weights   []float64 // per node, sums to 1
+	remaining int       // putpages until the next epoch boundary
+
+	// Stats.
+	Epochs int64
+}
+
+// NewEpochManager wraps a cluster with epoch-based placement.
+func NewEpochManager(cluster *Cluster, cfg EpochConfig) *EpochManager {
+	if cfg.EvictionsPerEpoch <= 0 {
+		cfg.EvictionsPerEpoch = DefaultEpochConfig().EvictionsPerEpoch
+	}
+	m := &EpochManager{
+		cfg:     cfg,
+		cluster: cluster,
+		rand:    rng.New(cfg.Seed),
+	}
+	m.newEpoch()
+	return m
+}
+
+// newEpoch recomputes weights from the cluster's age distribution: node i
+// receives evictions in proportion to the share of the globally-oldest M
+// pages it stores. A node holding none of the old pages receives none
+// (its memory is "hot"); empty nodes split weight evenly so a cold
+// cluster fills uniformly.
+func (m *EpochManager) newEpoch() {
+	m.Epochs++
+	m.remaining = m.cfg.EvictionsPerEpoch
+	nodes := m.cluster.cfg.Nodes
+	m.weights = make([]float64, nodes)
+
+	type aged struct {
+		node  NodeID
+		epoch int64
+	}
+	ages := make([]aged, 0, len(m.cluster.directory))
+	for _, e := range m.cluster.directory {
+		ages = append(ages, aged{e.node, e.epoch})
+	}
+	if len(ages) == 0 {
+		for i := range m.weights {
+			m.weights[i] = 1 / float64(nodes)
+		}
+		return
+	}
+	// Oldest first.
+	sort.Slice(ages, func(i, j int) bool { return ages[i].epoch < ages[j].epoch })
+	mOldest := m.cfg.EvictionsPerEpoch
+	if mOldest > len(ages) {
+		mOldest = len(ages)
+	}
+	for _, a := range ages[:mOldest] {
+		m.weights[a.node] += 1 / float64(mOldest)
+	}
+}
+
+// Weights returns the current epoch's placement weights (per node).
+func (m *EpochManager) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}
+
+// Place performs a putpage using weighted placement, starting a new epoch
+// when the current one's eviction budget is spent. It returns the chosen
+// node.
+func (m *EpochManager) Place(page memmodel.PageID) NodeID {
+	if m.remaining <= 0 {
+		m.newEpoch()
+	}
+	m.remaining--
+
+	node := m.pick()
+	c := m.cluster
+	if _, ok := c.directory[page]; ok {
+		panic("gms: epoch Place of page already in global memory")
+	}
+	if c.cfg.GlobalPagesPerNode > 0 && c.load[node] >= c.cfg.GlobalPagesPerNode {
+		// The target is full: discard its oldest page (the weighted
+		// choice said this node holds old pages).
+		c.discardOldestOn(node)
+	}
+	c.clock++
+	c.directory[page] = entry{node: node, epoch: c.clock}
+	c.load[node]++
+	c.Stores++
+	return node
+}
+
+// pick draws a node from the weight distribution.
+func (m *EpochManager) pick() NodeID {
+	u := m.rand.Float64()
+	acc := 0.0
+	for i, w := range m.weights {
+		acc += w
+		if u <= acc && w > 0 {
+			return NodeID(i)
+		}
+	}
+	// Weights may not sum exactly to 1, or all mass may sit on full
+	// nodes; fall back to the least-loaded node.
+	return m.cluster.leastLoaded()
+}
+
+// discardOldestOn drops the oldest page stored on one node.
+func (c *Cluster) discardOldestOn(node NodeID) {
+	var victim memmodel.PageID
+	var victimEpoch int64 = -1
+	for p, e := range c.directory {
+		if e.node != node {
+			continue
+		}
+		if victimEpoch < 0 || e.epoch < victimEpoch {
+			victim, victimEpoch = p, e.epoch
+		}
+	}
+	if victimEpoch < 0 {
+		return
+	}
+	delete(c.directory, victim)
+	c.load[node]--
+	c.Discards++
+}

@@ -1,0 +1,116 @@
+package memmodel
+
+import (
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// PALCosts models the prototype's software subpage protection: when a page
+// is incomplete, read/write access to it is disabled and the PALcode
+// emulates each load/store after checking the subpage valid bits (Table 1).
+// An operation is "fast" when it touches the same page as the previous
+// emulated operation (the PALcode caches that page's valid bits) and "slow"
+// otherwise.
+type PALCosts struct {
+	CPUMHz int
+
+	FastLoadCycles  int
+	SlowLoadCycles  int
+	FastStoreCycles int
+	SlowStoreCycles int
+	NullCallCycles  int
+	L1HitCycles     int
+	L2HitCycles     int
+	L2MissCycles    int
+}
+
+// Alpha250 returns the measured Table 1 costs of the 266 MHz Alpha 250
+// prototype.
+func Alpha250() *PALCosts {
+	return &PALCosts{
+		CPUMHz:          266,
+		FastLoadCycles:  52,
+		SlowLoadCycles:  95,
+		FastStoreCycles: 64,
+		SlowStoreCycles: 102,
+		NullCallCycles:  15,
+		L1HitCycles:     3,
+		L2HitCycles:     8,
+		L2MissCycles:    84,
+	}
+}
+
+// Nanos converts a cycle count to time on this CPU.
+func (p *PALCosts) Nanos(cycles int) units.Nanos {
+	return units.Nanos(int64(cycles) * 1000 / int64(p.CPUMHz))
+}
+
+// Table1 renders the Table 1 rows (operation, cycles, time).
+func (p *PALCosts) Table1() *stats.Table {
+	t := &stats.Table{
+		Title:  "Table 1: Performance of PALcode Load/Store Emulation",
+		Header: []string{"Operation", "Cycles", "Time (ns)"},
+	}
+	rows := []struct {
+		name   string
+		cycles int
+	}{
+		{"fast load", p.FastLoadCycles},
+		{"slow load", p.SlowLoadCycles},
+		{"fast store", p.FastStoreCycles},
+		{"slow store", p.SlowStoreCycles},
+		{"null PAL call", p.NullCallCycles},
+		{"L1 cache hit", p.L1HitCycles},
+		{"L2 cache hit", p.L2HitCycles},
+		{"L2 miss", p.L2MissCycles},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, stats.F(float64(r.cycles), 0), stats.F(float64(p.Nanos(r.cycles)), 0))
+	}
+	return t
+}
+
+// Emulator charges PAL emulation overhead for accesses to incomplete pages,
+// tracking the fast/slow distinction. Overhead is the cost *beyond* a
+// normal access, so complete pages cost zero here.
+type Emulator struct {
+	costs    *PALCosts
+	lastPage PageID
+	valid    bool
+
+	EmulatedOps int64
+	Overhead    units.Nanos
+}
+
+// NewEmulator returns an emulator using the given cost table.
+func NewEmulator(c *PALCosts) *Emulator { return &Emulator{costs: c} }
+
+// Access charges for one load or store to an incomplete page and returns
+// the added overhead.
+func (e *Emulator) Access(page PageID, store bool) units.Nanos {
+	fast := e.valid && page == e.lastPage
+	e.lastPage, e.valid = page, true
+	var cycles int
+	switch {
+	case store && fast:
+		cycles = e.costs.FastStoreCycles
+	case store:
+		cycles = e.costs.SlowStoreCycles
+	case fast:
+		cycles = e.costs.FastLoadCycles
+	default:
+		cycles = e.costs.SlowLoadCycles
+	}
+	cost := e.costs.Nanos(cycles)
+	e.EmulatedOps++
+	e.Overhead += cost
+	return cost
+}
+
+// PageCompleted notes that a page became complete; subsequent accesses to
+// it are not emulated, and the cached valid bits are invalidated.
+func (e *Emulator) PageCompleted(page PageID) {
+	if e.valid && e.lastPage == page {
+		e.valid = false
+	}
+}

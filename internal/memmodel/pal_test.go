@@ -1,0 +1,155 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func TestAlpha250MatchesPaperTable1(t *testing.T) {
+	p := Alpha250()
+	// Table 1 time column, within 5 ns of the published values (the
+	// paper's ns column is measured, not an exact cycles/266 MHz
+	// division).
+	cases := []struct {
+		cycles int
+		wantNs int64
+	}{
+		{p.FastLoadCycles, 195},
+		{p.SlowLoadCycles, 361},
+		{p.FastStoreCycles, 241},
+		{p.SlowStoreCycles, 383},
+		{p.NullCallCycles, 56},
+		{p.L1HitCycles, 11},
+		{p.L2HitCycles, 30},
+		{p.L2MissCycles, 315},
+	}
+	for _, c := range cases {
+		got := int64(p.Nanos(c.cycles))
+		if got < c.wantNs-5 || got > c.wantNs+5 {
+			t.Errorf("Nanos(%d) = %d ns, want ~%d ns", c.cycles, got, c.wantNs)
+		}
+	}
+}
+
+func TestPaperRatios(t *testing.T) {
+	// "a fast load is 6.5 times slower than an L2 cache hit, and 1.6 times
+	// faster than an L2 miss."
+	p := Alpha250()
+	fastVsL2 := float64(p.FastLoadCycles) / float64(p.L2HitCycles)
+	if fastVsL2 < 6 || fastVsL2 > 7 {
+		t.Errorf("fast load / L2 hit = %.2f, want ~6.5", fastVsL2)
+	}
+	missVsFast := float64(p.L2MissCycles) / float64(p.FastLoadCycles)
+	if missVsFast < 1.5 || missVsFast > 1.7 {
+		t.Errorf("L2 miss / fast load = %.2f, want ~1.6", missVsFast)
+	}
+}
+
+func TestEmulatorFastSlow(t *testing.T) {
+	e := NewEmulator(Alpha250())
+	first := e.Access(1, false)  // slow: no cached page
+	second := e.Access(1, false) // fast: same page
+	third := e.Access(2, false)  // slow: page changed
+	if first <= second {
+		t.Errorf("first load %d should cost more than repeat %d", first, second)
+	}
+	if third != first {
+		t.Errorf("page change should be slow again: %d vs %d", third, first)
+	}
+	if e.EmulatedOps != 3 {
+		t.Errorf("EmulatedOps = %d", e.EmulatedOps)
+	}
+	if e.Overhead != first+second+third {
+		t.Errorf("Overhead = %d, want %d", e.Overhead, first+second+third)
+	}
+}
+
+func TestEmulatorStoresCostMore(t *testing.T) {
+	e := NewEmulator(Alpha250())
+	e.Access(1, false)
+	fastLoad := e.Access(1, false)
+	fastStore := e.Access(1, true)
+	if fastStore <= fastLoad {
+		t.Errorf("fast store %d should cost more than fast load %d", fastStore, fastLoad)
+	}
+}
+
+func TestEmulatorPageCompletedInvalidatesCache(t *testing.T) {
+	e := NewEmulator(Alpha250())
+	e.Access(1, false)
+	e.PageCompleted(1)
+	again := e.Access(1, false)
+	slow := Alpha250().Nanos(Alpha250().SlowLoadCycles)
+	if again != slow {
+		t.Errorf("access after completion = %d, want slow %d", again, slow)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Alpha250().Table1().String()
+	for _, want := range []string{"fast load", "slow store", "L2 miss", "195", "383"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2, units.PageSize)
+	if tlb.Access(0) {
+		t.Error("first access should miss")
+	}
+	if !tlb.Access(100) {
+		t.Error("same-page access should hit")
+	}
+	tlb.Access(units.PageSize)     // page 1, miss
+	tlb.Access(2 * units.PageSize) // page 2, miss, evicts page 0 (LRU)
+	if tlb.Access(0) {
+		t.Error("page 0 should have been evicted")
+	}
+	if tlb.Misses() != 4 {
+		t.Errorf("Misses = %d, want 4", tlb.Misses())
+	}
+	if tlb.Lookups() != 5 {
+		t.Errorf("Lookups = %d, want 5", tlb.Lookups())
+	}
+}
+
+func TestTLBLRUOrder(t *testing.T) {
+	tlb := NewTLB(2, units.PageSize)
+	tlb.Access(0)                  // miss: [0]
+	tlb.Access(units.PageSize)     // miss: [1 0]
+	tlb.Access(0)                  // hit:  [0 1]
+	tlb.Access(2 * units.PageSize) // miss, evicts 1: [2 0]
+	if !tlb.Access(0) {
+		t.Error("page 0 should still be mapped")
+	}
+	if tlb.Access(units.PageSize) {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestSmallPagesRaiseMissRate(t *testing.T) {
+	// The §2.1 argument: same access pattern, smaller pages -> less TLB
+	// coverage -> more misses.
+	big := NewTLB(DefaultTLBEntries, units.PageSize)
+	small := NewTLB(DefaultTLBEntries, 1024)
+	// Walk a working set larger than the small TLB's coverage but inside
+	// the big TLB's coverage, twice.
+	span := uint64(big.Coverage() / 2)
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < span; a += 512 {
+			big.Access(a)
+			small.Access(a)
+		}
+	}
+	if small.MissRate() <= big.MissRate() {
+		t.Fatalf("small pages should miss more: %.4f vs %.4f",
+			small.MissRate(), big.MissRate())
+	}
+	if big.Coverage() <= small.Coverage() {
+		t.Fatal("coverage should scale with page size")
+	}
+}

@@ -1,0 +1,73 @@
+package memmodel
+
+import "github.com/gms-sim/gmsubpage/internal/units"
+
+// TLB models a fully-associative, LRU translation lookaside buffer. It is
+// used by the small-page ablation (§2.1): shrinking the page size shrinks
+// TLB coverage, which is the principal reason the paper prefers subpages
+// over small pages.
+//
+// Entries map virtual page numbers at the TLB's own page size, which may be
+// smaller than the VM page size when simulating a small-page architecture.
+type TLB struct {
+	pageSize int
+	entries  []int64 // page numbers, most recent first
+	misses   int64
+	lookups  int64
+}
+
+// DefaultTLBEntries is the data-TLB size of the modelled Alpha 21064-class
+// processor.
+const DefaultTLBEntries = 32
+
+// TLBMissCost is the modelled cost of one TLB fill (a PALcode miss handler
+// walking the page table; tens of cycles plus memory accesses).
+const TLBMissCost = 400 * units.Nanos(1) // 400 ns
+
+// NewTLB returns a TLB with n entries translating pages of the given size.
+func NewTLB(n, pageSize int) *TLB {
+	if n <= 0 || pageSize <= 0 {
+		panic("memmodel: invalid TLB shape")
+	}
+	return &TLB{pageSize: pageSize, entries: make([]int64, 0, n)}
+}
+
+// Access translates the byte address and returns true on a hit. Misses are
+// counted and fill the TLB with LRU replacement.
+func (t *TLB) Access(addr uint64) bool {
+	t.lookups++
+	page := int64(addr) / int64(t.pageSize)
+	for i, e := range t.entries {
+		if e == page {
+			if i != 0 {
+				copy(t.entries[1:i+1], t.entries[:i])
+				t.entries[0] = page
+			}
+			return true
+		}
+	}
+	t.misses++
+	if len(t.entries) < cap(t.entries) {
+		t.entries = t.entries[:len(t.entries)+1]
+	}
+	copy(t.entries[1:], t.entries)
+	t.entries[0] = page
+	return false
+}
+
+// Misses returns the number of misses so far.
+func (t *TLB) Misses() int64 { return t.misses }
+
+// Lookups returns the number of accesses so far.
+func (t *TLB) Lookups() int64 { return t.lookups }
+
+// MissRate returns misses/lookups, or 0 before any access.
+func (t *TLB) MissRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.lookups)
+}
+
+// Coverage returns the bytes of address space the TLB can map at once.
+func (t *TLB) Coverage() int64 { return int64(cap(t.entries)) * int64(t.pageSize) }

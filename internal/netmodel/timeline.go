@@ -1,0 +1,106 @@
+package netmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// TimelineSpan is one occupancy interval of one resource during a transfer,
+// used to render Figure 2 style timelines.
+type TimelineSpan struct {
+	Resource string // "Req-CPU", "Req-DMA", "Wire", "Srv-DMA", "Srv-CPU"
+	Label    string // e.g. "request", "subpage", "rest"
+	Start    units.Nanos
+	End      units.Nanos
+}
+
+// Timeline computes the Figure 2 component spans for a transfer of msgs on
+// an idle network, including the initial request activity. Labels name the
+// message index ("msg0", "msg1", ...) except for the request phase.
+func (p *Params) Timeline(msgs []Message) []TimelineSpan {
+	var spans []TimelineSpan
+	// The request phase: requester CPU handles the fault and sends a
+	// control message; the server CPU processes it. We display the split
+	// as half requester, a short wire hop, and half server, which is how
+	// the prototype's four leading "black bars" in Figure 2 divide.
+	q := p.Request / 4
+	spans = append(spans,
+		TimelineSpan{"Req-CPU", "fault+request", 0, 2 * q},
+		TimelineSpan{"Wire", "request msg", 2 * q, 3 * q},
+		TimelineSpan{"Srv-CPU", "process request", 3 * q, p.Request},
+	)
+	arr := p.Transfer(0, nil, msgs)
+	for i, a := range arr {
+		label := fmt.Sprintf("msg%d(%dB)", i, a.Msg.Bytes)
+		spans = append(spans,
+			TimelineSpan{"Srv-DMA", label, a.SrvStart, a.SrvEnd},
+			TimelineSpan{"Wire", label, a.WireEnd - p.Wire.Cost(a.Msg.Bytes), a.WireEnd},
+			TimelineSpan{"Req-DMA", label, a.DMAEnd - p.ReqDMA.Cost(a.Msg.Bytes), a.DMAEnd},
+		)
+		if a.Msg.Deliver {
+			spans = append(spans, TimelineSpan{
+				"Req-CPU", label + " deliver", a.At - p.Deliver.Cost(a.Msg.Bytes), a.At,
+			})
+		}
+	}
+	return spans
+}
+
+// timelineResources is the display order of Figure 2.
+var timelineResources = []string{"Req-CPU", "Req-DMA", "Wire", "Srv-DMA", "Srv-CPU"}
+
+// RenderTimeline draws an ASCII Gantt chart of spans, one row per resource,
+// with the given number of character columns spanning [0, end of last span].
+func RenderTimeline(title string, spans []TimelineSpan, cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	var end units.Nanos
+	for _, s := range spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end == 0 {
+		end = 1
+	}
+	pos := func(t units.Nanos) int {
+		c := int(int64(t) * int64(cols-1) / int64(end))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (0 .. %.2f ms)\n", title, end.Ms())
+	for _, res := range timelineResources {
+		row := []byte(strings.Repeat(".", cols))
+		used := false
+		for _, s := range spans {
+			if s.Resource != res {
+				continue
+			}
+			used = true
+			a, z := pos(s.Start), pos(s.End)
+			if z <= a {
+				z = a + 1
+				if z > cols {
+					z = cols
+				}
+			}
+			for i := a; i < z; i++ {
+				row[i] = '#'
+			}
+		}
+		if !used {
+			continue
+		}
+		fmt.Fprintf(&b, "%8s |%s|\n", res, string(row))
+	}
+	return b.String()
+}

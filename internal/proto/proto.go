@@ -1,0 +1,341 @@
+// Package proto defines the binary wire protocol of the remote-memory
+// prototype: a small length-prefixed message format carrying page
+// requests, subpage data, putpage traffic and directory operations over
+// TCP. It is the stand-in for the paper's AN2 ATM transport.
+//
+// Frame layout (little endian):
+//
+//	byte 0     message type
+//	bytes 1-4  payload length n
+//	bytes 5..  payload (n bytes)
+//
+// Payload layouts are fixed per type and documented on each message
+// struct. Data payloads carry at most one full page.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Type identifies a message.
+type Type uint8
+
+// Message types.
+const (
+	// TGetPage requests a page: the server replies with one or more
+	// TPageData frames according to the requested policy.
+	TGetPage Type = iota + 1
+	// TPageData carries a fragment of a page.
+	TPageData
+	// TPutPage stores a full page on the server.
+	TPutPage
+	// TAck acknowledges a TPutPage or TRegister.
+	TAck
+	// TLookup asks the directory which server stores a page.
+	TLookup
+	// TLookupReply answers a TLookup.
+	TLookupReply
+	// TRegister announces to the directory that a server stores pages.
+	TRegister
+	// TError reports a failure in place of the normal reply.
+	TError
+)
+
+// String names the type for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case TGetPage:
+		return "GetPage"
+	case TPageData:
+		return "PageData"
+	case TPutPage:
+		return "PutPage"
+	case TAck:
+		return "Ack"
+	case TLookup:
+		return "Lookup"
+	case TLookupReply:
+		return "LookupReply"
+	case TRegister:
+		return "Register"
+	case TError:
+		return "Error"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// MaxPayload bounds a frame's payload: a page plus its largest header.
+const MaxPayload = units.PageSize + 64
+
+const headerSize = 5
+
+// Fetch policies a GetPage may request. These mirror the simulator's
+// core policies; the server plans its reply fragments accordingly.
+const (
+	PolicyFullPage = uint8(iota)
+	PolicyLazy
+	PolicyEager
+	PolicyPipelined
+)
+
+// GetPage asks for page data starting at the faulted offset.
+type GetPage struct {
+	Page        uint64
+	FaultOff    uint32
+	SubpageSize uint32
+	Policy      uint8
+}
+
+// PageData flags.
+const (
+	// FlagFirst marks the fragment covering the faulted offset; the
+	// client unblocks on it.
+	FlagFirst = 1 << iota
+	// FlagLast marks the final fragment of a reply.
+	FlagLast
+)
+
+// PageData is one fragment of a page.
+type PageData struct {
+	Page   uint64
+	Offset uint32
+	Flags  uint8
+	Data   []byte
+}
+
+// PutPage stores a full page.
+type PutPage struct {
+	Page uint64
+	Data []byte
+}
+
+// Lookup asks where a page lives.
+type Lookup struct{ Page uint64 }
+
+// LookupReply answers: Addr is empty when the page is unknown.
+type LookupReply struct {
+	Page uint64
+	Addr string
+}
+
+// Register announces pages stored at Addr.
+type Register struct {
+	Addr  string
+	Pages []uint64
+}
+
+// ErrorMsg reports a remote failure.
+type ErrorMsg struct{ Text string }
+
+// Frame is a decoded message.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// A Writer serializes messages onto a stream. Not safe for concurrent use.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 0, headerSize+MaxPayload)}
+}
+
+func (w *Writer) send(t Type, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("proto: payload %d exceeds max %d", len(payload), MaxPayload)
+	}
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, byte(t))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = append(w.buf, payload...)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// SendGetPage writes a TGetPage frame.
+func (w *Writer) SendGetPage(m GetPage) error {
+	p := make([]byte, 0, 17)
+	p = binary.LittleEndian.AppendUint64(p, m.Page)
+	p = binary.LittleEndian.AppendUint32(p, m.FaultOff)
+	p = binary.LittleEndian.AppendUint32(p, m.SubpageSize)
+	p = append(p, m.Policy)
+	return w.send(TGetPage, p)
+}
+
+// SendPageData writes a TPageData frame.
+func (w *Writer) SendPageData(m PageData) error {
+	p := make([]byte, 0, 13+len(m.Data))
+	p = binary.LittleEndian.AppendUint64(p, m.Page)
+	p = binary.LittleEndian.AppendUint32(p, m.Offset)
+	p = append(p, m.Flags)
+	p = append(p, m.Data...)
+	return w.send(TPageData, p)
+}
+
+// SendPutPage writes a TPutPage frame.
+func (w *Writer) SendPutPage(m PutPage) error {
+	p := make([]byte, 0, 8+len(m.Data))
+	p = binary.LittleEndian.AppendUint64(p, m.Page)
+	p = append(p, m.Data...)
+	return w.send(TPutPage, p)
+}
+
+// SendAck writes a TAck frame.
+func (w *Writer) SendAck() error { return w.send(TAck, nil) }
+
+// SendLookup writes a TLookup frame.
+func (w *Writer) SendLookup(m Lookup) error {
+	p := binary.LittleEndian.AppendUint64(nil, m.Page)
+	return w.send(TLookup, p)
+}
+
+// SendLookupReply writes a TLookupReply frame.
+func (w *Writer) SendLookupReply(m LookupReply) error {
+	p := make([]byte, 0, 8+len(m.Addr))
+	p = binary.LittleEndian.AppendUint64(p, m.Page)
+	p = append(p, m.Addr...)
+	return w.send(TLookupReply, p)
+}
+
+// SendRegister writes a TRegister frame.
+func (w *Writer) SendRegister(m Register) error {
+	if len(m.Addr) > 255 {
+		return fmt.Errorf("proto: address too long: %q", m.Addr)
+	}
+	p := make([]byte, 0, 1+len(m.Addr)+8*len(m.Pages))
+	p = append(p, byte(len(m.Addr)))
+	p = append(p, m.Addr...)
+	for _, pg := range m.Pages {
+		p = binary.LittleEndian.AppendUint64(p, pg)
+	}
+	return w.send(TRegister, p)
+}
+
+// SendError writes a TError frame.
+func (w *Writer) SendError(text string) error {
+	if len(text) > MaxPayload {
+		text = text[:MaxPayload]
+	}
+	return w.send(TError, []byte(text))
+}
+
+// A Reader decodes frames from a stream. Not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, headerSize+MaxPayload)}
+}
+
+// Next reads one frame. The returned payload is only valid until the next
+// call.
+func (r *Reader) Next() (Frame, error) {
+	head := r.buf[:headerSize]
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return Frame{}, err
+	}
+	t := Type(head[0])
+	n := binary.LittleEndian.Uint32(head[1:5])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("proto: oversized payload %d for %v", n, t)
+	}
+	payload := r.buf[headerSize : headerSize+int(n)]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return Frame{}, fmt.Errorf("proto: truncated %v frame: %w", t, err)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}
+
+// Decoding helpers. Each validates the payload length.
+
+func short(t Type) error { return fmt.Errorf("proto: short %v payload", t) }
+
+// DecodeGetPage parses a TGetPage payload.
+func DecodeGetPage(p []byte) (GetPage, error) {
+	if len(p) < 17 {
+		return GetPage{}, short(TGetPage)
+	}
+	return GetPage{
+		Page:        binary.LittleEndian.Uint64(p[0:8]),
+		FaultOff:    binary.LittleEndian.Uint32(p[8:12]),
+		SubpageSize: binary.LittleEndian.Uint32(p[12:16]),
+		Policy:      p[16],
+	}, nil
+}
+
+// DecodePageData parses a TPageData payload. The Data slice aliases p.
+func DecodePageData(p []byte) (PageData, error) {
+	if len(p) < 13 {
+		return PageData{}, short(TPageData)
+	}
+	return PageData{
+		Page:   binary.LittleEndian.Uint64(p[0:8]),
+		Offset: binary.LittleEndian.Uint32(p[8:12]),
+		Flags:  p[12],
+		Data:   p[13:],
+	}, nil
+}
+
+// DecodePutPage parses a TPutPage payload. The Data slice aliases p.
+func DecodePutPage(p []byte) (PutPage, error) {
+	if len(p) < 8 {
+		return PutPage{}, short(TPutPage)
+	}
+	return PutPage{
+		Page: binary.LittleEndian.Uint64(p[0:8]),
+		Data: p[8:],
+	}, nil
+}
+
+// DecodeLookup parses a TLookup payload.
+func DecodeLookup(p []byte) (Lookup, error) {
+	if len(p) < 8 {
+		return Lookup{}, short(TLookup)
+	}
+	return Lookup{Page: binary.LittleEndian.Uint64(p[0:8])}, nil
+}
+
+// DecodeLookupReply parses a TLookupReply payload.
+func DecodeLookupReply(p []byte) (LookupReply, error) {
+	if len(p) < 8 {
+		return LookupReply{}, short(TLookupReply)
+	}
+	return LookupReply{
+		Page: binary.LittleEndian.Uint64(p[0:8]),
+		Addr: string(p[8:]),
+	}, nil
+}
+
+// DecodeRegister parses a TRegister payload.
+func DecodeRegister(p []byte) (Register, error) {
+	if len(p) < 1 {
+		return Register{}, short(TRegister)
+	}
+	alen := int(p[0])
+	if len(p) < 1+alen {
+		return Register{}, short(TRegister)
+	}
+	m := Register{Addr: string(p[1 : 1+alen])}
+	rest := p[1+alen:]
+	if len(rest)%8 != 0 {
+		return Register{}, fmt.Errorf("proto: ragged page list in Register")
+	}
+	for i := 0; i < len(rest); i += 8 {
+		m.Pages = append(m.Pages, binary.LittleEndian.Uint64(rest[i:i+8]))
+	}
+	return m, nil
+}
+
+// DecodeError parses a TError payload.
+func DecodeError(p []byte) ErrorMsg { return ErrorMsg{Text: string(p)} }

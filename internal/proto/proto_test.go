@@ -1,0 +1,298 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func roundTrip(t *testing.T, send func(*Writer) error) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := send(NewWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGetPageRoundTrip(t *testing.T) {
+	in := GetPage{Page: 0xdeadbeef, FaultOff: 4097, SubpageSize: 1024, Policy: PolicyEager}
+	f := roundTrip(t, func(w *Writer) error { return w.SendGetPage(in) })
+	if f.Type != TGetPage {
+		t.Fatalf("type = %v", f.Type)
+	}
+	out, err := DecodeGetPage(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestPageDataRoundTrip(t *testing.T) {
+	data := make([]byte, units.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	in := PageData{Page: 7, Offset: 2048, Flags: FlagFirst | FlagLast, Data: data}
+	f := roundTrip(t, func(w *Writer) error { return w.SendPageData(in) })
+	out, err := DecodePageData(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Page != 7 || out.Offset != 2048 || out.Flags != FlagFirst|FlagLast {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Data, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestPutPageRoundTrip(t *testing.T) {
+	in := PutPage{Page: 99, Data: bytes.Repeat([]byte{0xab}, units.PageSize)}
+	f := roundTrip(t, func(w *Writer) error { return w.SendPutPage(in) })
+	out, err := DecodePutPage(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Page != 99 || !bytes.Equal(out.Data, in.Data) {
+		t.Fatal("put page mismatch")
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	f := roundTrip(t, func(w *Writer) error { return w.SendLookup(Lookup{Page: 5}) })
+	out, err := DecodeLookup(f.Payload)
+	if err != nil || out.Page != 5 {
+		t.Fatalf("lookup: %+v, %v", out, err)
+	}
+	f = roundTrip(t, func(w *Writer) error {
+		return w.SendLookupReply(LookupReply{Page: 5, Addr: "10.0.0.2:9999"})
+	})
+	rep, err := DecodeLookupReply(f.Payload)
+	if err != nil || rep.Addr != "10.0.0.2:9999" || rep.Page != 5 {
+		t.Fatalf("lookup reply: %+v, %v", rep, err)
+	}
+}
+
+func TestLookupReplyEmptyAddr(t *testing.T) {
+	f := roundTrip(t, func(w *Writer) error {
+		return w.SendLookupReply(LookupReply{Page: 5})
+	})
+	rep, err := DecodeLookupReply(f.Payload)
+	if err != nil || rep.Addr != "" {
+		t.Fatalf("empty addr reply: %+v, %v", rep, err)
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	in := Register{Addr: "h:1", Pages: []uint64{1, 2, 3, 1 << 40}}
+	f := roundTrip(t, func(w *Writer) error { return w.SendRegister(in) })
+	out, err := DecodeRegister(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Addr != in.Addr || len(out.Pages) != 4 || out.Pages[3] != 1<<40 {
+		t.Fatalf("register mismatch: %+v", out)
+	}
+}
+
+func TestAckAndError(t *testing.T) {
+	f := roundTrip(t, func(w *Writer) error { return w.SendAck() })
+	if f.Type != TAck || len(f.Payload) != 0 {
+		t.Fatalf("ack frame: %+v", f)
+	}
+	f = roundTrip(t, func(w *Writer) error { return w.SendError("boom") })
+	if f.Type != TError || DecodeError(f.Payload).Text != "boom" {
+		t.Fatalf("error frame: %+v", f)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.SendAck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SendLookup(Lookup{Page: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SendError("x"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	want := []Type{TAck, TLookup, TError}
+	for _, wt := range want {
+		f, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != wt {
+			t.Fatalf("got %v, want %v", f.Type, wt)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a frame claiming a giant payload.
+	buf.Write([]byte{byte(TPageData), 0xff, 0xff, 0xff, 0x7f})
+	if _, err := NewReader(&buf).Next(); err == nil {
+		t.Fatal("oversized frame should be rejected")
+	}
+	// And the writer refuses to produce one.
+	w := NewWriter(io.Discard)
+	err := w.SendPageData(PageData{Data: make([]byte, MaxPayload+1)})
+	if err == nil {
+		t.Fatal("oversized send should fail")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).SendPutPage(PutPage{Page: 1, Data: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := NewReader(bytes.NewReader(trunc)).Next(); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+}
+
+func TestShortPayloadDecodes(t *testing.T) {
+	if _, err := DecodeGetPage([]byte{1, 2}); err == nil {
+		t.Error("short GetPage should fail")
+	}
+	if _, err := DecodePageData([]byte{1}); err == nil {
+		t.Error("short PageData should fail")
+	}
+	if _, err := DecodePutPage(nil); err == nil {
+		t.Error("short PutPage should fail")
+	}
+	if _, err := DecodeLookup([]byte{9}); err == nil {
+		t.Error("short Lookup should fail")
+	}
+	if _, err := DecodeLookupReply(nil); err == nil {
+		t.Error("short LookupReply should fail")
+	}
+	if _, err := DecodeRegister(nil); err == nil {
+		t.Error("short Register should fail")
+	}
+	if _, err := DecodeRegister([]byte{1, 'a', 0xff}); err == nil {
+		t.Error("ragged Register page list should fail")
+	}
+}
+
+func TestRegisterAddrTooLong(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.SendRegister(Register{Addr: strings.Repeat("x", 300)}); err == nil {
+		t.Fatal("overlong address should fail")
+	}
+}
+
+func TestQuickGetPageRoundTrip(t *testing.T) {
+	f := func(page uint64, off, sub uint32, pol uint8) bool {
+		in := GetPage{Page: page, FaultOff: off, SubpageSize: sub, Policy: pol}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).SendGetPage(in); err != nil {
+			return false
+		}
+		fr, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		out, err := DecodeGetPage(fr.Payload)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPageDataRoundTrip(t *testing.T) {
+	f := func(page uint64, off uint32, flags uint8, data []byte) bool {
+		if len(data) > units.PageSize {
+			data = data[:units.PageSize]
+		}
+		in := PageData{Page: page, Offset: off, Flags: flags, Data: data}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).SendPageData(in); err != nil {
+			return false
+		}
+		fr, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		out, err := DecodePageData(fr.Payload)
+		return err == nil && out.Page == page && out.Offset == off &&
+			out.Flags == flags && bytes.Equal(out.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		r := NewReader(bytes.NewReader(raw))
+		for i := 0; i < 8; i++ {
+			fr, err := r.Next()
+			if err != nil {
+				return true // rejecting garbage is fine
+			}
+			// A parsed frame must respect the payload bound.
+			if len(fr.Payload) > MaxPayload {
+				return false
+			}
+			// Decoders must not panic either.
+			switch fr.Type {
+			case TGetPage:
+				DecodeGetPage(fr.Payload)
+			case TPageData:
+				DecodePageData(fr.Payload)
+			case TPutPage:
+				DecodePutPage(fr.Payload)
+			case TLookup:
+				DecodeLookup(fr.Payload)
+			case TLookupReply:
+				DecodeLookupReply(fr.Payload)
+			case TRegister:
+				DecodeRegister(fr.Payload)
+			case TError:
+				DecodeError(fr.Payload)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	types := []Type{TGetPage, TPageData, TPutPage, TAck, TLookup,
+		TLookupReply, TRegister, TError}
+	seen := map[string]bool{}
+	for _, tp := range types {
+		s := tp.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate name for %d: %q", tp, s)
+		}
+		seen[s] = true
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}

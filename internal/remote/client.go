@@ -1,0 +1,506 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// ClientConfig shapes a faulting client.
+type ClientConfig struct {
+	// Directory is the address of the global cache directory.
+	Directory string
+	// CachePages is the local memory size in pages (default 64).
+	CachePages int
+	// SubpageSize is the transfer granularity (default 1024).
+	SubpageSize int
+	// Policy is one of the proto.Policy* constants (default eager).
+	Policy uint8
+	// Readahead prefetches page p+1 when a fault on p follows a fault
+	// on p-1 — client-driven sequential prefetch, an extension beyond
+	// the paper's sender-side pipelining.
+	Readahead bool
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.CachePages == 0 {
+		c.CachePages = 64
+	}
+	if c.SubpageSize == 0 {
+		c.SubpageSize = 1024
+	}
+	return c
+}
+
+// Stats is a snapshot of a client's counters.
+type Stats struct {
+	Faults     int64
+	Prefetches int64
+	Evictions  int64
+	PutPages   int64
+	BytesIn    int64
+	SubpageLat stats.Summary // fault -> faulted-subpage arrival
+	FullLat    stats.Summary // fault -> complete page arrival
+}
+
+// cpage is one locally cached page.
+type cpage struct {
+	data     []byte
+	valid    memmodel.Bitmap
+	dirty    bool
+	inflight bool // a GetPage reply is streaming in
+	faulting bool // a goroutine is issuing the GetPage
+	lastUse  int64
+	start    time.Time // when the current fault was issued
+	err      error
+}
+
+// srvConn is a connection to one page server, with a background reader.
+type srvConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *proto.Writer
+}
+
+// Client is the faulting node: a fixed-size page cache with subpage valid
+// bits, backed by remote page servers found through the directory.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cache   map[uint64]*cpage
+	located map[uint64]string
+	tick    int64
+	stats   Stats
+	closed  bool
+	netErr  error
+
+	dirMu sync.Mutex
+	dirW  *proto.Writer
+	dirR  *proto.Reader
+	dirC  net.Conn
+
+	srvMu   sync.Mutex
+	servers map[string]*srvConn
+
+	wg sync.WaitGroup
+}
+
+// Dial connects a client to the directory.
+func Dial(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if !units.ValidSubpageSize(cfg.SubpageSize) {
+		return nil, fmt.Errorf("remote: invalid subpage size %d", cfg.SubpageSize)
+	}
+	dc, err := net.Dial("tcp", cfg.Directory)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial directory: %w", err)
+	}
+	c := &Client{
+		cfg:     cfg,
+		cache:   make(map[uint64]*cpage),
+		located: make(map[uint64]string),
+		servers: make(map[string]*srvConn),
+		dirW:    proto.NewWriter(dc),
+		dirR:    proto.NewReader(dc),
+		dirC:    dc,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Close tears the client down. Dirty pages are not written back.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.netErr = errors.New("remote: client closed")
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	err := c.dirC.Close()
+	c.srvMu.Lock()
+	for _, sc := range c.servers {
+		sc.conn.Close()
+	}
+	c.srvMu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Read copies len(buf) bytes at the global address addr into buf, faulting
+// in any missing subpages.
+func (c *Client) Read(buf []byte, addr uint64) error {
+	return c.access(buf, addr, false)
+}
+
+// Write stores buf at the global address addr (write-allocate: missing
+// subpages are fetched first). Dirty pages are written back on eviction.
+func (c *Client) Write(buf []byte, addr uint64) error {
+	return c.access(buf, addr, true)
+}
+
+func (c *Client) access(buf []byte, addr uint64, store bool) error {
+	for len(buf) > 0 {
+		page := addr / units.PageSize
+		off := int(addr % units.PageSize)
+		n := units.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if err := c.accessPage(buf[:n], page, off, store); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+func (c *Client) accessPage(buf []byte, page uint64, off int, store bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.ensureValid(page, off, len(buf))
+	if err != nil {
+		return err
+	}
+	if store {
+		copy(p.data[off:], buf)
+		p.dirty = true
+	} else {
+		copy(buf, p.data[off:off+len(buf)])
+	}
+	return nil
+}
+
+// neededMask returns the valid bits covering [off, off+n).
+func neededMask(off, n int) memmodel.Bitmap {
+	var m memmodel.Bitmap
+	for b := off / units.MinSubpage; b <= (off+n-1)/units.MinSubpage; b++ {
+		m |= 1 << b
+	}
+	return m
+}
+
+// ensureValid blocks until the byte range is locally valid, issuing a
+// remote fault if necessary. Called with c.mu held.
+func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
+	if n <= 0 || off+n > units.PageSize {
+		return nil, fmt.Errorf("remote: bad range off=%d n=%d", off, n)
+	}
+	p := c.cache[page]
+	if p == nil {
+		// evictIfFull may drop the lock for write-back; another
+		// goroutine can install the page meanwhile.
+		c.evictIfFull()
+		if p = c.cache[page]; p == nil {
+			p = &cpage{data: make([]byte, units.PageSize)}
+			c.cache[page] = p
+		}
+	}
+	c.tick++
+	p.lastUse = c.tick
+	need := neededMask(off, n)
+	for {
+		if c.netErr != nil {
+			return nil, c.netErr
+		}
+		if p.err != nil {
+			err := p.err
+			p.err = nil
+			return nil, err
+		}
+		if p.valid.HasAll(need) {
+			return p, nil
+		}
+		if !p.inflight && !p.faulting {
+			if err := c.issueFault(p, page, off, false); err != nil {
+				return nil, err
+			}
+			if c.cfg.Readahead {
+				c.maybePrefetch(page)
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// maybePrefetch issues a read-ahead fault for page+1 when the fault on
+// page continued a forward run. Called with c.mu held.
+func (c *Client) maybePrefetch(page uint64) {
+	if _, ok := c.cache[page-1]; !ok {
+		return
+	}
+	next := page + 1
+	if c.cache[next] != nil {
+		return
+	}
+	c.evictIfFull()
+	if c.cache[next] != nil {
+		return
+	}
+	p := &cpage{data: make([]byte, units.PageSize)}
+	c.cache[next] = p
+	c.tick++
+	p.lastUse = c.tick
+	if err := c.issueFault(p, next, 0, true); err != nil {
+		// Best effort: forget the placeholder so a later demand
+		// access retries cleanly.
+		delete(c.cache, next)
+	}
+}
+
+// issueFault sends a GetPage for the page. Called with c.mu held; the lock
+// is dropped around network operations.
+func (c *Client) issueFault(p *cpage, page uint64, off int, prefetch bool) error {
+	p.faulting = true
+	if prefetch {
+		c.stats.Prefetches++
+	} else {
+		c.stats.Faults++
+	}
+	c.mu.Unlock()
+
+	var sendErr error
+	addr, err := c.locate(page)
+	if err != nil {
+		sendErr = err
+	} else {
+		sc, err := c.server(addr)
+		if err != nil {
+			sendErr = err
+		} else {
+			start := time.Now()
+			sc.wmu.Lock()
+			sendErr = sc.w.SendGetPage(proto.GetPage{
+				Page:        page,
+				FaultOff:    uint32(off),
+				SubpageSize: uint32(c.cfg.SubpageSize),
+				Policy:      c.cfg.Policy,
+			})
+			sc.wmu.Unlock()
+			c.mu.Lock()
+			p.start = start
+			p.faulting = false
+			if sendErr == nil {
+				p.inflight = true
+			} else {
+				p.err = sendErr
+				c.cond.Broadcast()
+			}
+			return sendErr
+		}
+	}
+	c.mu.Lock()
+	p.faulting = false
+	p.err = sendErr
+	c.cond.Broadcast()
+	return sendErr
+}
+
+// evictIfFull makes room for one more page. Called with c.mu held.
+func (c *Client) evictIfFull() {
+	for len(c.cache) >= c.cfg.CachePages {
+		var victimID uint64
+		var victim *cpage
+		for id, p := range c.cache {
+			if p.inflight || p.faulting {
+				continue
+			}
+			if victim == nil || p.lastUse < victim.lastUse {
+				victim, victimID = p, id
+			}
+		}
+		if victim == nil {
+			return // everything is in flight; allow a brief overcommit
+		}
+		delete(c.cache, victimID)
+		c.stats.Evictions++
+		if victim.dirty && victim.valid.Full() {
+			c.stats.PutPages++
+			data := victim.data
+			addr := c.located[victimID]
+			c.mu.Unlock()
+			c.putPage(addr, victimID, data)
+			c.mu.Lock()
+		}
+	}
+}
+
+// putPage writes a dirty page back to its server (fire and forget).
+func (c *Client) putPage(addr string, page uint64, data []byte) {
+	if addr == "" {
+		return
+	}
+	sc, err := c.server(addr)
+	if err != nil {
+		return
+	}
+	sc.wmu.Lock()
+	_ = sc.w.SendPutPage(proto.PutPage{Page: page, Data: data})
+	sc.wmu.Unlock()
+}
+
+// locate resolves the server storing page via the directory, with a local
+// cache of past answers.
+func (c *Client) locate(page uint64) (string, error) {
+	c.mu.Lock()
+	if addr, ok := c.located[page]; ok {
+		c.mu.Unlock()
+		return addr, nil
+	}
+	c.mu.Unlock()
+
+	c.dirMu.Lock()
+	defer c.dirMu.Unlock()
+	if err := c.dirW.SendLookup(proto.Lookup{Page: page}); err != nil {
+		return "", fmt.Errorf("remote: directory lookup: %w", err)
+	}
+	f, err := c.dirR.Next()
+	if err != nil {
+		return "", fmt.Errorf("remote: directory lookup: %w", err)
+	}
+	if f.Type != proto.TLookupReply {
+		return "", fmt.Errorf("remote: directory sent %v", f.Type)
+	}
+	rep, err := proto.DecodeLookupReply(f.Payload)
+	if err != nil {
+		return "", err
+	}
+	if rep.Addr == "" {
+		return "", fmt.Errorf("remote: page %d not in global memory", page)
+	}
+	c.mu.Lock()
+	c.located[page] = rep.Addr
+	c.mu.Unlock()
+	return rep.Addr, nil
+}
+
+// server returns (dialing if needed) the connection to a page server.
+func (c *Client) server(addr string) (*srvConn, error) {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	if sc, ok := c.servers[addr]; ok {
+		return sc, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial server %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	sc := &srvConn{conn: conn, w: proto.NewWriter(conn)}
+	c.servers[addr] = sc
+	c.wg.Add(1)
+	go c.readLoop(addr, conn)
+	return sc, nil
+}
+
+// readLoop applies incoming page fragments to the cache: the prototype's
+// interrupt handler. A connection failure is scoped to the pages this
+// server was transferring — other servers' pages stay usable and a later
+// fault redials.
+func (c *Client) readLoop(addr string, conn net.Conn) {
+	defer c.wg.Done()
+	r := proto.NewReader(conn)
+	cause := fmt.Errorf("remote: server %s connection lost", addr)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			c.dropServer(addr, cause)
+			return
+		}
+		switch f.Type {
+		case proto.TPageData:
+			pd, err := proto.DecodePageData(f.Payload)
+			if err != nil {
+				continue
+			}
+			c.applyFragment(pd)
+		case proto.TError:
+			// An application-level failure: the request cannot be
+			// served but the connection stays usable. Fail the
+			// pages in flight on this server now, and remember
+			// the cause in case the server hangs up next.
+			cause = fmt.Errorf("remote: server %s: %s",
+				addr, proto.DecodeError(f.Payload).Text)
+			c.failPending(addr, cause)
+		}
+	}
+}
+
+// dropServer severs one server: waiting faults on its pages fail with
+// cause, the connection is forgotten so the next fault redials, and every
+// other server's pages stay untouched.
+func (c *Client) dropServer(addr string, cause error) {
+	c.srvMu.Lock()
+	if sc, ok := c.servers[addr]; ok {
+		sc.conn.Close()
+		delete(c.servers, addr)
+	}
+	c.srvMu.Unlock()
+	c.failPending(addr, cause)
+}
+
+// failPending delivers cause to every fault currently waiting on pages
+// located at addr.
+func (c *Client) failPending(addr string, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	for page, p := range c.cache {
+		if (p.inflight || p.faulting) && c.located[page] == addr {
+			p.err = cause
+			p.inflight = false
+			p.start = time.Time{}
+		}
+	}
+	c.cond.Broadcast()
+}
+
+func (c *Client) applyFragment(pd proto.PageData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.cache[pd.Page]
+	if p == nil {
+		return // page was evicted mid-transfer; drop the data
+	}
+	if len(pd.Data) > 0 {
+		off := int(pd.Offset)
+		if off+len(pd.Data) > units.PageSize {
+			return
+		}
+		copy(p.data[off:], pd.Data)
+		p.valid = p.valid.Set(neededMask(off, len(pd.Data)))
+		c.stats.BytesIn += int64(len(pd.Data))
+		if pd.Flags&proto.FlagFirst != 0 && !p.start.IsZero() {
+			c.stats.SubpageLat.Add(float64(time.Since(p.start).Microseconds()))
+		}
+	}
+	if pd.Flags&proto.FlagLast != 0 {
+		p.inflight = false
+		if !p.start.IsZero() {
+			c.stats.FullLat.Add(float64(time.Since(p.start).Microseconds()))
+			p.start = time.Time{}
+		}
+	}
+	c.cond.Broadcast()
+}

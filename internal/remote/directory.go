@@ -1,0 +1,153 @@
+// Package remote is the networked remote-memory prototype: a global cache
+// directory, page servers that donate memory, and a faulting client that
+// keeps per-page subpage valid bits and fetches subpages over TCP using
+// the paper's transfer policies (full page, lazy, eager fullpage fetch,
+// subpage pipelining).
+//
+// It is the repository's stand-in for the paper's Digital Unix + AN2
+// prototype: the same fault path — trap, directory lookup, request,
+// subpage-first reply, asynchronous completion — over commodity TCP.
+// Absolute latencies differ from the AN2 numbers, but the ordering the
+// paper demonstrates (subpage faults complete in a fraction of a full-page
+// fault) holds on loopback and real networks alike.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/gms-sim/gmsubpage/internal/proto"
+)
+
+// Directory is the global cache directory (GCD): it maps pages to the
+// server storing them.
+type Directory struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	pages map[uint64]string
+	conns map[net.Conn]struct{}
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+// ListenDirectory starts a directory on addr ("host:port", ":0" for an
+// ephemeral port).
+func ListenDirectory(addr string) (*Directory, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: directory listen: %w", err)
+	}
+	d := &Directory{
+		ln:    ln,
+		pages: make(map[uint64]string),
+		conns: make(map[net.Conn]struct{}),
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr returns the directory's listen address.
+func (d *Directory) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the directory, severing active connections.
+func (d *Directory) Close() error {
+	err := d.ln.Close()
+	d.mu.Lock()
+	d.done = true
+	for conn := range d.conns {
+		conn.Close()
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+	return err
+}
+
+// Lookup reports which server stores page, for tests and tools.
+func (d *Directory) Lookup(page uint64) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr, ok := d.pages[page]
+	return addr, ok
+}
+
+// Len reports the number of registered pages.
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+func (d *Directory) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serve(conn)
+		}()
+	}
+}
+
+func (d *Directory) serve(conn net.Conn) {
+	d.mu.Lock()
+	if d.done {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.conns[conn] = struct{}{}
+	d.mu.Unlock()
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	r := proto.NewReader(conn)
+	w := proto.NewWriter(conn)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case proto.TRegister:
+			reg, err := proto.DecodeRegister(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			d.mu.Lock()
+			for _, p := range reg.Pages {
+				d.pages[p] = reg.Addr
+			}
+			d.mu.Unlock()
+			if err := w.SendAck(); err != nil {
+				return
+			}
+		case proto.TLookup:
+			lk, err := proto.DecodeLookup(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			d.mu.Lock()
+			addr := d.pages[lk.Page]
+			d.mu.Unlock()
+			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addr: addr}); err != nil {
+				return
+			}
+		default:
+			_ = w.SendError(fmt.Sprintf("directory: unexpected %v", f.Type))
+			return
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Pager adapts a Client to io.ReaderAt / io.WriterAt, so remote memory can
+// back anything that reads and writes at offsets (archive readers, index
+// structures, mmap-style accessors). Offset 0 of the pager is global
+// address Base.
+type Pager struct {
+	c    *Client
+	base uint64
+	size int64
+}
+
+// NewPager views size bytes of remote memory starting at global address
+// base through the io interfaces.
+func (c *Client) NewPager(base uint64, size int64) (*Pager, error) {
+	if size < 0 {
+		return nil, errors.New("remote: negative pager size")
+	}
+	return &Pager{c: c, base: base, size: size}, nil
+}
+
+// Size returns the pager's extent in bytes.
+func (p *Pager) Size() int64 { return p.size }
+
+// ReadAt implements io.ReaderAt.
+func (p *Pager) ReadAt(b []byte, off int64) (int, error) {
+	n, err := p.clamp(len(b), off)
+	if n == 0 {
+		return 0, err
+	}
+	if rerr := p.c.Read(b[:n], p.base+uint64(off)); rerr != nil {
+		return 0, rerr
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt.
+func (p *Pager) WriteAt(b []byte, off int64) (int, error) {
+	n, err := p.clamp(len(b), off)
+	if n == 0 {
+		return 0, err
+	}
+	if werr := p.c.Write(b[:n], p.base+uint64(off)); werr != nil {
+		return 0, werr
+	}
+	return n, err
+}
+
+// clamp bounds an access to the pager's extent, returning the usable
+// length and io.EOF when the request runs past the end.
+func (p *Pager) clamp(want int, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("remote: negative offset %d", off)
+	}
+	if off >= p.size {
+		return 0, io.EOF
+	}
+	n := want
+	var err error
+	if off+int64(n) > p.size {
+		n = int(p.size - off)
+		err = io.EOF
+	}
+	return n, err
+}

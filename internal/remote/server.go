@@ -1,0 +1,309 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Server is a page server: a node donating memory to the global cache. It
+// answers GetPage requests by streaming the faulted subpage first and the
+// remainder according to the requested policy, and accepts PutPage traffic
+// from evicting clients.
+type Server struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	pages map[uint64][]byte
+	conns map[net.Conn]struct{}
+	done  bool
+
+	// wireNsPerByte emulates a slower link: the server delays each data
+	// fragment by its serialization time at the configured rate. Loopback
+	// TCP is effectively infinitely fast, which hides the transfer-size
+	// effects the paper measures on a 155 Mb/s ATM; throttling restores
+	// them. Zero means no throttling. Accessed atomically.
+	wireNsPerByte int64
+
+	// Stats.
+	Gets int64
+	Puts int64
+
+	wg sync.WaitGroup
+}
+
+// SetWireMbps emulates a link of the given megabits per second (0 disables
+// emulation). 155 reproduces the paper's AN2 ATM rate.
+func (s *Server) SetWireMbps(mbps float64) {
+	var perByte int64
+	if mbps > 0 {
+		perByte = int64(math.Round(8_000 / mbps)) // ns per byte
+	}
+	atomic.StoreInt64(&s.wireNsPerByte, perByte)
+}
+
+// wireDelay stalls for the serialization time of n bytes, if emulating.
+// Delays are tens to hundreds of microseconds, so each connection carries
+// its own precise sleeper (see delay_linux.go): Go's own timers can have a
+// millisecond floor, and thread-blocking sleeps can starve the client's
+// goroutines on a single CPU.
+func (s *Server) wireDelay(slp *sleeper, n int) {
+	perByte := atomic.LoadInt64(&s.wireNsPerByte)
+	if perByte <= 0 || n <= 0 {
+		return
+	}
+	slp.Sleep(time.Duration(perByte * int64(n)))
+}
+
+// ListenServer starts a page server on addr.
+func ListenServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: server listen: %w", err)
+	}
+	s := &Server{
+		ln:    ln,
+		pages: make(map[uint64][]byte),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, severing active connections.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.done = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Store makes the server hold a page. The data is copied; short data is
+// zero-padded to a full page.
+func (s *Server) Store(page uint64, data []byte) {
+	buf := make([]byte, units.PageSize)
+	copy(buf, data)
+	s.mu.Lock()
+	s.pages[page] = buf
+	s.mu.Unlock()
+}
+
+// Pages returns the number of pages stored.
+func (s *Server) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// RegisterWith announces every stored page to the directory at dirAddr.
+func (s *Server) RegisterWith(dirAddr string) error {
+	s.mu.Lock()
+	ids := make([]uint64, 0, len(s.pages))
+	for p := range s.pages {
+		ids = append(ids, p)
+	}
+	s.mu.Unlock()
+
+	conn, err := net.Dial("tcp", dirAddr)
+	if err != nil {
+		return fmt.Errorf("remote: dial directory: %w", err)
+	}
+	defer conn.Close()
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	// Register in batches bounded by the frame size.
+	const batch = (proto.MaxPayload - 256) / 8
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > batch {
+			n = batch
+		}
+		if err := w.SendRegister(proto.Register{Addr: s.Addr(), Pages: ids[:n]}); err != nil {
+			return err
+		}
+		f, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if f.Type != proto.TAck {
+			return fmt.Errorf("remote: register: unexpected %v", f.Type)
+		}
+		ids = ids[n:]
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Latency matters more than throughput on this path.
+		_ = tc.SetNoDelay(true)
+	}
+	slp := newSleeper()
+	defer slp.Close()
+	r := proto.NewReader(conn)
+	w := proto.NewWriter(conn)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case proto.TGetPage:
+			req, err := proto.DecodeGetPage(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			if err := s.sendPage(w, req, slp); err != nil {
+				return
+			}
+		case proto.TPutPage:
+			put, err := proto.DecodePutPage(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			s.Store(put.Page, put.Data)
+			s.mu.Lock()
+			s.Puts++
+			s.mu.Unlock()
+		default:
+			_ = w.SendError(fmt.Sprintf("server: unexpected %v", f.Type))
+			return
+		}
+	}
+}
+
+// policyFor maps a wire policy byte to a transfer plan policy.
+func policyFor(b uint8) (core.Policy, error) {
+	switch b {
+	case proto.PolicyFullPage:
+		return core.FullPage{}, nil
+	case proto.PolicyLazy:
+		return core.Lazy{}, nil
+	case proto.PolicyEager:
+		return core.Eager{}, nil
+	case proto.PolicyPipelined:
+		return core.Pipelined{}, nil
+	}
+	return nil, fmt.Errorf("remote: unknown policy %d", b)
+}
+
+// sendPage streams the fragments of one page per the requested policy:
+// the fragment covering the fault goes first, the rest follow immediately
+// behind it on the wire (the prototype's sender pipelining).
+func (s *Server) sendPage(w *proto.Writer, req proto.GetPage, slp *sleeper) error {
+	s.mu.Lock()
+	data := s.pages[req.Page]
+	s.Gets++
+	s.mu.Unlock()
+	if data == nil {
+		return w.SendError(fmt.Sprintf("server: page %d not stored", req.Page))
+	}
+	pol, err := policyFor(req.Policy)
+	if err != nil {
+		return w.SendError(err.Error())
+	}
+	sub := int(req.SubpageSize)
+	if !units.ValidSubpageSize(sub) {
+		return w.SendError(fmt.Sprintf("server: bad subpage size %d", sub))
+	}
+	off := int(req.FaultOff)
+	if off < 0 || off >= units.PageSize {
+		return w.SendError(fmt.Sprintf("server: bad fault offset %d", off))
+	}
+
+	plan := pol.Plan(sub, off)
+	for i, msg := range plan {
+		for _, run := range bitmapRuns(msg.Covers) {
+			flags := uint8(0)
+			if i == 0 && run.contains(off) {
+				flags |= proto.FlagFirst
+			}
+			s.wireDelay(slp, run.end-run.start)
+			if err := w.SendPageData(proto.PageData{
+				Page:   req.Page,
+				Offset: uint32(run.start),
+				Flags:  flags,
+				Data:   data[run.start:run.end],
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// A zero-length terminator marks the reply complete.
+	return w.SendPageData(proto.PageData{Page: req.Page, Flags: proto.FlagLast})
+}
+
+// byteRun is a contiguous valid range within a page.
+type byteRun struct{ start, end int }
+
+func (r byteRun) contains(off int) bool { return off >= r.start && off < r.end }
+
+// bitmapRuns converts a valid-bit set into contiguous byte ranges.
+func bitmapRuns(b memmodel.Bitmap) []byteRun {
+	var runs []byteRun
+	inRun := false
+	var start int
+	for i := 0; i < units.ValidBitsPerPage; i++ {
+		set := b&(1<<i) != 0
+		switch {
+		case set && !inRun:
+			start = i * units.MinSubpage
+			inRun = true
+		case !set && inRun:
+			runs = append(runs, byteRun{start, i * units.MinSubpage})
+			inRun = false
+		}
+	}
+	if inRun {
+		runs = append(runs, byteRun{start, units.PageSize})
+	}
+	return runs
+}

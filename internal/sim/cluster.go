@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/gms"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// ClusterConfig describes a multi-node run: several active workstations,
+// each running its own workload in reduced local memory, sharing the idle
+// nodes' memory as one global cache (the full GMS scenario the paper's
+// single-faulting-node experiments sit inside).
+type ClusterConfig struct {
+	// Apps run one per active node, each in a disjoint slice of the
+	// global page space.
+	Apps []*trace.App
+
+	// MemFraction sizes each active node's local memory relative to its
+	// own workload footprint.
+	MemFraction float64
+
+	// Policy and SubpageSize apply to every node.
+	Policy      core.Policy
+	SubpageSize int
+
+	// IdleNodes donate memory; GlobalPagesPerIdle is each one's
+	// capacity in pages (0 = unbounded, the paper's warm-cache
+	// assumption).
+	IdleNodes          int
+	GlobalPagesPerIdle int
+
+	// UseEpoch selects GMS's epoch-based weighted placement instead of
+	// least-loaded placement.
+	UseEpoch bool
+
+	// ColdStart leaves the global cache empty.
+	ColdStart bool
+
+	// BatchRefs is the interleaving granularity in references
+	// (default 4096).
+	BatchRefs int
+}
+
+// ClusterResult aggregates a multi-node run.
+type ClusterResult struct {
+	Nodes []*Result
+
+	// Global-cache behaviour.
+	GlobalHits   int64
+	GlobalMisses int64
+	Stores       int64
+	Discards     int64
+	Epochs       int64
+}
+
+// TotalRuntime returns the slowest node's runtime (the cluster makespan).
+func (cr *ClusterResult) TotalRuntime() units.Ticks {
+	var maxRt units.Ticks
+	for _, r := range cr.Nodes {
+		if r.Runtime > maxRt {
+			maxRt = r.Runtime
+		}
+	}
+	return maxRt
+}
+
+// DiskFaults sums disk faults across nodes: the cost of global-memory
+// pressure.
+func (cr *ClusterResult) DiskFaults() int64 {
+	var n int64
+	for _, r := range cr.Nodes {
+		n += r.DiskFaults
+	}
+	return n
+}
+
+// nodeSpacing separates the nodes' address spaces.
+const nodeSpacing = uint64(1) << 40
+
+// RunCluster executes every node's workload against one shared global
+// cache, interleaving nodes in simulated-time order so their evictions
+// and fetches contend realistically.
+func RunCluster(cfg ClusterConfig) *ClusterResult {
+	if len(cfg.Apps) == 0 {
+		panic("sim: RunCluster needs at least one app")
+	}
+	if cfg.BatchRefs <= 0 {
+		cfg.BatchRefs = 4096
+	}
+	gcfg := gms.Config{Nodes: max(1, cfg.IdleNodes), GlobalPagesPerNode: cfg.GlobalPagesPerIdle}
+	var shared GlobalCache
+	var base *gms.Cluster
+	var epochs *int64
+	if cfg.UseEpoch {
+		ec := gms.NewEpochCluster(gcfg, gms.DefaultEpochConfig())
+		shared, base = ec, ec.Cluster
+		epochs = &ec.Epoch.Epochs
+	} else {
+		c := gms.NewCluster(gcfg)
+		shared, base = c, c
+	}
+
+	// Build one runner per node, its addresses offset into a private
+	// slice of the page space.
+	type node struct {
+		r      *runner
+		rd     trace.Reader
+		buf    []trace.Ref
+		filled int
+		pos    int
+		done   bool
+	}
+	nodes := make([]*node, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		i, app := i, app
+		delta := uint64(i+1) * nodeSpacing
+		src := &TraceSource{
+			Name:      fmt.Sprintf("%s@node%d", app.Name, i),
+			Pages:     app.TotalPages,
+			NewReader: func() trace.Reader { return trace.Offset(app.NewReader(), delta) },
+		}
+		rcfg := Config{
+			Source:      src,
+			MemFraction: cfg.MemFraction,
+			Policy:      cfg.Policy,
+			SubpageSize: cfg.SubpageSize,
+			Global:      shared,
+		}
+		nr := newRunner(rcfg)
+		nodes[i] = &node{
+			r:   nr,
+			rd:  src.NewReader(),
+			buf: make([]trace.Ref, cfg.BatchRefs),
+		}
+	}
+
+	// Warm the shared cache with every node's pages unless cold.
+	if !cfg.ColdStart {
+		for _, n := range nodes {
+			base.Warm(n.r.pagesTouched())
+		}
+	}
+
+	// Interleave: always advance the node with the smallest clock.
+	for {
+		var next *node
+		for _, n := range nodes {
+			if n.done {
+				continue
+			}
+			if next == nil || n.r.now < next.r.now {
+				next = n
+			}
+		}
+		if next == nil {
+			break
+		}
+		// Run one batch of references on the chosen node.
+		if next.pos >= next.filled {
+			next.filled = next.rd.Read(next.buf)
+			next.pos = 0
+			if next.filled == 0 {
+				next.done = true
+				continue
+			}
+		}
+		for next.pos < next.filled {
+			next.r.step(next.buf[next.pos])
+			next.pos++
+		}
+	}
+
+	res := &ClusterResult{}
+	for _, n := range nodes {
+		n.r.finishRun()
+		res.Nodes = append(res.Nodes, n.r.res)
+	}
+	res.GlobalHits = base.Hits
+	res.GlobalMisses = base.Misses
+	res.Stores = base.Stores
+	res.Discards = base.Discards
+	if epochs != nil {
+		res.Epochs = *epochs
+	}
+	return res
+}

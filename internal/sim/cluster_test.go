@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+)
+
+func TestClusterSingleNodeMatchesStandalone(t *testing.T) {
+	// One active node with unbounded global memory behaves like a
+	// standalone warm-cache run (fault counts identical; runtimes equal
+	// because nothing else contends).
+	app := trace.Gdb(0.5)
+	solo := Run(Config{App: app, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024})
+	cluster := RunCluster(ClusterConfig{
+		Apps:        []*trace.App{app},
+		MemFraction: 0.5,
+		Policy:      core.Eager{},
+		SubpageSize: 1024,
+		IdleNodes:   4,
+	})
+	if len(cluster.Nodes) != 1 {
+		t.Fatalf("nodes = %d", len(cluster.Nodes))
+	}
+	n := cluster.Nodes[0]
+	if n.Faults != solo.Faults || n.Runtime != solo.Runtime {
+		t.Fatalf("cluster node (faults=%d rt=%d) differs from standalone (faults=%d rt=%d)",
+			n.Faults, n.Runtime, solo.Faults, solo.Runtime)
+	}
+}
+
+func TestClusterNodesShareGlobalMemory(t *testing.T) {
+	apps := []*trace.App{trace.Gdb(0.5), trace.Gdb(0.5)}
+	res := RunCluster(ClusterConfig{
+		Apps:        apps,
+		MemFraction: 0.5,
+		Policy:      core.Eager{},
+		SubpageSize: 1024,
+		IdleNodes:   2,
+	})
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(res.Nodes))
+	}
+	for i, n := range res.Nodes {
+		if n.Faults == 0 {
+			t.Errorf("node %d took no faults", i)
+		}
+		if n.DiskFaults != 0 {
+			t.Errorf("node %d hit disk despite unbounded global memory", i)
+		}
+	}
+	if res.GlobalHits == 0 || res.Stores == 0 {
+		t.Fatalf("no shared-cache traffic: %+v", res)
+	}
+	// Address spaces are disjoint: both nodes fault their own pages.
+	if res.Nodes[0].Faults != res.Nodes[1].Faults {
+		t.Errorf("identical workloads should fault identically: %d vs %d",
+			res.Nodes[0].Faults, res.Nodes[1].Faults)
+	}
+}
+
+func TestClusterPressureCausesDiskFaults(t *testing.T) {
+	// Two active nodes with a global cache too small for both working
+	// sets: discards push refaults to disk, unlike the unbounded case.
+	apps := []*trace.App{trace.Gdb(1.0), trace.Gdb(1.0)}
+	roomy := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.25, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 2,
+	})
+	tight := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.25, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 2, GlobalPagesPerIdle: 20,
+	})
+	if roomy.DiskFaults() != 0 {
+		t.Fatalf("unbounded global memory should avoid disk, got %d", roomy.DiskFaults())
+	}
+	if tight.DiskFaults() == 0 {
+		t.Fatal("a tight global cache should push faults to disk")
+	}
+	if tight.Discards == 0 {
+		t.Fatal("a tight global cache should discard pages")
+	}
+	if tight.TotalRuntime() <= roomy.TotalRuntime() {
+		t.Fatal("global-memory pressure should slow the cluster down")
+	}
+}
+
+func TestClusterEpochPlacement(t *testing.T) {
+	apps := []*trace.App{trace.Gdb(1.0), trace.Modula3(0.05)}
+	res := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 3, GlobalPagesPerIdle: 200, UseEpoch: true,
+	})
+	if res.Epochs == 0 {
+		t.Fatal("epoch manager never advanced")
+	}
+	for i, n := range res.Nodes {
+		if n.Faults == 0 {
+			t.Errorf("node %d idle", i)
+		}
+	}
+}
+
+func TestClusterColdStart(t *testing.T) {
+	res := RunCluster(ClusterConfig{
+		Apps:        []*trace.App{trace.Gdb(0.5)},
+		MemFraction: 1,
+		Policy:      core.Eager{},
+		SubpageSize: 1024,
+		IdleNodes:   1,
+		ColdStart:   true,
+	})
+	n := res.Nodes[0]
+	// Cold start: first touches come from disk; at full memory there are
+	// no evictions so nothing ever enters global memory.
+	if n.DiskFaults != n.Faults {
+		t.Fatalf("cold start at full-mem: %d disk faults of %d", n.DiskFaults, n.Faults)
+	}
+}
+
+func TestClusterSubpagesStillWin(t *testing.T) {
+	// The paper's result survives multiprogramming: eager beats full
+	// pages for every node of a shared cluster.
+	apps := []*trace.App{trace.Gdb(1.0), trace.Gdb(1.0)}
+	full := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.5, Policy: core.FullPage{}, SubpageSize: 8192,
+		IdleNodes: 2,
+	})
+	eager := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 2,
+	})
+	for i := range eager.Nodes {
+		if eager.Nodes[i].Runtime >= full.Nodes[i].Runtime {
+			t.Errorf("node %d: eager (%d) should beat fullpage (%d)",
+				i, eager.Nodes[i].Runtime, full.Nodes[i].Runtime)
+		}
+	}
+}
+
+func TestRunClusterPanicsWithoutApps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunCluster with no apps should panic")
+		}
+	}()
+	RunCluster(ClusterConfig{})
+}
+
+func TestTraceSourceRuns(t *testing.T) {
+	// A custom source replays exactly like its backing app.
+	app := trace.Gdb(0.5)
+	src := &TraceSource{
+		Name:      "custom",
+		Pages:     app.TotalPages,
+		NewReader: app.NewReader,
+	}
+	fromSrc := Run(Config{Source: src, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024})
+	fromApp := Run(Config{App: app, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024})
+	if fromSrc.Faults != fromApp.Faults || fromSrc.Runtime != fromApp.Runtime {
+		t.Fatalf("source run differs from app run: %v vs %v", fromSrc, fromApp)
+	}
+	if fromSrc.AppName != "custom" {
+		t.Fatalf("AppName = %q", fromSrc.AppName)
+	}
+}
+
+func TestOffsetReaderDisjointSpaces(t *testing.T) {
+	app := trace.Gdb(0.2)
+	r := trace.Offset(app.NewReader(), nodeSpacing)
+	buf := make([]trace.Ref, 1024)
+	for {
+		n := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		for _, ref := range buf[:n] {
+			if ref.Addr < nodeSpacing {
+				t.Fatalf("address %#x below node base", ref.Addr)
+			}
+		}
+	}
+}

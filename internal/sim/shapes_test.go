@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// These integration tests assert the qualitative results of the paper's
+// evaluation on short traces: who wins, in which direction the trends
+// point, and where the crossovers fall. EXPERIMENTS.md records the
+// quantitative comparison at larger scales.
+
+const shapeScale = 0.08
+
+func shapeRun(t *testing.T, app *trace.App, frac float64, p core.Policy, sub int) *Result {
+	t.Helper()
+	return runCfg(t, Config{App: app, MemFraction: frac, Policy: p, SubpageSize: sub})
+}
+
+func TestShapeDiskSlowestRemoteFasterSubpagesFastest(t *testing.T) {
+	app := trace.Modula3(shapeScale)
+	diskRes := runCfg(t, Config{App: app, MemFraction: 0.5, Policy: core.FullPage{}, Backing: Disk})
+	full := shapeRun(t, app, 0.5, core.FullPage{}, units.PageSize)
+	eager := shapeRun(t, app, 0.5, core.Eager{}, 1024)
+	pipe := shapeRun(t, app, 0.5, core.Pipelined{}, 1024)
+
+	if !(diskRes.Runtime > full.Runtime && full.Runtime > eager.Runtime && eager.Runtime > pipe.Runtime) {
+		t.Fatalf("ordering broken: disk=%d full=%d eager=%d pipe=%d",
+			diskRes.Runtime, full.Runtime, eager.Runtime, pipe.Runtime)
+	}
+	// Global memory beats disk by roughly the paper's factor (1.7-2.2 for
+	// Modula-3; allow a wide band at this scale).
+	ratio := float64(diskRes.Runtime) / float64(full.Runtime)
+	if ratio < 1.4 || ratio > 3.5 {
+		t.Errorf("disk/remote ratio = %.2f, paper reports ~2", ratio)
+	}
+	// Eager gain within the paper's reported range (Figure 9: 20-44%;
+	// tolerate 5-50% at reduced scale).
+	gain := 1 - float64(eager.Runtime)/float64(full.Runtime)
+	if gain < 0.05 || gain > 0.50 {
+		t.Errorf("eager gain = %.0f%%, paper reports 20-44%%", gain*100)
+	}
+}
+
+func TestShapeBenefitGrowsWithMemoryPressure(t *testing.T) {
+	app := trace.Modula3(shapeScale)
+	var prev float64
+	for _, frac := range []float64{1, 0.5, 0.25} {
+		full := shapeRun(t, app, frac, core.FullPage{}, units.PageSize)
+		eager := shapeRun(t, app, frac, core.Eager{}, 1024)
+		gain := 1 - float64(eager.Runtime)/float64(full.Runtime)
+		if gain < prev-0.03 { // allow small noise, require the trend
+			t.Errorf("gain at mem=%.2f is %.2f, below %.2f; the trend should rise", frac, gain, prev)
+		}
+		if gain > prev {
+			prev = gain
+		}
+	}
+}
+
+func TestShapeOptimalSubpageIsMidSized(t *testing.T) {
+	// Paper: "subpage sizes of 1K or 2K were best"; the extremes lose to
+	// the middle.
+	app := trace.Modula3(shapeScale)
+	runtimes := map[int]units.Ticks{}
+	for _, s := range []int{256, 512, 1024, 2048, 4096} {
+		runtimes[s] = shapeRun(t, app, 0.5, core.Eager{}, s).Runtime
+	}
+	best := 256
+	for s, r := range runtimes {
+		if r < runtimes[best] {
+			best = s
+		}
+	}
+	if best != 1024 && best != 2048 {
+		t.Errorf("optimal subpage = %d, paper found 1-2K", best)
+	}
+	// And every subpage size beats full pages at 1/2-mem (paper Fig 3).
+	full := shapeRun(t, app, 0.5, core.FullPage{}, units.PageSize)
+	for s, r := range runtimes {
+		if r >= full.Runtime {
+			t.Errorf("sp_%d (%d) does not beat fullpage (%d)", s, r, full.Runtime)
+		}
+	}
+}
+
+func TestShapeLatencyWaitTradeoff(t *testing.T) {
+	// Figure 4: smaller subpages cut sp_latency but grow page_wait.
+	app := trace.Modula3(shapeScale)
+	var prevSp, prevPw units.Ticks = 1 << 60, -1
+	for _, s := range []int{4096, 2048, 1024, 512, 256} {
+		r := shapeRun(t, app, 0.5, core.Eager{}, s)
+		if r.SpLatency >= prevSp {
+			t.Errorf("sp_latency should shrink with subpage size: %d at %d", r.SpLatency, s)
+		}
+		if r.PageWait < prevPw {
+			t.Errorf("page_wait should grow as subpages shrink: %d at %d", r.PageWait, s)
+		}
+		prevSp, prevPw = r.SpLatency, r.PageWait
+	}
+}
+
+func TestShapePipeliningCutsPageWait(t *testing.T) {
+	app := trace.Modula3(shapeScale)
+	for _, s := range []int{2048, 1024, 512} {
+		eager := shapeRun(t, app, 0.5, core.Eager{}, s)
+		pipe := shapeRun(t, app, 0.5, core.Pipelined{}, s)
+		if pipe.PageWait >= eager.PageWait {
+			t.Errorf("subpage %d: pipelining should cut page_wait (%d vs %d)",
+				s, pipe.PageWait, eager.PageWait)
+		}
+		if pipe.Runtime >= eager.Runtime {
+			t.Errorf("subpage %d: pipelining should win overall", s)
+		}
+	}
+}
+
+func TestShapeSoftwarePipeliningWeaker(t *testing.T) {
+	// On the AN2 prototype, per-subpage interrupts make pipelining less
+	// attractive than with an intelligent controller.
+	app := trace.Modula3(shapeScale)
+	ideal := shapeRun(t, app, 0.5, core.Pipelined{}, 1024)
+	sw := shapeRun(t, app, 0.5, core.Pipelined{SoftwareDelivery: true}, 1024)
+	if sw.Runtime <= ideal.Runtime {
+		t.Errorf("software delivery (%d) should be slower than controller (%d)",
+			sw.Runtime, ideal.Runtime)
+	}
+}
+
+func TestShapeLazyLosesToEager(t *testing.T) {
+	// §2.1: fetching subpages one at a time is much worse when the
+	// program eventually touches the whole page.
+	app := trace.Modula3(shapeScale)
+	lazy := shapeRun(t, app, 0.5, core.Lazy{}, 1024)
+	eager := shapeRun(t, app, 0.5, core.Eager{}, 1024)
+	if lazy.Runtime <= eager.Runtime {
+		t.Errorf("lazy (%d) should lose to eager (%d)", lazy.Runtime, eager.Runtime)
+	}
+	if lazy.SubpageFaults == 0 {
+		t.Error("lazy should take subpage faults")
+	}
+}
+
+func TestShapePlusOneDistanceDominates(t *testing.T) {
+	app := trace.Modula3(shapeScale)
+	r := runCfg(t, Config{
+		App: app, MemFraction: 0.5, Policy: core.Eager{},
+		SubpageSize: 1024, TrackPerFault: true,
+	})
+	if r.NextDistance.Total() == 0 {
+		t.Fatal("no distance samples")
+	}
+	plusOne := r.NextDistance.Fraction(1)
+	if plusOne < 0.35 {
+		t.Errorf("+1 share = %.2f, should dominate (paper ~45-50%%)", plusOne)
+	}
+	for _, k := range r.NextDistance.Keys() {
+		if k != 1 && r.NextDistance.Fraction(k) >= plusOne {
+			t.Errorf("distance %d (%.2f) out-weighs +1 (%.2f)",
+				k, r.NextDistance.Fraction(k), plusOne)
+		}
+	}
+}
+
+func TestShapeGdbBurstierThanAtom(t *testing.T) {
+	frac := func(app *trace.App) float64 {
+		r := runCfg(t, Config{
+			App: app, MemFraction: 0.5, Policy: core.Eager{},
+			SubpageSize: 1024, TrackPerFault: true,
+		})
+		// Faults in the busiest tenth of the run's events, allowing
+		// multiple bursts (Figure 10's contrast).
+		const windows = 100
+		counts := make([]int, windows)
+		for _, fe := range r.FaultEvents {
+			w := int(fe * windows / (r.Events + 1))
+			counts[w]++
+		}
+		// Sum the ten densest windows.
+		for i := 0; i < 10; i++ {
+			maxIdx := i
+			for j := i + 1; j < windows; j++ {
+				if counts[j] > counts[maxIdx] {
+					maxIdx = j
+				}
+			}
+			counts[i], counts[maxIdx] = counts[maxIdx], counts[i]
+		}
+		top := 0
+		for _, c := range counts[:10] {
+			top += c
+		}
+		return float64(top) / float64(len(r.FaultEvents))
+	}
+	gdb := frac(trace.Gdb(0.5)) // gdb is tiny; use a larger scale
+	atom := frac(trace.Atom(shapeScale))
+	if gdb <= atom {
+		t.Errorf("gdb burstiness %.2f should exceed atom %.2f", gdb, atom)
+	}
+}
+
+func TestShapeIOOverlapDominatesForBurstyApps(t *testing.T) {
+	// Paper: most of the speedup comes from overlapped I/O; gdb highest,
+	// Atom lowest.
+	gdb := runCfg(t, Config{App: trace.Gdb(0.5), MemFraction: 0.5,
+		Policy: core.Eager{}, SubpageSize: 1024})
+	atom := runCfg(t, Config{App: trace.Atom(shapeScale), MemFraction: 0.5,
+		Policy: core.Eager{}, SubpageSize: 1024})
+	if gdb.IOOverlapShare <= atom.IOOverlapShare {
+		t.Errorf("gdb io share %.2f should exceed atom %.2f",
+			gdb.IOOverlapShare, atom.IOOverlapShare)
+	}
+	if gdb.IOOverlapShare < 0.5 {
+		t.Errorf("gdb io share %.2f, paper reports 83%%", gdb.IOOverlapShare)
+	}
+}
+
+func TestShapeAllAppsGainAtHalfMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-app sweep is slow")
+	}
+	for _, app := range trace.Apps(shapeScale) {
+		full := shapeRun(t, app, 0.5, core.FullPage{}, units.PageSize)
+		eager := shapeRun(t, app, 0.5, core.Eager{}, 1024)
+		pipe := shapeRun(t, app, 0.5, core.Pipelined{}, 1024)
+		if eager.Runtime >= full.Runtime {
+			t.Errorf("%s: eager shows no gain", app.Name)
+		}
+		if pipe.Runtime >= eager.Runtime {
+			t.Errorf("%s: pipelining adds nothing over eager", app.Name)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file renders the paper's figures as ASCII charts: horizontal bar
+// charts for the grouped-bar figures (3, 8, 9) and line plots for the
+// curve figures (1, 5, 6, 10).
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width columns, with values
+// printed after each bar.
+type BarChart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+	Width int // bar columns (default 48)
+}
+
+// Add appends a bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.Bars = append(b.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", b.Title)
+	}
+	labelW, maxV := 0, 0.0
+	for _, bar := range b.Bars {
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for _, bar := range b.Bars {
+		n := int(math.Round(bar.Value / maxV * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		if bar.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.4g%s\n", labelW, bar.Label,
+			strings.Repeat("#", n), bar.Value, b.Unit)
+	}
+	return sb.String()
+}
+
+// LinePlot renders one or more series as an ASCII scatter/line grid with
+// the origin at the lower left. Series are drawn with distinct glyphs.
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+}
+
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// String renders the plot.
+func (p *LinePlot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			any = true
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	if !any {
+		return p.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for _, pt := range s.Points {
+			col := int((pt.X - minX) / (maxX - minX) * float64(w-1))
+			row := int((pt.Y - minY) / (maxY - minY) * float64(h-1))
+			grid[h-1-row][col] = glyph
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < h-1; i++ {
+		fmt.Fprintf(&sb, "%10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", minY, string(grid[h-1]))
+	fmt.Fprintf(&sb, "%10s  %s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%10s  %-.4g%s%.4g\n", "", minX,
+		strings.Repeat(" ", maxInt(1, w-12)), maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "%10s  x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for si, s := range p.Series {
+		if s.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c %s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "%10s  %s\n", "", strings.Join(legend, "   "))
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendering(t *testing.T) {
+	c := &BarChart{Title: "Runtimes", Unit: "ms", Width: 20}
+	c.Add("disk", 100)
+	c.Add("fullpage", 50)
+	c.Add("eager", 25)
+	out := c.String()
+	if !strings.Contains(out, "Runtimes") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The largest value fills the width; half the value is ~half the bar.
+	diskBar := strings.Count(lines[1], "#")
+	fullBar := strings.Count(lines[2], "#")
+	eagerBar := strings.Count(lines[3], "#")
+	if diskBar != 20 {
+		t.Errorf("max bar = %d, want 20", diskBar)
+	}
+	if fullBar != 10 || eagerBar != 5 {
+		t.Errorf("bars = %d/%d, want 10/5", fullBar, eagerBar)
+	}
+	if !strings.Contains(lines[1], "100ms") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("big", 1000)
+	c.Add("tiny", 1)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("nonzero value should render at least one mark: %q", lines[1])
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := &BarChart{Title: "empty"}
+	if out := c.String(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty chart should still render title:\n%s", out)
+	}
+}
+
+func TestLinePlotRendering(t *testing.T) {
+	up := &Series{Name: "rising"}
+	down := &Series{Name: "falling"}
+	for i := 0; i <= 10; i++ {
+		up.Add(float64(i), float64(i))
+		down.Add(float64(i), float64(10-i))
+	}
+	p := &LinePlot{
+		Title: "Crossing lines", XLabel: "time", YLabel: "value",
+		Series: []*Series{up, down}, Width: 40, Height: 10,
+	}
+	out := p.String()
+	for _, want := range []string{"Crossing lines", "rising", "falling", "*", "o", "x: time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Axis labels carry the data range.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Errorf("axis range missing:\n%s", out)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := &LinePlot{Title: "nothing"}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+}
+
+func TestLinePlotSinglePoint(t *testing.T) {
+	s := &Series{Name: "dot"}
+	s.Add(5, 5)
+	p := &LinePlot{Series: []*Series{s}, Width: 20, Height: 5}
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point should render:\n%s", out)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the small statistical containers and text
+// rendering used by the experiment harness: value accumulators, integer
+// histograms, (x, y) series for figures, and ASCII tables for paper tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates scalar observations and reports simple aggregates.
+// The zero value is ready to use.
+type Summary struct {
+	n    int
+	sum  float64
+	min  float64
+	max  float64
+	vals []float64 // retained for percentiles; observation counts are small
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.vals = append(s.vals, v)
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum reports the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min reports the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted observations. With no observations it
+// returns 0.
+func (s *Summary) Percentile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Median is Percentile(50).
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// Hist is a histogram over small integer keys (e.g. subpage distances).
+// The zero value is ready to use.
+type Hist struct {
+	counts map[int]int64
+	total  int64
+}
+
+// Add increments the count for key by 1.
+func (h *Hist) Add(key int) { h.AddN(key, 1) }
+
+// AddN increments the count for key by n.
+func (h *Hist) AddN(key int, n int64) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[key] += n
+	h.total += n
+}
+
+// Count reports the count recorded for key.
+func (h *Hist) Count(key int) int64 { return h.counts[key] }
+
+// Total reports the sum of all counts.
+func (h *Hist) Total() int64 { return h.total }
+
+// Fraction reports the share of the total held by key, or 0 when empty.
+func (h *Hist) Fraction(key int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[key]) / float64(h.total)
+}
+
+// Keys returns the recorded keys in ascending order.
+func (h *Hist) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, in insertion order.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the y value at the first point with the given x, and whether
+// one exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table is a simple column-aligned ASCII table used to render the paper's
+// tables and per-figure data dumps.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of preformatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		rule := make([]string, len(t.Header))
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(rule)
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals, for table cells.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a ratio as a percentage cell, e.g. 0.256 -> "25.6%".
+func Pct(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }

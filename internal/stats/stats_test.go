@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if s.Sum() != 31 {
+		t.Errorf("Sum = %v, want 31", s.Sum())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 1/9", s.Min(), s.Max())
+	}
+	if got := s.Mean(); math.Abs(got-31.0/8) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, 31.0/8)
+	}
+}
+
+func TestSummaryPercentileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		vals := raw
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		// Percentile bounds and monotonicity.
+		if s.Percentile(0) != vals[0] || s.Percentile(100) != vals[len(vals)-1] {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	var odd Summary
+	for _, v := range []float64{10, 20, 30} {
+		odd.Add(v)
+	}
+	if odd.Median() != 20 {
+		t.Errorf("odd median = %v, want 20", odd.Median())
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Total() != 0 || h.Fraction(1) != 0 {
+		t.Fatal("empty hist should be zero")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(-3)
+	h.AddN(7, 6)
+	if h.Total() != 9 {
+		t.Errorf("Total = %d, want 9", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(-3) != 1 || h.Count(7) != 6 {
+		t.Errorf("counts wrong: %d %d %d", h.Count(1), h.Count(-3), h.Count(7))
+	}
+	if got := h.Fraction(7); math.Abs(got-6.0/9) > 1e-12 {
+		t.Errorf("Fraction(7) = %v", got)
+	}
+	keys := h.Keys()
+	want := []int{-3, 1, 7}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Errorf("YAt(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Error("YAt(3) should not exist")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long", "22")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "beta-long") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		cell := strings.TrimSpace(ln[idx:])
+		if cell != "1" && cell != "22" {
+			t.Errorf("misaligned row %q", ln)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(0.256); got != "25.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

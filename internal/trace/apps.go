@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// The five applications of the paper (§4). At scale 1.0 the traces match
+// the published reference counts, full-memory footprints, and —
+// approximately — the fault counts per memory configuration:
+//
+//	Modula-3  87M refs,  770 pages,  faults 773..5655   (compile of smalldb)
+//	ld        102M refs, 6800 pages, faults 6807..10629 (link of Digital Unix)
+//	Atom      73M refs,  1180 pages, faults 1175..5275  (instrumenting gzip)
+//	Render    245M refs, 1430 pages, faults 1433..6145  (>100MB scene DB)
+//	gdb       0.5M refs, 144 pages,  faults 138..882    (debugger startup)
+//
+// The generators are built from three ingredients whose fault behaviour
+// under LRU is predictable:
+//
+//   - Expand sweeps: cyclic passes over a region. A region larger than
+//     memory misses on every page of every pass (the LRU scan pathology),
+//     so capacity misses are bounded by passes x pages; a region that fits
+//     faults only on first touch. Sizing sweep regions between the 1/4- and
+//     1/2-memory marks differentiates the memory configurations exactly as
+//     the paper's applications do.
+//   - WorkingSet runs: zipf-skewed hot structures (symbol tables, scene
+//     indexes) sized to stay resident even at 1/4 memory, giving the
+//     within-page spatial locality behind Figure 7.
+//   - Dwell time: references spent per page during a sweep. Small dwells
+//     produce the clustered fault bursts of gdb and phase changes
+//     (Figures 6, 10); large dwells produce Atom's smooth fault arrival.
+//
+// Scale shrinks reference counts and region sizes proportionally (dwells
+// are per-page and stay fixed), preserving passes and therefore the fault
+// counts relative to footprint.
+
+// regionAllocator hands out page-aligned, non-overlapping regions.
+type regionAllocator struct{ next uint64 }
+
+func (ra *regionAllocator) take(pages int) Region {
+	r := Region{Base: ra.next, Pages: pages}
+	// Leave a guard gap so patterns that wrap cannot bleed across
+	// regions even if miscomputed.
+	ra.next += r.Bytes() + 16*units.PageSize
+	return r
+}
+
+// scaled returns max(min, round(n*scale)).
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func scaledRefs(n int64, scale float64) int64 {
+	v := int64(float64(n) * scale)
+	if v < 1000 {
+		v = 1000
+	}
+	return v
+}
+
+// Dense-visit fractions: reading input is a denser access pattern (the
+// program consumes pages front to back) than revisiting already-built
+// structures.
+const (
+	denseRead    = 0.70
+	denseRevisit = 0.35
+)
+
+// sweep builds a Sweep that makes the given number of subsweeps over region
+// when granted budget references (a phase's total times the Mix weight).
+func sweep(region Region, budget int64, weight float64, passes int, crossFrac float64) *Sweep {
+	visit := int(float64(budget) * weight / float64(region.Pages*passes))
+	if visit < 1 {
+		visit = 1
+	}
+	return &Sweep{Region: region, VisitRefs: visit, CrossFrac: crossFrac}
+}
+
+// Modula3 models the DEC SRC Modula-3 compiler compiling the smalldb
+// library: source reading, AST construction, and typecheck/codegen passes
+// that re-sweep the AST (larger than 1/2 memory) and loop over the
+// intermediate representation (between 1/4 and 1/2 memory), with a hot
+// symbol table throughout.
+func Modula3(scale float64) *App {
+	var ra regionAllocator
+	source := ra.take(scaled(100, scale, 4))
+	ast := ra.take(scaled(330, scale, 8))
+	ir := ra.take(scaled(230, scale, 6))
+	symtab := ra.take(scaled(60, scale, 4))
+	output := ra.take(scaled(50, scale, 4))
+	total := source.Pages + ast.Pages + ir.Pages + symtab.Pages + output.Pages
+
+	p1, p2, p3, p4 := scaledRefs(6_000_000, scale), scaledRefs(26_000_000, scale),
+		scaledRefs(25_000_000, scale), scaledRefs(30_000_000, scale)
+	return NewApp("modula3", 0x6d33, total, func() []Phase {
+		return []Phase{
+			{"read-source", p1, sweep(source, p1, 1.0, 1, denseRead)},
+			{"build-ast", p2, &Mix{
+				Patterns: []Pattern{
+					sweep(ast, p2, 0.45, 1, denseRead),
+					sweep(ir, p2, 0.25, 1, denseRead),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 16, StoreFrac: 0.4},
+				},
+				Weights: []float64{0.45, 0.25, 0.30},
+			}},
+			{"typecheck", p3, &Mix{
+				Patterns: []Pattern{
+					sweep(ast, p3, 0.40, 2, denseRevisit),
+					sweep(ir, p3, 0.35, 8, denseRevisit),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 12},
+				},
+				Weights: []float64{0.40, 0.35, 0.25},
+			}},
+			{"codegen", p4, &Mix{
+				Patterns: []Pattern{
+					sweep(ast, p4, 0.35, 2, denseRevisit),
+					sweep(ir, p4, 0.25, 8, denseRevisit),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 12},
+					sweep(output, p4, 0.25, 1, denseRead),
+				},
+				Weights: []float64{0.35, 0.25, 0.15, 0.25},
+			}},
+		}
+	})
+}
+
+// Ld models the Unix linker relinking Digital Unix: a huge, mostly
+// single-pass sequential read of object files with a hot symbol table,
+// then a relocation pass that re-reads the text objects. Re-reference is
+// the smallest of the five apps, so fault counts grow only ~1.5x from
+// full- to 1/4-memory.
+func Ld(scale float64) *App {
+	var ra regionAllocator
+	objText := ra.take(scaled(3800, scale, 10))
+	objData := ra.take(scaled(2100, scale, 8))
+	symtab := ra.take(scaled(450, scale, 8))
+	output := ra.take(scaled(450, scale, 8))
+	total := objText.Pages + objData.Pages + symtab.Pages + output.Pages
+
+	p1, p2, p3, p4 := scaledRefs(32_000_000, scale), scaledRefs(18_000_000, scale),
+		scaledRefs(17_000_000, scale), scaledRefs(35_000_000, scale)
+	return NewApp("ld", 0x1d1d, total, func() []Phase {
+		return []Phase{
+			{"read-text", p1, &Mix{
+				Patterns: []Pattern{
+					sweep(objText, p1, 0.8, 1, denseRead),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 12, StoreFrac: 0.4},
+				},
+				Weights: []float64{0.8, 0.2},
+			}},
+			{"read-data", p2, &Mix{
+				Patterns: []Pattern{
+					sweep(objData, p2, 0.8, 1, denseRead),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 12, StoreFrac: 0.4},
+				},
+				Weights: []float64{0.8, 0.2},
+			}},
+			{"resolve", p3, &WorkingSet{
+				Region: symtab, Skew: 0.7, MeanRun: 10, StoreFrac: 0.2,
+			}},
+			{"relocate-write", p4, &Mix{
+				Patterns: []Pattern{
+					sweep(objText, p4, 0.5, 1, denseRevisit),
+					sweep(output, p4, 0.3, 1, denseRead),
+					&WorkingSet{Region: symtab, Skew: 0.8, MeanRun: 10},
+				},
+				Weights: []float64{0.5, 0.3, 0.2},
+			}},
+		}
+	})
+}
+
+// Atom models the Atom instrumentation tool processing the gzip binary.
+// Every region is swept exactly once over the whole run, so first-touch
+// faults arrive evenly from start to finish; the text section (sized
+// between 1/4 and 1/2 memory) is re-swept continuously, which costs
+// nothing at 1/2 memory but thrashes at 1/4. Atom is therefore the
+// paper's least-clustered application (Figure 10), with the least benefit
+// from I/O overlap.
+func Atom(scale float64) *App {
+	var ra regionAllocator
+	binText := ra.take(scaled(380, scale, 8))
+	binData := ra.take(scaled(240, scale, 6))
+	tables := ra.take(scaled(200, scale, 6))
+	hot := ra.take(scaled(60, scale, 4))
+	output := ra.take(scaled(280, scale, 6))
+	total := binText.Pages + binData.Pages + tables.Pages + hot.Pages + output.Pages
+
+	p1 := scaledRefs(73_000_000, scale)
+	return NewApp("atom", 0xa706, total, func() []Phase {
+		// The text section gets a slow first read (spread over ~40% of
+		// the run) followed by 11 fast analysis re-sweeps.
+		textSweep := &Sweep{
+			Region:         binText,
+			FirstVisitRefs: int(float64(p1) * 0.30 * 0.40 / float64(binText.Pages)),
+			VisitRefs:      int(float64(p1) * 0.30 * 0.60 / float64(binText.Pages*11)),
+			CrossFrac:      denseRevisit,
+		}
+		return []Phase{
+			{"instrument", p1, &Mix{
+				Patterns: []Pattern{
+					textSweep,
+					sweep(binData, p1, 0.15, 1, denseRead),
+					sweep(tables, p1, 0.15, 1, denseRead),
+					&WorkingSet{Region: hot, Skew: 0.7, MeanRun: 24, StoreFrac: 0.4},
+					sweep(output, p1, 0.15, 1, denseRead),
+				},
+				Weights: []float64{0.30, 0.15, 0.15, 0.25, 0.15},
+			}},
+		}
+	})
+}
+
+// Render models the graphics renderer walking a large precomputed scene
+// database: each frame sweeps a view slice of the DB (larger than 1/4
+// memory) twice while consulting a hot spatial index, then draws into a
+// small framebuffer. Frame starts give the clustered fault bursts that
+// make Render one of the biggest subpage winners.
+func Render(scale float64) *App {
+	var ra regionAllocator
+	db := ra.take(scaled(1280, scale, 16))
+	idx := ra.take(scaled(100, scale, 4))
+	fb := ra.take(scaled(50, scale, 4))
+	total := db.Pages + idx.Pages + fb.Pages
+
+	const frames = 8
+	walkRefs := scaledRefs(245_000_000/frames*55/100, scale)
+	drawRefs := scaledRefs(245_000_000/frames*45/100, scale)
+	return NewApp("render", 0x4e4d, total, func() []Phase {
+		var phases []Phase
+		step := db.Pages / frames
+		slicePages := db.Pages * 5 / 16 // ~400 at full scale: 1/4 < slice < 1/2 mem
+		for f := 0; f < frames; f++ {
+			slice := Region{Base: db.Base + uint64(f*step)*units.PageSize, Pages: slicePages}
+			if slice.End() > db.End() {
+				slice.Pages -= int((slice.End() - db.End()) / units.PageSize)
+			}
+			phases = append(phases,
+				Phase{fmt.Sprintf("frame%d-walk", f), walkRefs, &Mix{
+					Patterns: []Pattern{
+						sweep(slice, walkRefs, 0.5, 2, denseRead),
+						&WorkingSet{Region: idx, Skew: 0.8, MeanRun: 24},
+					},
+					Weights: []float64{0.5, 0.5},
+				}},
+				Phase{fmt.Sprintf("frame%d-draw", f), drawRefs, &Mix{
+					Patterns: []Pattern{
+						&WorkingSet{Region: idx, Skew: 0.8, MeanRun: 32},
+						sweep(fb, drawRefs, 0.5, 3, denseRead),
+					},
+					Weights: []float64{0.5, 0.5},
+				}},
+			)
+		}
+		return phases
+	})
+}
+
+// Gdb models the GNU debugger's initialization: symbol loading that
+// touches most of the footprint nearly back-to-back (a few hundred
+// references per page), then an init loop that re-sweeps the primary
+// symbol region rapidly. The paper notes gdb has the most clustered faults
+// and the largest I/O-overlap benefit.
+func Gdb(scale float64) *App {
+	var ra regionAllocator
+	symA := ra.take(scaled(60, scale, 6))
+	symB := ra.take(scaled(60, scale, 6))
+	heap := ra.take(scaled(24, scale, 4))
+	total := symA.Pages + symB.Pages + heap.Pages
+
+	p1a, p1b := scaledRefs(70_000, scale), scaledRefs(70_000, scale)
+	quiet, burst := scaledRefs(44_000, scale), scaledRefs(8_000, scale)
+	const loops = 7
+	return NewApp("gdb", 0x9db9, total, func() []Phase {
+		phases := []Phase{
+			{"load-symtab", p1a, sweep(symA, p1a, 1.0, 1, denseRead)},
+			{"load-debuginfo", p1b, sweep(symB, p1b, 1.0, 1, denseRead)},
+		}
+		// The init loop alternates quiet heap work with rapid re-scans
+		// of the symbol table: fault bursts separated by quiet
+		// stretches give gdb the steepest clustering curve of the five
+		// applications (Figure 10).
+		for k := 0; k < loops; k++ {
+			phases = append(phases,
+				Phase{fmt.Sprintf("init-work%d", k), quiet, &WorkingSet{
+					Region: heap, Skew: 0.8, MeanRun: 24, StoreFrac: 0.3,
+				}},
+				Phase{fmt.Sprintf("init-scan%d", k), burst,
+					sweep(symA, burst, 1.0, 1, denseRevisit)},
+			)
+		}
+		return phases
+	})
+}
+
+// Apps returns all five paper applications at the given scale, in the
+// paper's order.
+func Apps(scale float64) []*App {
+	return []*App{Modula3(scale), Ld(scale), Atom(scale), Render(scale), Gdb(scale)}
+}
+
+// ByName returns the named app at the given scale, or nil.
+func ByName(name string, scale float64) *App {
+	for _, a := range Apps(scale) {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"github.com/gms-sim/gmsubpage/internal/rng"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Region is a contiguous range of virtual pages.
+type Region struct {
+	Base  uint64 // byte address of the first page; page aligned
+	Pages int
+}
+
+// Bytes returns the region size in bytes.
+func (r Region) Bytes() uint64 { return uint64(r.Pages) * units.PageSize }
+
+// End returns the first byte past the region.
+func (r Region) End() uint64 { return r.Base + r.Bytes() }
+
+// Seq walks a region sequentially with a fixed stride, wrapping at the end.
+// With strides much smaller than a subpage it produces the paper's dominant
+// +1 next-subpage distance.
+type Seq struct {
+	Region Region
+	Stride uint64 // bytes between references; 0 means 8
+	// StoreEvery makes every k-th reference a store (0 disables stores).
+	StoreEvery int
+
+	off   uint64
+	count int
+}
+
+// Next implements Pattern.
+func (s *Seq) Next(r *rng.Rand) Ref {
+	stride := s.Stride
+	if stride == 0 {
+		stride = 8
+	}
+	addr := s.Region.Base + s.off
+	s.off += stride
+	if s.off >= s.Region.Bytes() {
+		s.off = 0
+	}
+	s.count++
+	store := s.StoreEvery > 0 && s.count%s.StoreEvery == 0
+	return Ref{Addr: addr, Store: store}
+}
+
+// WorkingSet models pointer-heavy computation over a region: it picks a
+// page (zipf-skewed so some pages are hot), then performs a geometric-length
+// sequential run within that page from a random start. Runs inside a page
+// give spatial locality; page switches give the fault stream.
+type WorkingSet struct {
+	Region Region
+	// Skew is the zipf exponent over pages (0 means uniform).
+	Skew float64
+	// MeanRun is the mean number of references per within-page run.
+	MeanRun int
+	// RunStride is the stride within a run (default 8).
+	RunStride uint64
+	// StoreFrac is the probability a reference is a store.
+	StoreFrac float64
+
+	zipf    *rng.Zipf
+	page    int
+	off     uint64
+	left    int
+	started bool
+}
+
+// Next implements Pattern.
+func (w *WorkingSet) Next(r *rng.Rand) Ref {
+	if !w.started {
+		if w.Skew > 0 {
+			w.zipf = rng.NewZipf(w.Region.Pages, w.Skew)
+		}
+		w.started = true
+	}
+	if w.left <= 0 {
+		if w.zipf != nil {
+			w.page = w.zipf.Sample(r)
+		} else {
+			w.page = r.Intn(w.Region.Pages)
+		}
+		w.off = uint64(r.Intn(units.PageSize))
+		mean := w.MeanRun
+		if mean < 1 {
+			mean = 16
+		}
+		w.left = 1 + r.Geometric(1/float64(mean))
+	}
+	stride := w.RunStride
+	if stride == 0 {
+		stride = 8
+	}
+	addr := w.Region.Base + uint64(w.page)*units.PageSize + w.off
+	w.off += stride
+	if w.off >= units.PageSize {
+		w.off = 0 // wrap within the page
+	}
+	w.left--
+	return Ref{Addr: addr, Store: r.Bool(w.StoreFrac)}
+}
+
+// Sweep models streaming passes over a region with the within-page
+// temporal structure real programs exhibit: each *visit* to a page touches
+// only a small neighbourhood (VisitBytes, by default 1 KiB) for VisitRefs
+// references, then the sweep moves to the next page. When the whole region
+// has been visited, the next subsweep begins, revisiting every page one
+// VisitBytes-window further in.
+//
+// This produces the paper's observed behaviour:
+//   - the first touch of a page stays near the faulted word, so the rest
+//     of the page can arrive asynchronously (eager fullpage fetch wins);
+//   - the first *different* subpage access is the next consecutive one
+//     (Figure 7's dominant +1 distance), but it happens a full region
+//     cycle later;
+//   - small VisitRefs values make faults arrive in tight bursts (gdb,
+//     phase changes), large values make them smooth (Atom);
+//   - a region larger than memory faults every page once per subsweep
+//     under LRU (the scan pathology), so capacity misses are bounded and
+//     tunable as subsweeps x pages.
+type Sweep struct {
+	Region Region
+	// VisitRefs is the number of references per page visit (default 128).
+	VisitRefs int
+	// FirstVisitRefs, when positive, overrides VisitRefs during the
+	// first subsweep: a slow initial read pass followed by fast
+	// re-sweeps, which spreads first-touch faults over the run while
+	// keeping later passes cheap (Atom's access shape).
+	FirstVisitRefs int
+	// VisitBytes is the neighbourhood a visit touches (default 1 KiB).
+	VisitBytes int
+	// Stride is the distance between consecutive references in a visit
+	// (default 8).
+	Stride uint64
+	// StoreEvery makes every k-th reference a store (0 disables stores).
+	StoreEvery int
+	// CrossFrac is the probability that a visit runs *dense*: it spans
+	// two VisitBytes windows instead of one, immediately touching the
+	// next subpage after a fault. Dense visits are the paper's
+	// worst-case faults (Figure 5's upper-left segment): the program
+	// blocks for the rest of the page unless a pipelined neighbour
+	// subpage rescues it. Input-reading passes are denser than
+	// revisiting passes.
+	CrossFrac float64
+
+	page     int
+	subsweep int
+	off      uint64
+	done     int
+	count    int
+	crossing bool
+	target   uint64 // window base the dense second half lands in
+	started  bool
+}
+
+// rollVisit decides whether the visit starting now is dense and, if so,
+// which second window it touches. The direction split follows Figure 7's
+// next-subpage distance distribution: mostly the next consecutive window,
+// sometimes the previous, and a substantial tail elsewhere in the page
+// (which pipelined +1/-1 subpages cannot rescue).
+func (s *Sweep) rollVisit(r *rng.Rand, base, visitBytes uint64) {
+	s.crossing = r.Bool(s.CrossFrac)
+	if !s.crossing {
+		return
+	}
+	windows := uint64(units.PageSize) / visitBytes
+	u := r.Float64()
+	switch {
+	case u < 0.50: // next consecutive window
+		s.target = (base + visitBytes) % units.PageSize
+	case u < 0.60: // previous window
+		s.target = (base + units.PageSize - visitBytes) % units.PageSize
+	default: // somewhere else in the page
+		s.target = uint64(r.Intn(int(windows))) * visitBytes
+		if s.target == base {
+			s.target = (base + 2*visitBytes) % units.PageSize
+		}
+	}
+}
+
+// Next implements Pattern.
+func (s *Sweep) Next(r *rng.Rand) Ref {
+	visitRefs := s.VisitRefs
+	if s.subsweep == 0 && s.FirstVisitRefs > 0 {
+		visitRefs = s.FirstVisitRefs
+	}
+	if visitRefs <= 0 {
+		visitRefs = 128
+	}
+	visitBytes := uint64(s.VisitBytes)
+	if visitBytes == 0 || visitBytes > units.PageSize {
+		visitBytes = 1024
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = 8
+	}
+	base := (uint64(s.subsweep) * visitBytes) % units.PageSize
+	if !s.started {
+		s.started = true
+		s.rollVisit(r, base, visitBytes)
+	}
+	if s.done >= visitRefs {
+		s.done = 0
+		s.off = 0
+		s.page++
+		if s.page >= s.Region.Pages {
+			s.page = 0
+			s.subsweep++
+		}
+		base = (uint64(s.subsweep) * visitBytes) % units.PageSize
+		s.rollVisit(r, base, visitBytes)
+	}
+	var off uint64
+	if s.crossing {
+		// A dense visit covers two windows with the same number of
+		// references: the faulted window first, then the target. The
+		// step doubles the stride, growing further for short visits so
+		// both windows are always reached.
+		step := stride * 2
+		if minStep := (2*visitBytes + uint64(visitRefs) - 1) / uint64(visitRefs); step < minStep {
+			step = minStep
+		}
+		pos := (uint64(s.done) * step) % (2 * visitBytes)
+		if pos < visitBytes {
+			off = base + pos
+		} else {
+			off = s.target + (pos - visitBytes)
+		}
+	} else {
+		off = base + s.off%visitBytes
+	}
+	addr := s.Region.Base + uint64(s.page)*units.PageSize + off
+	s.off += stride
+	s.done++
+	s.count++
+	store := s.StoreEvery > 0 && s.count%s.StoreEvery == 0
+	return Ref{Addr: addr, Store: store}
+}
+
+// Mix interleaves child patterns: each reference is drawn from pattern i
+// with probability Weights[i] (normalized), switching in short runs to
+// avoid unrealistically fine interleaving.
+type Mix struct {
+	Patterns []Pattern
+	Weights  []float64
+	// RunLen is the mean references per stretch of one pattern
+	// (default 32).
+	RunLen int
+
+	cur  int
+	left int
+	cdf  []float64
+}
+
+// Next implements Pattern.
+func (m *Mix) Next(r *rng.Rand) Ref {
+	if m.cdf == nil {
+		total := 0.0
+		for _, w := range m.Weights {
+			total += w
+		}
+		m.cdf = make([]float64, len(m.Weights))
+		acc := 0.0
+		for i, w := range m.Weights {
+			acc += w / total
+			m.cdf[i] = acc
+		}
+	}
+	if m.left <= 0 {
+		u := r.Float64()
+		m.cur = len(m.cdf) - 1
+		for i, c := range m.cdf {
+			if u <= c {
+				m.cur = i
+				break
+			}
+		}
+		run := m.RunLen
+		if run < 1 {
+			run = 32
+		}
+		m.left = 1 + r.Geometric(1/float64(run))
+	}
+	m.left--
+	return m.Patterns[m.cur].Next(r)
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Profile summarizes a trace: its length, footprint, and store fraction.
+type Profile struct {
+	Refs       int64
+	Pages      int
+	Stores     int64
+	FirstTouch []int64 // event index of each page's first touch, in touch order
+}
+
+// StoreFrac returns the fraction of references that are stores.
+func (p *Profile) StoreFrac() float64 {
+	if p.Refs == 0 {
+		return 0
+	}
+	return float64(p.Stores) / float64(p.Refs)
+}
+
+// ProfileOf scans a reader to the end and summarizes it.
+func ProfileOf(r Reader) *Profile {
+	var p Profile
+	seen := make(map[uint64]struct{})
+	buf := make([]Ref, 8192)
+	for {
+		n := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		for _, ref := range buf[:n] {
+			page := ref.Addr / units.PageSize
+			if _, ok := seen[page]; !ok {
+				seen[page] = struct{}{}
+				p.FirstTouch = append(p.FirstTouch, p.Refs)
+			}
+			if ref.Store {
+				p.Stores++
+			}
+			p.Refs++
+		}
+	}
+	p.Pages = len(seen)
+	return &p
+}
+
+// File format for saved traces: a 16-byte header ("GMSTRACE", version,
+// count) followed by count little-endian records of 9 bytes (addr, flags).
+
+const (
+	fileMagic   = "GMSTRACE"
+	fileVersion = 1
+)
+
+// Write serializes every reference from r to w.
+func Write(w io.Writer, r Reader) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return 0, err
+	}
+	// Version and a count placeholder are not kept in the stream header
+	// because the count is unknown up front for generator-backed readers;
+	// instead records run to EOF.
+	if err := bw.WriteByte(fileVersion); err != nil {
+		return 0, err
+	}
+	var n int64
+	buf := make([]Ref, 8192)
+	var rec [9]byte
+	for {
+		k := r.Read(buf)
+		if k == 0 {
+			break
+		}
+		for _, ref := range buf[:k] {
+			binary.LittleEndian.PutUint64(rec[:8], ref.Addr)
+			rec[8] = 0
+			if ref.Store {
+				rec[8] = 1
+			}
+			if _, err := bw.Write(rec[:]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, bw.Flush()
+}
+
+// fileReader streams a saved trace.
+type fileReader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// Open validates the header of a saved trace and returns a Reader over it.
+func Open(r io.Reader) (Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(fileMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(fileMagic)])
+	}
+	if head[len(fileMagic)] != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(fileMagic)])
+	}
+	return &fileReader{br: br}, nil
+}
+
+// Read implements Reader.
+func (f *fileReader) Read(buf []Ref) int {
+	if f.err != nil {
+		return 0
+	}
+	n := 0
+	var rec [9]byte
+	for n < len(buf) {
+		if _, err := io.ReadFull(f.br, rec[:]); err != nil {
+			f.err = err
+			break
+		}
+		buf[n] = Ref{
+			Addr:  binary.LittleEndian.Uint64(rec[:8]),
+			Store: rec[8] != 0,
+		}
+		n++
+	}
+	return n
+}

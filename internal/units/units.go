@@ -1,0 +1,91 @@
+// Package units defines the time and size units shared by the simulator,
+// the network model and the experiment harness.
+//
+// The simulator clock counts memory-reference events, as in the paper: one
+// event corresponds to one traced memory access and represents 12 ns of
+// execution time on the modelled DEC Alpha 250 (about 83,333 events per
+// millisecond). Network and disk latencies are specified in nanoseconds and
+// converted to events at the simulator boundary.
+package units
+
+// EventNs is the modelled duration of one memory-reference event in
+// nanoseconds (paper §3.2: "average time per trace event ... about 12
+// nanoseconds").
+const EventNs = 12
+
+// Ticks is a point or span on the simulator clock, measured in
+// memory-reference events.
+type Ticks int64
+
+// Nanos is a physical duration in nanoseconds. We avoid time.Duration so
+// that model arithmetic cannot be confused with wall-clock time.
+type Nanos int64
+
+// Common durations.
+const (
+	Microsecond Nanos = 1_000
+	Millisecond Nanos = 1_000_000
+	Second      Nanos = 1_000_000_000
+)
+
+// EventsPerMs is the number of simulator events in one millisecond.
+const EventsPerMs = int64(Millisecond) / EventNs
+
+// ToTicks converts a physical duration to simulator events, rounding up so
+// that a nonzero latency never becomes free.
+func (n Nanos) ToTicks() Ticks {
+	if n <= 0 {
+		return 0
+	}
+	return Ticks((int64(n) + EventNs - 1) / EventNs)
+}
+
+// Ms reports the duration in (fractional) milliseconds.
+func (n Nanos) Ms() float64 { return float64(n) / float64(Millisecond) }
+
+// Us reports the duration in (fractional) microseconds.
+func (n Nanos) Us() float64 { return float64(n) / float64(Microsecond) }
+
+// FromMs builds a duration from fractional milliseconds.
+func FromMs(ms float64) Nanos { return Nanos(ms * float64(Millisecond)) }
+
+// ToNanos converts simulator events back to physical time.
+func (t Ticks) ToNanos() Nanos { return Nanos(int64(t) * EventNs) }
+
+// Ms reports the tick count as modelled milliseconds of execution.
+func (t Ticks) Ms() float64 { return t.ToNanos().Ms() }
+
+// Byte sizes used throughout; pages and subpages are powers of two.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+
+	// PageSize is the full page size of the modelled Alpha (8 KB).
+	PageSize = 8 * KiB
+
+	// MinSubpage is the granularity of the valid-bit map: the prototype
+	// keeps 32 valid bits per 8 KB page, one per 256-byte block.
+	MinSubpage = 256
+
+	// ValidBitsPerPage is the number of valid bits kept per full page.
+	ValidBitsPerPage = PageSize / MinSubpage
+)
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// ValidSubpageSize reports whether s is a legal subpage size: a power of
+// two, at least MinSubpage, and at most a full page.
+func ValidSubpageSize(s int) bool {
+	return IsPow2(s) && s >= MinSubpage && s <= PageSize
+}
+
+// SubpagesPerPage returns the number of subpages of size s in a full page.
+// It panics if s is not a valid subpage size; sizes are configuration, not
+// data, so an invalid size is a programming error.
+func SubpagesPerPage(s int) int {
+	if !ValidSubpageSize(s) {
+		panic("units: invalid subpage size")
+	}
+	return PageSize / s
+}

@@ -1,0 +1,95 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestToTicksRoundsUp(t *testing.T) {
+	cases := []struct {
+		ns   Nanos
+		want Ticks
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{11, 1},
+		{12, 1},
+		{13, 2},
+		{24, 2},
+		// 1 ms / 12 ns rounds up: 83333.3 -> 83334.
+		{Millisecond, Ticks(EventsPerMs) + 1},
+	}
+	for _, c := range cases {
+		if got := c.ns.ToTicks(); got != c.want {
+			t.Errorf("ToTicks(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestEventsPerMs(t *testing.T) {
+	// The paper rounds to 83,000 events per ms; the exact model value is
+	// 1e6/12.
+	if EventsPerMs != 83333 {
+		t.Fatalf("EventsPerMs = %d, want 83333", EventsPerMs)
+	}
+}
+
+func TestRoundTripMs(t *testing.T) {
+	d := FromMs(1.48)
+	if got := d.Ms(); got < 1.4799 || got > 1.4801 {
+		t.Fatalf("FromMs/Ms round trip = %v", got)
+	}
+}
+
+func TestToTicksNeverFree(t *testing.T) {
+	f := func(ns int32) bool {
+		n := Nanos(ns)
+		ticks := n.ToTicks()
+		if n > 0 && ticks == 0 {
+			return false
+		}
+		if ticks < 0 {
+			return false
+		}
+		// Converting back never exceeds one event of slack.
+		back := ticks.ToNanos()
+		return back >= n || n <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidSubpageSize(t *testing.T) {
+	valid := []int{256, 512, 1024, 2048, 4096, 8192}
+	for _, s := range valid {
+		if !ValidSubpageSize(s) {
+			t.Errorf("ValidSubpageSize(%d) = false, want true", s)
+		}
+	}
+	invalid := []int{0, -256, 1, 128, 255, 300, 3000, 16384}
+	for _, s := range invalid {
+		if ValidSubpageSize(s) {
+			t.Errorf("ValidSubpageSize(%d) = true, want false", s)
+		}
+	}
+}
+
+func TestSubpagesPerPage(t *testing.T) {
+	cases := map[int]int{256: 32, 512: 16, 1024: 8, 2048: 4, 4096: 2, 8192: 1}
+	for size, want := range cases {
+		if got := SubpagesPerPage(size); got != want {
+			t.Errorf("SubpagesPerPage(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestSubpagesPerPagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubpagesPerPage(100) did not panic")
+		}
+	}()
+	SubpagesPerPage(100)
+}

@@ -1,0 +1,189 @@
+package gmsubpage
+
+import (
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/remote"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// This file exposes the live TCP remote-memory prototype: a directory, a
+// page server donating memory, and a faulting client whose page cache
+// keeps per-subpage valid bits and fetches with the paper's policies.
+
+// Directory is a running global cache directory.
+type Directory struct{ d *remote.Directory }
+
+// StartDirectory starts a directory on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func StartDirectory(addr string) (*Directory, error) {
+	d, err := remote.ListenDirectory(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{d: d}, nil
+}
+
+// Addr returns the directory's listen address.
+func (d *Directory) Addr() string { return d.d.Addr() }
+
+// Pages returns the number of registered pages.
+func (d *Directory) Pages() int { return d.d.Len() }
+
+// Close stops the directory.
+func (d *Directory) Close() error { return d.d.Close() }
+
+// PageServer is a running page server.
+type PageServer struct{ s *remote.Server }
+
+// StartServer starts a page server on addr.
+func StartServer(addr string) (*PageServer, error) {
+	s, err := remote.ListenServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &PageServer{s: s}, nil
+}
+
+// Addr returns the server's listen address.
+func (s *PageServer) Addr() string { return s.s.Addr() }
+
+// Store makes the server hold a page of data (copied, zero-padded to
+// PageSize).
+func (s *PageServer) Store(page uint64, data []byte) { s.s.Store(page, data) }
+
+// StoreRange fills pages [first, first+count) with zero pages, donating
+// count*8KB of memory.
+func (s *PageServer) StoreRange(first uint64, count int) {
+	for i := 0; i < count; i++ {
+		s.s.Store(first+uint64(i), nil)
+	}
+}
+
+// Register announces every stored page to the directory.
+func (s *PageServer) Register(dirAddr string) error { return s.s.RegisterWith(dirAddr) }
+
+// Pages returns the number of stored pages.
+func (s *PageServer) Pages() int { return s.s.Pages() }
+
+// SetWireMbps emulates a network link of the given rate (megabits per
+// second) by delaying each data fragment for its serialization time; 0
+// disables emulation. Loopback TCP is effectively infinitely fast, which
+// hides the transfer-size effects the paper measures on its 155 Mb/s ATM.
+func (s *PageServer) SetWireMbps(mbps float64) { s.s.SetWireMbps(mbps) }
+
+// Close stops the server.
+func (s *PageServer) Close() error { return s.s.Close() }
+
+// ClientOptions shape a remote-memory client.
+type ClientOptions struct {
+	// CachePages is local memory in pages (default 64).
+	CachePages int
+	// SubpageSize is the transfer granularity (default 1024).
+	SubpageSize int
+	// Policy is FullPage, Lazy, Eager or Pipelined (default Eager).
+	Policy Policy
+	// Readahead prefetches the next page during sequential fault runs.
+	Readahead bool
+}
+
+// Client is a faulting node using remote memory through the directory.
+type Client struct{ c *remote.Client }
+
+// DialClient connects a client to the directory at dirAddr.
+func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
+	wire := proto.PolicyEager
+	switch opts.Policy {
+	case "", Eager:
+		wire = proto.PolicyEager
+	case FullPage:
+		wire = proto.PolicyFullPage
+	case Lazy:
+		wire = proto.PolicyLazy
+	case Pipelined:
+		wire = proto.PolicyPipelined
+	default:
+		return nil, errUnsupportedPolicy(opts.Policy)
+	}
+	c, err := remote.Dial(remote.ClientConfig{
+		Directory:   dirAddr,
+		CachePages:  opts.CachePages,
+		SubpageSize: opts.SubpageSize,
+		Policy:      wire,
+		Readahead:   opts.Readahead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+type errUnsupportedPolicy Policy
+
+func (e errUnsupportedPolicy) Error() string {
+	return "gmsubpage: policy " + string(e) + " is not supported by the wire protocol"
+}
+
+// Read fills buf from the global address addr, faulting in missing
+// subpages over the network.
+func (c *Client) Read(buf []byte, addr uint64) error { return c.c.Read(buf, addr) }
+
+// Write stores buf at the global address addr; dirty pages are written
+// back to their server on eviction.
+func (c *Client) Write(buf []byte, addr uint64) error { return c.c.Write(buf, addr) }
+
+// ClientStats snapshots a client's counters.
+type ClientStats struct {
+	Faults     int64
+	Prefetches int64
+	Evictions  int64
+	PutPages   int64
+	BytesIn    int64
+	// Median fault-to-subpage-arrival and fault-to-complete-page times.
+	SubpageLatencyUs float64
+	FullLatencyUs    float64
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	st := c.c.Stats()
+	return ClientStats{
+		Faults:           st.Faults,
+		Prefetches:       st.Prefetches,
+		Evictions:        st.Evictions,
+		PutPages:         st.PutPages,
+		BytesIn:          st.BytesIn,
+		SubpageLatencyUs: st.SubpageLat.Median(),
+		FullLatencyUs:    st.FullLat.Median(),
+	}
+}
+
+// Close tears the client down.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Pager views a region of remote memory through io.ReaderAt /
+// io.WriterAt, so remote memory can back anything that reads and writes at
+// offsets (archive readers, index files, mmap-style accessors).
+type Pager struct{ p *remote.Pager }
+
+// NewPager views size bytes of remote memory starting at global address
+// base.
+func (c *Client) NewPager(base uint64, size int64) (*Pager, error) {
+	p, err := c.c.NewPager(base, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Pager{p: p}, nil
+}
+
+// Size returns the pager's extent in bytes.
+func (p *Pager) Size() int64 { return p.p.Size() }
+
+// ReadAt implements io.ReaderAt over remote memory.
+func (p *Pager) ReadAt(b []byte, off int64) (int, error) { return p.p.ReadAt(b, off) }
+
+// WriteAt implements io.WriterAt over remote memory.
+func (p *Pager) WriteAt(b []byte, off int64) (int, error) { return p.p.WriteAt(b, off) }
+
+// Compile-time check that PageSize stays consistent with the internal
+// definition the wire protocol assumes.
+var _ = [1]struct{}{}[PageSize-units.PageSize]
