@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench chaos-demo
+
+# ci is the full gate: formatting, vet, build, tests, and a race-detector
+# pass over the concurrent packages.
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The remote client and the fault injector are the concurrency-heavy
+# packages; the race run is mandatory for them.
+race:
+	$(GO) test -race ./internal/remote ./internal/chaos
+
+bench:
+	$(GO) test -bench . -benchtime 200x -run xxx ./...
+
+chaos-demo:
+	$(GO) run ./cmd/gmsnode chaos -pages 256 -kill-at 0.5 -restart -hedge 5ms

@@ -24,9 +24,15 @@ type ClusterConfig struct {
 	Policy      Policy
 	SubpageSize int
 	// IdleNodes donate memory (default 2); DonatedPagesPerIdle is each
-	// one's capacity in 8 KB pages (0 = unbounded).
+	// one's capacity in 8 KB pages (0 = unbounded). IdleNodes == 0 means
+	// "use the default" — to run the all-disk baseline with no network
+	// memory at all, set NoIdleNodes (or, equivalently, IdleNodes: -1).
 	IdleNodes           int
 	DonatedPagesPerIdle int
+	// NoIdleNodes runs the cluster with zero idle nodes: no global cache,
+	// every refault that misses local memory goes to disk. This is the
+	// baseline the paper's speedups are measured against.
+	NoIdleNodes bool
 	// LeastLoaded disables GMS's epoch-weighted placement in favour of
 	// simple least-loaded placement.
 	LeastLoaded bool
@@ -73,7 +79,9 @@ func SimulateCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	if cfg.SubpageSize == 0 {
 		cfg.SubpageSize = 1024
 	}
-	if cfg.IdleNodes == 0 {
+	if cfg.NoIdleNodes || cfg.IdleNodes < 0 {
+		cfg.IdleNodes = -1 // all-disk baseline: RunCluster gets no idle memory
+	} else if cfg.IdleNodes == 0 {
 		cfg.IdleNodes = 2
 	}
 	if !units.ValidSubpageSize(cfg.SubpageSize) {

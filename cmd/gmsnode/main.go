@@ -14,6 +14,15 @@
 //
 // The client measures what the paper's prototype measured: the time from
 // fault to faulted-subpage arrival versus the time to the complete page.
+//
+// Run the self-contained resilience demo — a directory, two replica page
+// servers behind a fault injector, and a client workload during which the
+// primary server is killed (and optionally restarted):
+//
+//	gmsnode chaos -pages 256 -jitter 2ms -drop 0.01 -kill-at 0.5 -restart
+//
+// Every read must complete via failover to the replica; the exit status is
+// non-zero if any read fails or returns wrong data.
 package main
 
 import (
@@ -37,13 +46,15 @@ func main() {
 		runServer(os.Args[2:])
 	case "client":
 		runClient(os.Args[2:])
+	case "chaos":
+		runChaos(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|server|client [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|server|client|chaos [flags]")
 	os.Exit(2)
 }
 
@@ -104,13 +115,21 @@ func runClient(args []string) {
 	workload := fs.String("workload", "", "replay a paper workload (modula3|ld|atom|render|gdb) instead of the page sweep")
 	scale := fs.Float64("scale", 0.1, "workload trace scale for -workload")
 	readahead := fs.Bool("readahead", false, "prefetch the next page on sequential fault runs")
+	dialTO := fs.Duration("dial-timeout", 0, "per-dial timeout (0 = default 1s)")
+	reqTO := fs.Duration("timeout", 0, "per-lookup / per-fetch-attempt timeout (0 = default 2s)")
+	retries := fs.Int("retries", 0, "retries beyond the first attempt (0 = default 3, negative = none)")
+	hedge := fs.Duration("hedge", 0, "duplicate a fetch to a replica after this delay (0 = off)")
 	fs.Parse(args)
 
 	c, err := gmsubpage.DialClient(*dir, gmsubpage.ClientOptions{
-		CachePages:  *cache,
-		SubpageSize: *subpage,
-		Policy:      gmsubpage.Policy(*policy),
-		Readahead:   *readahead,
+		CachePages:     *cache,
+		SubpageSize:    *subpage,
+		Policy:         gmsubpage.Policy(*policy),
+		Readahead:      *readahead,
+		DialTimeout:    *dialTO,
+		RequestTimeout: *reqTO,
+		MaxRetries:     *retries,
+		Hedge:          *hedge,
 	})
 	if err != nil {
 		fatal(err)

@@ -253,6 +253,50 @@ func TestSimulateCluster(t *testing.T) {
 	}
 }
 
+func TestSimulateClusterNoIdleNodes(t *testing.T) {
+	// The all-disk baseline must be expressible: zero idle nodes, no
+	// global hits, every refault falls through to disk.
+	base := gmsubpage.ClusterConfig{
+		Workloads:      []string{"gdb"},
+		Scale:          0.5,
+		MemoryFraction: 0.5,
+	}
+	cfg := base
+	cfg.NoIdleNodes = true
+	rep, err := gmsubpage.SimulateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalHits != 0 {
+		t.Fatalf("no-idle cluster hit network memory: %+v", rep)
+	}
+	if rep.DiskFaults == 0 {
+		t.Fatal("no-idle cluster should fault to disk")
+	}
+	// IdleNodes: -1 is the equivalent spelling.
+	cfg = base
+	cfg.IdleNodes = -1
+	neg, err := gmsubpage.SimulateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.GlobalHits != 0 || neg.DiskFaults != rep.DiskFaults {
+		t.Fatalf("IdleNodes:-1 should match NoIdleNodes: %+v vs %+v", neg, rep)
+	}
+	// The zero value still means "default donors", not "none".
+	def, err := gmsubpage.SimulateCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.GlobalHits == 0 {
+		t.Fatalf("default cluster should use network memory: %+v", def)
+	}
+	if def.MakespanMs >= rep.MakespanMs {
+		t.Fatalf("network memory (%.1fms) should beat all-disk (%.1fms)",
+			def.MakespanMs, rep.MakespanMs)
+	}
+}
+
 func TestSimulateClusterErrors(t *testing.T) {
 	if _, err := gmsubpage.SimulateCluster(gmsubpage.ClusterConfig{}); err == nil {
 		t.Error("empty cluster should fail")

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoPair builds a wrapped client conn talking to a plain echo server
+// through nw's listener wrapper, so server-side writes pass the injector.
+func echoPair(t *testing.T, nw *Network) net.Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := nw.WrapListener(ln)
+	t.Cleanup(func() { wrapped.Close() })
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	conn, err := nw.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func roundTrip(conn net.Conn, msg []byte) error {
+	if _, err := conn.Write(msg); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	_, err := io.ReadFull(conn, buf)
+	return err
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	nw := New(Config{})
+	conn := echoPair(t, nw)
+	if err := roundTrip(conn, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	nw := New(Config{Latency: 20 * time.Millisecond})
+	conn := echoPair(t, nw)
+	start := time.Now()
+	if err := roundTrip(conn, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	// Client write + echoed server write: at least 2x the latency.
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 40ms of injected latency", el)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	nw := New(Config{BandwidthBps: 100_000}) // 10 KB takes >= 100ms one way
+	conn := echoPair(t, nw)
+	start := time.Now()
+	if err := roundTrip(conn, make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 150*time.Millisecond {
+		t.Fatalf("10KB round trip took %v, want >= 150ms at 100KB/s", el)
+	}
+}
+
+func TestDropKillsConnection(t *testing.T) {
+	nw := New(Config{DropRate: 1})
+	conn := echoPair(t, nw)
+	// The dropped write itself reports success...
+	if _, err := conn.Write([]byte("into the void")); err != nil {
+		t.Fatalf("blackholed write should report success, got %v", err)
+	}
+	// ...but the connection is dead: the echo never comes back.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read after a drop should fail")
+	}
+	if nw.Drops == 0 {
+		t.Fatal("drop counter should have incremented")
+	}
+}
+
+func TestResetInjection(t *testing.T) {
+	nw := New(Config{ResetRate: 1})
+	conn := echoPair(t, nw)
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write = %v, want ErrReset", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write on reset conn = %v, want ErrClosed", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	nw := New(Config{})
+	conn := echoPair(t, nw)
+	if err := roundTrip(conn, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	nw.Partition(true)
+	if _, err := nw.Dial("tcp", conn.RemoteAddr().String()); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across partition = %v, want ErrPartitioned", err)
+	}
+	if _, err := conn.Write([]byte("during")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write across partition = %v, want ErrPartitioned", err)
+	}
+	// Healing lets new connections through again.
+	nw.Partition(false)
+	conn2 := echoPair(t, nw)
+	if err := roundTrip(conn2, []byte("after")); err != nil {
+		t.Fatalf("healed network should carry traffic: %v", err)
+	}
+}
+
+func TestStallWritesBlocksUntilReleased(t *testing.T) {
+	nw := New(Config{})
+	conn := echoPair(t, nw)
+	nw.StallWrites(true)
+	done := make(chan error, 1)
+	go func() { done <- roundTrip(conn, []byte("stalled")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed during stall: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	nw.StallWrites(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released write failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write never completed after stall release")
+	}
+}
+
+func TestKillActive(t *testing.T) {
+	nw := New(Config{})
+	conn := echoPair(t, nw)
+	if n := nw.KillActive(); n == 0 {
+		t.Fatal("expected at least one tracked connection")
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write on killed connection should fail")
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	// Same seed, same fault decisions.
+	outcomes := func(seed int64) []bool {
+		nw := New(Config{DropRate: 0.5, Seed: seed})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			p, err := nw.plan(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p.drop)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestScenarioRunsStepsInOrder(t *testing.T) {
+	var got []string
+	mark := func(name string) func() {
+		return func() { got = append(got, name) } // runner goroutine only
+	}
+	s := Start([]Step{
+		{After: 20 * time.Millisecond, Name: "second", Do: mark("second")},
+		{After: 5 * time.Millisecond, Name: "first", Do: mark("first")},
+	})
+	s.Wait()
+	log := s.Log()
+	if len(log) != 2 || log[0] != "first" || log[1] != "second" {
+		t.Fatalf("scenario log = %v", log)
+	}
+	if len(got) != 2 || got[0] != "first" {
+		t.Fatalf("steps ran out of order: %v", got)
+	}
+}
+
+func TestScenarioStopCancelsPending(t *testing.T) {
+	ran := make(chan struct{}, 1)
+	s := Start([]Step{
+		{After: time.Hour, Name: "never", Do: func() { ran <- struct{}{} }},
+	})
+	s.Stop()
+	select {
+	case <-ran:
+		t.Fatal("stopped scenario ran its step")
+	default:
+	}
+	if len(s.Log()) != 0 {
+		t.Fatalf("log = %v, want empty", s.Log())
+	}
+}

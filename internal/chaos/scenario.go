@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Step is one timed action in a scripted scenario: Do runs After the
+// scenario starts. Name labels the step in the scenario's log.
+type Step struct {
+	After time.Duration
+	Name  string
+	Do    func()
+}
+
+// Scenario runs a script of timed faults — kill a server at t=2s, heal the
+// partition at t=5s — alongside a workload. Steps execute in After order
+// on one goroutine, so a step never overlaps the next.
+type Scenario struct {
+	mu       sync.Mutex
+	log      []string
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Start launches the steps and returns immediately.
+func Start(steps []Step) *Scenario {
+	ordered := make([]Step, len(steps))
+	copy(ordered, steps)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].After < ordered[j].After })
+	s := &Scenario{stop: make(chan struct{}), done: make(chan struct{})}
+	go s.run(ordered)
+	return s
+}
+
+func (s *Scenario) run(steps []Step) {
+	defer close(s.done)
+	start := time.Now()
+	for _, st := range steps {
+		wait := st.After - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-s.stop:
+				return
+			}
+		} else {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+		}
+		st.Do()
+		s.mu.Lock()
+		s.log = append(s.log, st.Name)
+		s.mu.Unlock()
+	}
+}
+
+// Wait blocks until every step has run (or the scenario was stopped).
+func (s *Scenario) Wait() { <-s.done }
+
+// Stop cancels steps that have not started yet and waits for the runner to
+// exit.
+func (s *Scenario) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Log returns the names of the steps executed so far, in order.
+func (s *Scenario) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.log))
+	copy(out, s.log)
+	return out
+}

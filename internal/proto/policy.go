@@ -1,0 +1,50 @@
+package proto
+
+import "fmt"
+
+// The Policy* wire bytes and the simulator's policy names are two views of
+// the same set of transfer policies. This file is the single mapping
+// between them: the public DialClient and the page server both resolve
+// policies through it, so adding a wire policy is a one-place change.
+
+// UnknownPolicyError reports a policy with no wire mapping: either a name
+// the protocol does not carry (simulator-only policies included) or a byte
+// no policy owns.
+type UnknownPolicyError struct {
+	// Name is the offending policy name, or a rendering of the byte.
+	Name string
+}
+
+func (e *UnknownPolicyError) Error() string {
+	return "proto: policy " + e.Name + " is not supported by the wire protocol"
+}
+
+// policyNames orders the canonical names by their wire byte.
+var policyNames = [...]string{
+	PolicyFullPage:  "fullpage",
+	PolicyLazy:      "lazy",
+	PolicyEager:     "eager",
+	PolicyPipelined: "pipelined",
+}
+
+// PolicyByte maps a canonical policy name to its wire byte. The empty name
+// defaults to eager, the prototype's standard policy.
+func PolicyByte(name string) (uint8, error) {
+	if name == "" {
+		return PolicyEager, nil
+	}
+	for b, n := range policyNames {
+		if n == name {
+			return uint8(b), nil
+		}
+	}
+	return 0, &UnknownPolicyError{Name: name}
+}
+
+// PolicyName maps a wire byte to its canonical policy name.
+func PolicyName(b uint8) (string, error) {
+	if int(b) < len(policyNames) {
+		return policyNames[b], nil
+	}
+	return "", &UnknownPolicyError{Name: fmt.Sprintf("byte %d", b)}
+}

@@ -116,10 +116,12 @@ type PutPage struct {
 // Lookup asks where a page lives.
 type Lookup struct{ Page uint64 }
 
-// LookupReply answers: Addr is empty when the page is unknown.
+// LookupReply answers: Addrs lists every server holding a replica of the
+// page, primary first; it is empty when the page is unknown. Clients fail
+// over down the list when the primary is unreachable.
 type LookupReply struct {
-	Page uint64
-	Addr string
+	Page  uint64
+	Addrs []string
 }
 
 // Register announces pages stored at Addr.
@@ -199,9 +201,23 @@ func (w *Writer) SendLookup(m Lookup) error {
 
 // SendLookupReply writes a TLookupReply frame.
 func (w *Writer) SendLookupReply(m LookupReply) error {
-	p := make([]byte, 0, 8+len(m.Addr))
+	if len(m.Addrs) > 255 {
+		return fmt.Errorf("proto: too many replicas: %d", len(m.Addrs))
+	}
+	n := 9
+	for _, a := range m.Addrs {
+		if len(a) > 255 {
+			return fmt.Errorf("proto: address too long: %q", a)
+		}
+		n += 1 + len(a)
+	}
+	p := make([]byte, 0, n)
 	p = binary.LittleEndian.AppendUint64(p, m.Page)
-	p = append(p, m.Addr...)
+	p = append(p, byte(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		p = append(p, byte(len(a)))
+		p = append(p, a...)
+	}
 	return w.send(TLookupReply, p)
 }
 
@@ -308,13 +324,27 @@ func DecodeLookup(p []byte) (Lookup, error) {
 
 // DecodeLookupReply parses a TLookupReply payload.
 func DecodeLookupReply(p []byte) (LookupReply, error) {
-	if len(p) < 8 {
+	if len(p) < 9 {
 		return LookupReply{}, short(TLookupReply)
 	}
-	return LookupReply{
-		Page: binary.LittleEndian.Uint64(p[0:8]),
-		Addr: string(p[8:]),
-	}, nil
+	m := LookupReply{Page: binary.LittleEndian.Uint64(p[0:8])}
+	count := int(p[8])
+	rest := p[9:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return LookupReply{}, short(TLookupReply)
+		}
+		alen := int(rest[0])
+		if len(rest) < 1+alen {
+			return LookupReply{}, short(TLookupReply)
+		}
+		m.Addrs = append(m.Addrs, string(rest[1:1+alen]))
+		rest = rest[1+alen:]
+	}
+	if len(rest) != 0 {
+		return LookupReply{}, fmt.Errorf("proto: trailing bytes in LookupReply")
+	}
+	return m, nil
 }
 
 // DecodeRegister parses a TRegister payload.

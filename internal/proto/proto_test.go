@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -76,11 +77,25 @@ func TestLookupRoundTrip(t *testing.T) {
 		t.Fatalf("lookup: %+v, %v", out, err)
 	}
 	f = roundTrip(t, func(w *Writer) error {
-		return w.SendLookupReply(LookupReply{Page: 5, Addr: "10.0.0.2:9999"})
+		return w.SendLookupReply(LookupReply{Page: 5, Addrs: []string{"10.0.0.2:9999"}})
 	})
 	rep, err := DecodeLookupReply(f.Payload)
-	if err != nil || rep.Addr != "10.0.0.2:9999" || rep.Page != 5 {
+	if err != nil || len(rep.Addrs) != 1 || rep.Addrs[0] != "10.0.0.2:9999" || rep.Page != 5 {
 		t.Fatalf("lookup reply: %+v, %v", rep, err)
+	}
+}
+
+func TestLookupReplyReplicas(t *testing.T) {
+	in := LookupReply{Page: 7, Addrs: []string{"a:1", "b:2", "c:3"}}
+	f := roundTrip(t, func(w *Writer) error { return w.SendLookupReply(in) })
+	rep, err := DecodeLookupReply(f.Payload)
+	if err != nil || len(rep.Addrs) != 3 {
+		t.Fatalf("replica reply: %+v, %v", rep, err)
+	}
+	for i, a := range in.Addrs {
+		if rep.Addrs[i] != a {
+			t.Fatalf("replica %d = %q, want %q", i, rep.Addrs[i], a)
+		}
 	}
 }
 
@@ -89,8 +104,42 @@ func TestLookupReplyEmptyAddr(t *testing.T) {
 		return w.SendLookupReply(LookupReply{Page: 5})
 	})
 	rep, err := DecodeLookupReply(f.Payload)
-	if err != nil || rep.Addr != "" {
+	if err != nil || len(rep.Addrs) != 0 {
 		t.Fatalf("empty addr reply: %+v, %v", rep, err)
+	}
+}
+
+func TestLookupReplyTruncated(t *testing.T) {
+	// A count that promises more replicas than the payload carries.
+	if _, err := DecodeLookupReply([]byte{0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 'a'}); err == nil {
+		t.Error("truncated replica list should fail")
+	}
+	// An address length that runs past the payload.
+	if _, err := DecodeLookupReply([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 9, 'a'}); err == nil {
+		t.Error("overlong address length should fail")
+	}
+}
+
+func TestPolicyMapping(t *testing.T) {
+	for _, name := range []string{"fullpage", "lazy", "eager", "pipelined"} {
+		b, err := PolicyByte(name)
+		if err != nil {
+			t.Fatalf("PolicyByte(%q): %v", name, err)
+		}
+		back, err := PolicyName(b)
+		if err != nil || back != name {
+			t.Fatalf("PolicyName(%d) = %q, %v; want %q", b, back, err, name)
+		}
+	}
+	if b, err := PolicyByte(""); err != nil || b != PolicyEager {
+		t.Fatalf("empty policy should default to eager: %d, %v", b, err)
+	}
+	var perr *UnknownPolicyError
+	if _, err := PolicyByte("pipelined-double"); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("simulator-only policy should be rejected with UnknownPolicyError, got %v", err)
+	}
+	if _, err := PolicyName(200); err == nil || !errors.As(err, &perr) {
+		t.Fatalf("unknown wire byte should be rejected with UnknownPolicyError, got %v", err)
 	}
 }
 

@@ -1,0 +1,104 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/chaos"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// BenchmarkFaultUnderChaos measures the fault path on a lossy, jittery
+// network — 1% of server writes dropped, up to 2ms of added jitter — with
+// and without hedged fetches. The interesting number is the reported
+// p99-us: hedging buys tail latency (a dropped or slow primary reply is
+// masked by the replica) at the cost of duplicate requests.
+//
+//	go test -bench FaultUnderChaos -benchtime 2000x ./internal/remote/
+func BenchmarkFaultUnderChaos(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		hedge time.Duration
+	}{
+		{"unhedged", 0},
+		{"hedged-5ms", 5 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchFaultPath(b, bc.hedge)
+		})
+	}
+}
+
+func benchFaultPath(b *testing.B, hedge time.Duration) {
+	const pages = 16
+	dir, err := ListenDirectory("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dir.Close()
+	nw := chaos.New(chaos.Config{
+		Jitter:   2 * time.Millisecond,
+		DropRate: 0.01,
+		Seed:     1, // same fault schedule for both variants
+	})
+	var srvs []*Server
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := ListenServerOn(nw.WrapListener(ln))
+		defer srv.Close()
+		for p := 0; p < pages; p++ {
+			srv.Store(uint64(p), pagePattern(uint64(p)))
+		}
+		if err := srv.RegisterWith(dir.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		srvs = append(srvs, srv)
+	}
+
+	c, err := Dial(ClientConfig{
+		Directory:      dir.Addr(),
+		Policy:         proto.PolicyEager,
+		SubpageSize:    1024,
+		CachePages:     1, // every read refaults: each iteration crosses the wire
+		RequestTimeout: 250 * time.Millisecond,
+		MaxRetries:     4,
+		RetryBackoff:   2 * time.Millisecond,
+		Hedge:          hedge,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	buf := make([]byte, 256)
+	lats := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := c.Read(buf, uint64(i%pages)*units.PageSize); err != nil {
+			b.Fatalf("read %d: %v", i, err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		return lats[int(float64(len(lats)-1)*p)]
+	}
+	b.ReportMetric(float64(pct(0.50).Microseconds()), "p50-us")
+	b.ReportMetric(float64(pct(0.99).Microseconds()), "p99-us")
+	st := c.Stats()
+	b.ReportMetric(float64(st.Retries)/float64(b.N), "retries/op")
+	b.ReportMetric(float64(st.Hedges)/float64(b.N), "hedges/op")
+	if testing.Verbose() {
+		fmt.Printf("drops=%d retries=%d hedges=%d failovers=%d\n",
+			nw.Drops, st.Retries, st.Hedges, st.Failovers)
+	}
+}

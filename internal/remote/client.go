@@ -3,6 +3,7 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -27,7 +28,34 @@ type ClientConfig struct {
 	// on p-1 — client-driven sequential prefetch, an extension beyond
 	// the paper's sender-side pipelining.
 	Readahead bool
+
+	// Resilience knobs (see DESIGN.md §7). The paper's prototype assumed
+	// a lossless, always-up AN2 network; these are what replace that
+	// assumption on real networks.
+
+	// DialTimeout bounds each directory or server dial (default 1s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each directory lookup RPC and each GetPage
+	// stream attempt (default 2s). A stream that has not completed when
+	// it expires counts as a failed attempt and is retried.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed fault or lookup is retried
+	// beyond the first attempt (default 3; negative disables retries).
+	// When retries are exhausted the access fails with a *PageError
+	// matching ErrPageUnavailable instead of hanging.
+	MaxRetries int
+	// RetryBackoff is the base delay between retries, doubled per
+	// attempt with ±50% jitter and capped at 500ms (default 10ms).
+	RetryBackoff time.Duration
+	// Hedge, when positive, sends a duplicate GetPage to a replica if
+	// the faulted subpage has not arrived after this delay — trading
+	// bandwidth for tail latency, as disaggregated-memory systems do.
+	Hedge time.Duration
+	// Dial overrides the network dialer (chaos injection, tests).
+	Dial func(network, addr string) (net.Conn, error)
 }
+
+const maxBackoff = 500 * time.Millisecond
 
 func (c ClientConfig) withDefaults() ClientConfig {
 	if c.CachePages == 0 {
@@ -35,6 +63,20 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.SubpageSize == 0 {
 		c.SubpageSize = 1024
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
 	}
 	return c
 }
@@ -46,6 +88,9 @@ type Stats struct {
 	Evictions  int64
 	PutPages   int64
 	BytesIn    int64
+	Retries    int64         // fault or lookup attempts beyond the first
+	Failovers  int64         // retries redirected to a different replica
+	Hedges     int64         // duplicate GetPages sent to mask a slow primary
 	SubpageLat stats.Summary // fault -> faulted-subpage arrival
 	FullLat    stats.Summary // fault -> complete page arrival
 }
@@ -55,11 +100,20 @@ type cpage struct {
 	data     []byte
 	valid    memmodel.Bitmap
 	dirty    bool
+	faulting bool // a faultLoop goroutine owns fetching this page
 	inflight bool // a GetPage reply is streaming in
-	faulting bool // a goroutine is issuing the GetPage
-	lastUse  int64
-	start    time.Time // when the current fault was issued
-	err      error
+	firstOK  bool // the faulted subpage of the current attempt arrived
+	// sources holds the servers currently streaming this page (two when
+	// a hedge is in flight); the attempt fails only when all of them do.
+	sources map[string]struct{}
+	// waitCh signals the owning faultLoop: nil on stream completion, an
+	// error when every source failed. Buffered; sent under c.mu and
+	// cleared in the same critical section, so exactly one signal per
+	// attempt is ever delivered.
+	waitCh  chan error
+	lastUse int64
+	start   time.Time // when the current fault attempt was issued
+	err     error
 }
 
 // srvConn is a connection to one page server, with a background reader.
@@ -70,23 +124,29 @@ type srvConn struct {
 }
 
 // Client is the faulting node: a fixed-size page cache with subpage valid
-// bits, backed by remote page servers found through the directory.
+// bits, backed by remote page servers found through the directory. Faults
+// run under per-attempt deadlines with retry, replica failover and
+// optional hedging; a page no server can deliver fails with a *PageError
+// instead of wedging the client.
 type Client struct {
 	cfg ClientConfig
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	cache   map[uint64]*cpage
-	located map[uint64]string
+	located map[uint64][]string // directory answers: replica lists, primary first
 	tick    int64
 	stats   Stats
 	closed  bool
 	netErr  error
 
-	dirMu sync.Mutex
-	dirW  *proto.Writer
-	dirR  *proto.Reader
-	dirC  net.Conn
+	closeCh chan struct{} // closed once on Close; unblocks sleeps and waits
+
+	dirMu    sync.Mutex // serializes lookup RPCs on the directory stream
+	dirPtrMu sync.Mutex // guards the connection pointers below
+	dirW     *proto.Writer
+	dirR     *proto.Reader
+	dirC     net.Conn
 
 	srvMu   sync.Mutex
 	servers map[string]*srvConn
@@ -100,32 +160,51 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if !units.ValidSubpageSize(cfg.SubpageSize) {
 		return nil, fmt.Errorf("remote: invalid subpage size %d", cfg.SubpageSize)
 	}
-	dc, err := net.Dial("tcp", cfg.Directory)
-	if err != nil {
-		return nil, fmt.Errorf("remote: dial directory: %w", err)
-	}
 	c := &Client{
 		cfg:     cfg,
 		cache:   make(map[uint64]*cpage),
-		located: make(map[uint64]string),
+		located: make(map[uint64][]string),
 		servers: make(map[string]*srvConn),
-		dirW:    proto.NewWriter(dc),
-		dirR:    proto.NewReader(dc),
-		dirC:    dc,
+		closeCh: make(chan struct{}),
 	}
+	dc, err := c.dial(cfg.Directory)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial directory: %w", err)
+	}
+	c.dirC = dc
+	c.dirW = proto.NewWriter(dc)
+	c.dirR = proto.NewReader(dc)
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
+}
+
+// dial opens one connection under the configured dialer and timeout.
+func (c *Client) dial(addr string) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
 }
 
 // Close tears the client down. Dirty pages are not written back.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
-	c.netErr = errors.New("remote: client closed")
+	c.netErr = errClientClosed
+	close(c.closeCh)
 	c.cond.Broadcast()
 	c.mu.Unlock()
 
-	err := c.dirC.Close()
+	c.dirPtrMu.Lock()
+	var err error
+	if c.dirC != nil {
+		err = c.dirC.Close()
+	}
+	c.dirPtrMu.Unlock()
 	c.srvMu.Lock()
 	for _, sc := range c.servers {
 		sc.conn.Close()
@@ -228,13 +307,13 @@ func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
 			return p, nil
 		}
 		if !p.inflight && !p.faulting {
-			if err := c.issueFault(p, page, off, false); err != nil {
-				return nil, err
-			}
+			p.faulting = true
+			c.stats.Faults++
+			c.wg.Add(1)
+			go c.faultLoop(p, page, off, false)
 			if c.cfg.Readahead {
 				c.maybePrefetch(page)
 			}
-			continue
 		}
 		c.cond.Wait()
 	}
@@ -258,59 +337,242 @@ func (c *Client) maybePrefetch(page uint64) {
 	c.cache[next] = p
 	c.tick++
 	p.lastUse = c.tick
-	if err := c.issueFault(p, next, 0, true); err != nil {
-		// Best effort: forget the placeholder so a later demand
-		// access retries cleanly.
-		delete(c.cache, next)
+	p.faulting = true
+	c.stats.Prefetches++
+	c.wg.Add(1)
+	go c.faultLoop(p, next, 0, true)
+}
+
+// faultLoop owns one page's fetch from first attempt to success or typed
+// failure: it is the only goroutine that retries, fails over and hedges
+// for the page, while any number of accessors wait on the condition
+// variable for valid bits.
+func (c *Client) faultLoop(p *cpage, page uint64, off int, prefetch bool) {
+	defer c.wg.Done()
+	err := c.fetchPage(p, page, off)
+
+	c.mu.Lock()
+	p.faulting = false
+	p.inflight = false
+	p.sources = nil
+	p.waitCh = nil
+	if err != nil && !c.closed {
+		p.err = err
+		if prefetch && c.cache[page] == p && p.valid == 0 && !p.dirty {
+			// Best effort: forget the untouched placeholder so a later
+			// demand access retries cleanly.
+			delete(c.cache, page)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// fetchPage is the retry engine: locate, attempt, back off, fail over to
+// the next replica, until the transfer completes or the budget is spent.
+func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
+	var lastErr error
+	var firstAddr string
+	tried := make(map[string]bool)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if !c.sleep(c.backoffDelay(attempt)) {
+				return errClientClosed
+			}
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		}
+		addrs, err := c.locate(page, attempt > 0)
+		if err != nil {
+			var pe *PageError
+			if errors.As(err, &pe) || errors.Is(err, errClientClosed) {
+				return err // authoritative miss or shutdown: retrying cannot help
+			}
+			lastErr = err
+			continue
+		}
+		addr := pickAddr(addrs, tried, attempt)
+		tried[addr] = true
+		if firstAddr == "" {
+			firstAddr = addr
+		} else if addr != firstAddr {
+			c.mu.Lock()
+			c.stats.Failovers++
+			c.mu.Unlock()
+		}
+		if err := c.attempt(p, page, off, addr, hedgeAddr(addrs, addr)); err != nil {
+			lastErr = err
+			// Force a fresh directory answer next time round: the
+			// failure may mean our cached placement is stale.
+			c.forget(page)
+			continue
+		}
+		return nil
+	}
+	return &PageError{Page: page, Attempts: c.cfg.MaxRetries + 1, Err: lastErr}
+}
+
+// pickAddr chooses the next replica to try: the first address not yet
+// tried, or round-robin over the list once all have failed at least once.
+func pickAddr(addrs []string, tried map[string]bool, attempt int) string {
+	for _, a := range addrs {
+		if !tried[a] {
+			return a
+		}
+	}
+	return addrs[attempt%len(addrs)]
+}
+
+// hedgeAddr returns a replica distinct from the primary pick, or "".
+func hedgeAddr(addrs []string, primary string) string {
+	for _, a := range addrs {
+		if a != primary {
+			return a
+		}
+	}
+	return ""
+}
+
+// attempt issues one GetPage to addr and waits for the stream to complete,
+// fail, or time out. If hedging is enabled and the faulted subpage is late,
+// a duplicate request goes to hedge; the attempt succeeds when either
+// stream completes.
+func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) error {
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errClientClosed
+	}
+	p.waitCh = ch
+	p.inflight = true
+	p.firstOK = false
+	p.sources = map[string]struct{}{addr: {}}
+	p.start = time.Now()
+	c.mu.Unlock()
+
+	if err := c.sendGet(addr, page, off); err != nil {
+		c.cancelAttempt(p, ch)
+		return err
+	}
+
+	timeout := time.NewTimer(c.cfg.RequestTimeout)
+	defer timeout.Stop()
+	var hedgeC <-chan time.Time
+	if c.cfg.Hedge > 0 && hedge != "" {
+		ht := time.NewTimer(c.cfg.Hedge)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	for {
+		select {
+		case err := <-ch:
+			return err
+		case <-hedgeC:
+			hedgeC = nil
+			c.mu.Lock()
+			fire := p.waitCh == ch && !p.firstOK
+			if fire {
+				p.sources[hedge] = struct{}{}
+				c.stats.Hedges++
+			}
+			c.mu.Unlock()
+			if fire {
+				if err := c.sendGet(hedge, page, off); err != nil {
+					// The hedge could not even be sent; the primary
+					// stream (or the timeout) still decides the
+					// attempt.
+					c.mu.Lock()
+					if p.waitCh == ch {
+						delete(p.sources, hedge)
+					}
+					c.mu.Unlock()
+				}
+			}
+		case <-timeout.C:
+			if !c.cancelAttempt(p, ch) {
+				// The stream completed in the same instant: take its
+				// verdict, which is already buffered.
+				return <-ch
+			}
+			// The server accepted the request but never finished the
+			// stream: its connection is suspect (stalled or wedged),
+			// so drop it and let the retry redial or fail over.
+			cause := fmt.Errorf("remote: GetPage %d from %s timed out after %v",
+				page, addr, c.cfg.RequestTimeout)
+			c.dropServer(addr, cause)
+			return cause
+		case <-c.closeCh:
+			c.cancelAttempt(p, ch)
+			return errClientClosed
+		}
 	}
 }
 
-// issueFault sends a GetPage for the page. Called with c.mu held; the lock
-// is dropped around network operations.
-func (c *Client) issueFault(p *cpage, page uint64, off int, prefetch bool) error {
-	p.faulting = true
-	if prefetch {
-		c.stats.Prefetches++
-	} else {
-		c.stats.Faults++
-	}
-	c.mu.Unlock()
-
-	var sendErr error
-	addr, err := c.locate(page)
-	if err != nil {
-		sendErr = err
-	} else {
-		sc, err := c.server(addr)
-		if err != nil {
-			sendErr = err
-		} else {
-			start := time.Now()
-			sc.wmu.Lock()
-			sendErr = sc.w.SendGetPage(proto.GetPage{
-				Page:        page,
-				FaultOff:    uint32(off),
-				SubpageSize: uint32(c.cfg.SubpageSize),
-				Policy:      c.cfg.Policy,
-			})
-			sc.wmu.Unlock()
-			c.mu.Lock()
-			p.start = start
-			p.faulting = false
-			if sendErr == nil {
-				p.inflight = true
-			} else {
-				p.err = sendErr
-				c.cond.Broadcast()
-			}
-			return sendErr
-		}
-	}
+// cancelAttempt withdraws an in-flight attempt if its signal has not fired
+// yet; it reports false when the attempt already completed (the verdict is
+// buffered in ch).
+func (c *Client) cancelAttempt(p *cpage, ch chan error) bool {
 	c.mu.Lock()
-	p.faulting = false
-	p.err = sendErr
-	c.cond.Broadcast()
-	return sendErr
+	defer c.mu.Unlock()
+	if p.waitCh != ch {
+		return false
+	}
+	p.waitCh = nil
+	p.inflight = false
+	p.sources = nil
+	return true
+}
+
+// sendGet writes one GetPage request to addr under a write deadline, so a
+// stalled connection cannot wedge the fault path.
+func (c *Client) sendGet(addr string, page uint64, off int) error {
+	sc, err := c.server(addr)
+	if err != nil {
+		return err
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	defer sc.conn.SetWriteDeadline(time.Time{})
+	return sc.w.SendGetPage(proto.GetPage{
+		Page:        page,
+		FaultOff:    uint32(off),
+		SubpageSize: uint32(c.cfg.SubpageSize),
+		Policy:      c.cfg.Policy,
+	})
+}
+
+// backoffDelay returns the jittered exponential backoff before retry n
+// (1-based): base×2^(n-1), capped, with ±50% jitter so a fleet of clients
+// retrying after a shared failure does not stampede in lockstep.
+func (c *Client) backoffDelay(n int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < n && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleep waits for d or until the client closes, reporting true if the full
+// delay elapsed.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closeCh:
+		return false
+	}
 }
 
 // evictIfFull makes room for one more page. Called with c.mu held.
@@ -334,61 +596,154 @@ func (c *Client) evictIfFull() {
 		if victim.dirty && victim.valid.Full() {
 			c.stats.PutPages++
 			data := victim.data
-			addr := c.located[victimID]
+			addrs := c.located[victimID]
 			c.mu.Unlock()
-			c.putPage(addr, victimID, data)
+			c.putPage(addrs, victimID, data)
 			c.mu.Lock()
 		}
 	}
 }
 
-// putPage writes a dirty page back to its server (fire and forget).
-func (c *Client) putPage(addr string, page uint64, data []byte) {
-	if addr == "" {
-		return
+// putPage writes a dirty page back (fire and forget), trying each replica
+// until one send succeeds.
+func (c *Client) putPage(addrs []string, page uint64, data []byte) {
+	for _, addr := range addrs {
+		sc, err := c.server(addr)
+		if err != nil {
+			continue
+		}
+		sc.wmu.Lock()
+		_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+		err = sc.w.SendPutPage(proto.PutPage{Page: page, Data: data})
+		_ = sc.conn.SetWriteDeadline(time.Time{})
+		sc.wmu.Unlock()
+		if err == nil {
+			return
+		}
 	}
-	sc, err := c.server(addr)
-	if err != nil {
-		return
-	}
-	sc.wmu.Lock()
-	_ = sc.w.SendPutPage(proto.PutPage{Page: page, Data: data})
-	sc.wmu.Unlock()
 }
 
-// locate resolves the server storing page via the directory, with a local
-// cache of past answers.
-func (c *Client) locate(page uint64) (string, error) {
+// forget drops the cached directory answer for page.
+func (c *Client) forget(page uint64) {
 	c.mu.Lock()
-	if addr, ok := c.located[page]; ok {
-		c.mu.Unlock()
-		return addr, nil
-	}
+	delete(c.located, page)
 	c.mu.Unlock()
+}
+
+// locate resolves the replica list for page via the directory, with a
+// local cache of past answers. refresh forces a fresh directory query.
+// Lookup RPCs run under the request deadline; a dead directory connection
+// is redialed with backoff up to the retry budget.
+func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
+	if !refresh {
+		c.mu.Lock()
+		if addrs, ok := c.located[page]; ok {
+			c.mu.Unlock()
+			return addrs, nil
+		}
+		c.mu.Unlock()
+	}
 
 	c.dirMu.Lock()
 	defer c.dirMu.Unlock()
-	if err := c.dirW.SendLookup(proto.Lookup{Page: page}); err != nil {
-		return "", fmt.Errorf("remote: directory lookup: %w", err)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if !c.sleep(c.backoffDelay(attempt)) {
+				return nil, errClientClosed
+			}
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		}
+		select {
+		case <-c.closeCh:
+			return nil, errClientClosed
+		default:
+		}
+		if err := c.ensureDirConn(); err != nil {
+			lastErr = err
+			continue
+		}
+		rep, err := c.lookupOnce(page)
+		if err != nil {
+			c.dropDirConn()
+			lastErr = err
+			continue
+		}
+		if len(rep.Addrs) == 0 {
+			return nil, &PageError{Page: page, Attempts: attempt + 1, Err: errNotRegistered}
+		}
+		c.mu.Lock()
+		c.located[page] = rep.Addrs
+		c.mu.Unlock()
+		return rep.Addrs, nil
 	}
-	f, err := c.dirR.Next()
+	return nil, fmt.Errorf("remote: directory lookup for page %d: %w", page, lastErr)
+}
+
+// ensureDirConn (re)dials the directory if there is no live connection.
+// Called with dirMu held.
+func (c *Client) ensureDirConn() error {
+	c.dirPtrMu.Lock()
+	have := c.dirC != nil
+	c.dirPtrMu.Unlock()
+	if have {
+		return nil
+	}
+	conn, err := c.dial(c.cfg.Directory)
 	if err != nil {
-		return "", fmt.Errorf("remote: directory lookup: %w", err)
-	}
-	if f.Type != proto.TLookupReply {
-		return "", fmt.Errorf("remote: directory sent %v", f.Type)
-	}
-	rep, err := proto.DecodeLookupReply(f.Payload)
-	if err != nil {
-		return "", err
-	}
-	if rep.Addr == "" {
-		return "", fmt.Errorf("remote: page %d not in global memory", page)
+		return fmt.Errorf("remote: redial directory: %w", err)
 	}
 	c.mu.Lock()
-	c.located[page] = rep.Addr
+	closed := c.closed
 	c.mu.Unlock()
-	return rep.Addr, nil
+	if closed {
+		conn.Close()
+		return errClientClosed
+	}
+	c.dirPtrMu.Lock()
+	c.dirC = conn
+	c.dirW = proto.NewWriter(conn)
+	c.dirR = proto.NewReader(conn)
+	c.dirPtrMu.Unlock()
+	return nil
+}
+
+// dropDirConn severs the directory connection so the next lookup redials.
+// Called with dirMu held.
+func (c *Client) dropDirConn() {
+	c.dirPtrMu.Lock()
+	if c.dirC != nil {
+		c.dirC.Close()
+		c.dirC = nil
+		c.dirW, c.dirR = nil, nil
+	}
+	c.dirPtrMu.Unlock()
+}
+
+// lookupOnce performs one lookup RPC under the request deadline. Called
+// with dirMu held.
+func (c *Client) lookupOnce(page uint64) (proto.LookupReply, error) {
+	c.dirPtrMu.Lock()
+	conn, w, r := c.dirC, c.dirW, c.dirR
+	c.dirPtrMu.Unlock()
+	if conn == nil {
+		return proto.LookupReply{}, errors.New("remote: no directory connection")
+	}
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := w.SendLookup(proto.Lookup{Page: page}); err != nil {
+		return proto.LookupReply{}, fmt.Errorf("remote: directory lookup: %w", err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		return proto.LookupReply{}, fmt.Errorf("remote: directory lookup: %w", err)
+	}
+	if f.Type != proto.TLookupReply {
+		return proto.LookupReply{}, fmt.Errorf("remote: directory sent %v", f.Type)
+	}
+	return proto.DecodeLookupReply(f.Payload)
 }
 
 // server returns (dialing if needed) the connection to a page server.
@@ -398,9 +753,16 @@ func (c *Client) server(addr string) (*srvConn, error) {
 	if sc, ok := c.servers[addr]; ok {
 		return sc, nil
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial server %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		conn.Close()
+		return nil, errClientClosed
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
@@ -432,7 +794,7 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 			if err != nil {
 				continue
 			}
-			c.applyFragment(pd)
+			c.applyFragment(addr, pd)
 		case proto.TError:
 			// An application-level failure: the request cannot be
 			// served but the connection stays usable. Fail the
@@ -445,9 +807,9 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 	}
 }
 
-// dropServer severs one server: waiting faults on its pages fail with
-// cause, the connection is forgotten so the next fault redials, and every
-// other server's pages stay untouched.
+// dropServer severs one server: attempts sourcing from it fail with cause,
+// the connection is forgotten so the next fault redials, and every other
+// server's pages stay untouched.
 func (c *Client) dropServer(addr string, cause error) {
 	c.srvMu.Lock()
 	if sc, ok := c.servers[addr]; ok {
@@ -458,25 +820,36 @@ func (c *Client) dropServer(addr string, cause error) {
 	c.failPending(addr, cause)
 }
 
-// failPending delivers cause to every fault currently waiting on pages
-// located at addr.
+// failPending removes addr as a source for every in-flight attempt. An
+// attempt whose last source just vanished is signaled with cause; its
+// faultLoop decides whether to retry, fail over or give up. An attempt
+// with a live hedge outstanding keeps going untouched.
 func (c *Client) failPending(addr string, cause error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return
-	}
-	for page, p := range c.cache {
-		if (p.inflight || p.faulting) && c.located[page] == addr {
-			p.err = cause
+	for _, p := range c.cache {
+		if p.sources == nil {
+			continue
+		}
+		if _, ok := p.sources[addr]; !ok {
+			continue
+		}
+		delete(p.sources, addr)
+		if len(p.sources) == 0 && p.waitCh != nil {
+			ch := p.waitCh
+			p.waitCh = nil
 			p.inflight = false
-			p.start = time.Time{}
+			ch <- cause
 		}
 	}
 	c.cond.Broadcast()
 }
 
-func (c *Client) applyFragment(pd proto.PageData) {
+// applyFragment copies one arriving fragment into the cache and signals
+// completion to the owning faultLoop on the stream terminator. Fragments
+// from a superseded attempt (timed out, hedged twin finishing second)
+// still carry correct bytes, so their data is applied rather than wasted.
+func (c *Client) applyFragment(addr string, pd proto.PageData) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := c.cache[pd.Page]
@@ -491,16 +864,21 @@ func (c *Client) applyFragment(pd proto.PageData) {
 		copy(p.data[off:], pd.Data)
 		p.valid = p.valid.Set(neededMask(off, len(pd.Data)))
 		c.stats.BytesIn += int64(len(pd.Data))
-		if pd.Flags&proto.FlagFirst != 0 && !p.start.IsZero() {
+		if pd.Flags&proto.FlagFirst != 0 && !p.firstOK && !p.start.IsZero() {
+			p.firstOK = true
 			c.stats.SubpageLat.Add(float64(time.Since(p.start).Microseconds()))
 		}
 	}
-	if pd.Flags&proto.FlagLast != 0 {
+	if pd.Flags&proto.FlagLast != 0 && p.waitCh != nil {
+		ch := p.waitCh
+		p.waitCh = nil
 		p.inflight = false
+		p.sources = nil
 		if !p.start.IsZero() {
 			c.stats.FullLat.Add(float64(time.Since(p.start).Microseconds()))
 			p.start = time.Time{}
 		}
+		ch <- nil
 	}
 	c.cond.Broadcast()
 }

@@ -21,12 +21,14 @@ import (
 )
 
 // Directory is the global cache directory (GCD): it maps pages to the
-// server storing them.
+// servers storing them. A page registered by several servers has replicas;
+// the first registrant is the primary and lookups return the full list so
+// clients can fail over.
 type Directory struct {
 	ln net.Listener
 
 	mu    sync.Mutex
-	pages map[uint64]string
+	pages map[uint64][]string
 	conns map[net.Conn]struct{}
 	done  bool
 
@@ -40,14 +42,20 @@ func ListenDirectory(addr string) (*Directory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: directory listen: %w", err)
 	}
+	return ListenDirectoryOn(ln), nil
+}
+
+// ListenDirectoryOn starts a directory on an existing listener — the hook
+// for running it behind a chaos injector or a custom transport.
+func ListenDirectoryOn(ln net.Listener) *Directory {
 	d := &Directory{
 		ln:    ln,
-		pages: make(map[uint64]string),
+		pages: make(map[uint64][]string),
 		conns: make(map[net.Conn]struct{}),
 	}
 	d.wg.Add(1)
 	go d.acceptLoop()
-	return d, nil
+	return d
 }
 
 // Addr returns the directory's listen address.
@@ -66,12 +74,22 @@ func (d *Directory) Close() error {
 	return err
 }
 
-// Lookup reports which server stores page, for tests and tools.
+// Lookup reports the primary server storing page, for tests and tools.
 func (d *Directory) Lookup(page uint64) (string, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	addr, ok := d.pages[page]
-	return addr, ok
+	addrs := d.pages[page]
+	if len(addrs) == 0 {
+		return "", false
+	}
+	return addrs[0], true
+}
+
+// Replicas reports every server registered for page, primary first.
+func (d *Directory) Replicas(page uint64) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.pages[page]...)
 }
 
 // Len reports the number of registered pages.
@@ -79,6 +97,20 @@ func (d *Directory) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pages)
+}
+
+// register adds addr as a holder of page. Re-registration by the same
+// server is idempotent; a different server becomes a replica, appended
+// after the existing holders (replica semantics, not last-writer-wins: the
+// primary keeps its role until it is deregistered or the directory
+// restarts). Called with d.mu held.
+func (d *Directory) register(page uint64, addr string) {
+	for _, a := range d.pages[page] {
+		if a == addr {
+			return
+		}
+	}
+	d.pages[page] = append(d.pages[page], addr)
 }
 
 func (d *Directory) acceptLoop() {
@@ -127,7 +159,7 @@ func (d *Directory) serve(conn net.Conn) {
 			}
 			d.mu.Lock()
 			for _, p := range reg.Pages {
-				d.pages[p] = reg.Addr
+				d.register(p, reg.Addr)
 			}
 			d.mu.Unlock()
 			if err := w.SendAck(); err != nil {
@@ -140,9 +172,9 @@ func (d *Directory) serve(conn net.Conn) {
 				return
 			}
 			d.mu.Lock()
-			addr := d.pages[lk.Page]
+			addrs := append([]string(nil), d.pages[lk.Page]...)
 			d.mu.Unlock()
-			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addr: addr}); err != nil {
+			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addrs: addrs}); err != nil {
 				return
 			}
 		default:

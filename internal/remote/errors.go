@@ -1,0 +1,37 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPageUnavailable is the sentinel matched by errors.Is when a page
+// cannot be fetched from any server within the client's retry budget —
+// the bounded, typed outcome that replaces an indefinite hang.
+var ErrPageUnavailable = errors.New("remote: page unavailable")
+
+// errNotRegistered is the authoritative directory miss: no server holds
+// the page, so retrying cannot help.
+var errNotRegistered = errors.New("not registered in the directory")
+
+// errClientClosed aborts in-flight work when the client shuts down.
+var errClientClosed = errors.New("remote: client closed")
+
+// PageError reports a page whose fetch failed permanently: every replica
+// was tried, retries are exhausted, or the directory answered that nobody
+// holds it. It matches ErrPageUnavailable under errors.Is and unwraps to
+// the last underlying cause.
+type PageError struct {
+	Page     uint64
+	Attempts int
+	Err      error
+}
+
+func (e *PageError) Error() string {
+	return fmt.Sprintf("remote: page %d unavailable after %d attempt(s): %v", e.Page, e.Attempts, e.Err)
+}
+
+func (e *PageError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrPageUnavailable) match any *PageError.
+func (e *PageError) Is(target error) bool { return target == ErrPageUnavailable }

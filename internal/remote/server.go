@@ -69,6 +69,12 @@ func ListenServer(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: server listen: %w", err)
 	}
+	return ListenServerOn(ln), nil
+}
+
+// ListenServerOn starts a page server on an existing listener — the hook
+// for serving through a chaos injector or a custom transport.
+func ListenServerOn(ln net.Listener) *Server {
 	s := &Server{
 		ln:    ln,
 		pages: make(map[uint64][]byte),
@@ -76,7 +82,7 @@ func ListenServer(addr string) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
@@ -220,19 +226,15 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// policyFor maps a wire policy byte to a transfer plan policy.
+// policyFor maps a wire policy byte to a transfer plan policy through the
+// protocol's shared name mapping, so the server and the public DialClient
+// can never drift on which policies the wire carries.
 func policyFor(b uint8) (core.Policy, error) {
-	switch b {
-	case proto.PolicyFullPage:
-		return core.FullPage{}, nil
-	case proto.PolicyLazy:
-		return core.Lazy{}, nil
-	case proto.PolicyEager:
-		return core.Eager{}, nil
-	case proto.PolicyPipelined:
-		return core.Pipelined{}, nil
+	name, err := proto.PolicyName(b)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("remote: unknown policy %d", b)
+	return core.ByName(name)
 }
 
 // sendPage streams the fragments of one page per the requested policy:

@@ -5,6 +5,7 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/gms"
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
 )
@@ -28,7 +29,8 @@ type ClusterConfig struct {
 
 	// IdleNodes donate memory; GlobalPagesPerIdle is each one's
 	// capacity in pages (0 = unbounded, the paper's warm-cache
-	// assumption).
+	// assumption). IdleNodes <= 0 runs the all-disk baseline: no node
+	// donates memory and every refault misses the (empty) global cache.
 	IdleNodes          int
 	GlobalPagesPerIdle int
 
@@ -90,15 +92,20 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 	if cfg.BatchRefs <= 0 {
 		cfg.BatchRefs = 4096
 	}
-	gcfg := gms.Config{Nodes: max(1, cfg.IdleNodes), GlobalPagesPerNode: cfg.GlobalPagesPerIdle}
+	gcfg := gms.Config{Nodes: cfg.IdleNodes, GlobalPagesPerNode: cfg.GlobalPagesPerIdle}
 	var shared GlobalCache
 	var base *gms.Cluster
 	var epochs *int64
-	if cfg.UseEpoch {
+	var nog *noGlobal
+	switch {
+	case cfg.IdleNodes <= 0:
+		nog = &noGlobal{}
+		shared = nog
+	case cfg.UseEpoch:
 		ec := gms.NewEpochCluster(gcfg, gms.DefaultEpochConfig())
 		shared, base = ec, ec.Cluster
 		epochs = &ec.Epoch.Epochs
-	} else {
+	default:
 		c := gms.NewCluster(gcfg)
 		shared, base = c, c
 	}
@@ -137,8 +144,9 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 		}
 	}
 
-	// Warm the shared cache with every node's pages unless cold.
-	if !cfg.ColdStart {
+	// Warm the shared cache with every node's pages unless cold (or
+	// there is no cache to warm).
+	if !cfg.ColdStart && base != nil {
 		for _, n := range nodes {
 			base.Warm(n.r.pagesTouched())
 		}
@@ -178,12 +186,27 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 		n.r.finishRun()
 		res.Nodes = append(res.Nodes, n.r.res)
 	}
-	res.GlobalHits = base.Hits
-	res.GlobalMisses = base.Misses
-	res.Stores = base.Stores
-	res.Discards = base.Discards
+	if base != nil {
+		res.GlobalHits = base.Hits
+		res.GlobalMisses = base.Misses
+		res.Stores = base.Stores
+		res.Discards = base.Discards
+	} else {
+		res.GlobalMisses = nog.misses
+	}
 	if epochs != nil {
 		res.Epochs = *epochs
 	}
 	return res
 }
+
+// noGlobal is the all-disk baseline's stand-in for network memory: with no
+// idle nodes there is nothing to fetch from or store to, so every refault
+// falls through to disk and every eviction is simply lost.
+type noGlobal struct{ misses int64 }
+
+func (g *noGlobal) Fetch(memmodel.PageID) (gms.NodeID, bool) { g.misses++; return 0, false }
+
+func (g *noGlobal) Store(memmodel.PageID) gms.NodeID { return 0 }
+
+func (g *noGlobal) Lookup(memmodel.PageID) (gms.NodeID, bool) { return 0, false }

@@ -139,6 +139,34 @@ func TestClusterSubpagesStillWin(t *testing.T) {
 	}
 }
 
+func TestClusterNoIdleNodesAllDisk(t *testing.T) {
+	// Zero idle nodes is the all-disk baseline: no global cache exists,
+	// so every fault goes to disk and the run is slower than with donors.
+	apps := []*trace.App{trace.Gdb(0.5)}
+	noIdle := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 0,
+	})
+	donated := RunCluster(ClusterConfig{
+		Apps: apps, MemFraction: 0.5, Policy: core.Eager{}, SubpageSize: 1024,
+		IdleNodes: 2,
+	})
+	if noIdle.GlobalHits != 0 || noIdle.Stores != 0 {
+		t.Fatalf("no-idle run touched a global cache: %+v", noIdle)
+	}
+	if noIdle.GlobalMisses == 0 {
+		t.Fatal("no-idle run should still count global misses")
+	}
+	n := noIdle.Nodes[0]
+	if n.DiskFaults != n.Faults {
+		t.Fatalf("all faults should hit disk: %d disk of %d", n.DiskFaults, n.Faults)
+	}
+	if noIdle.TotalRuntime() <= donated.TotalRuntime() {
+		t.Fatalf("all-disk baseline (%d) should be slower than network memory (%d)",
+			noIdle.TotalRuntime(), donated.TotalRuntime())
+	}
+}
+
 func TestRunClusterPanicsWithoutApps(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,6 +1,8 @@
 package gmsubpage
 
 import (
+	"time"
+
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/remote"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -84,43 +86,53 @@ type ClientOptions struct {
 	Policy Policy
 	// Readahead prefetches the next page during sequential fault runs.
 	Readahead bool
+
+	// Resilience knobs (see the "Failure model and resilience" section of
+	// the README). The zero value of each picks a sensible default.
+
+	// DialTimeout bounds each directory or server dial (default 1s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each lookup RPC and each page-fetch attempt
+	// (default 2s); an expired attempt is retried, not hung on.
+	RequestTimeout time.Duration
+	// MaxRetries bounds retries beyond the first attempt (default 3;
+	// negative disables retries). Exhausting the budget fails the access
+	// with an error matching ErrPageUnavailable.
+	MaxRetries int
+	// Hedge, when positive, duplicates a fetch to a replica if the
+	// faulted subpage has not arrived after this delay, trading
+	// bandwidth for tail latency.
+	Hedge time.Duration
 }
+
+// ErrPageUnavailable is matched (via errors.Is) by read and write errors
+// when a page cannot be fetched from any replica within the retry budget.
+var ErrPageUnavailable = remote.ErrPageUnavailable
 
 // Client is a faulting node using remote memory through the directory.
 type Client struct{ c *remote.Client }
 
 // DialClient connects a client to the directory at dirAddr.
 func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
-	wire := proto.PolicyEager
-	switch opts.Policy {
-	case "", Eager:
-		wire = proto.PolicyEager
-	case FullPage:
-		wire = proto.PolicyFullPage
-	case Lazy:
-		wire = proto.PolicyLazy
-	case Pipelined:
-		wire = proto.PolicyPipelined
-	default:
-		return nil, errUnsupportedPolicy(opts.Policy)
+	wire, err := proto.PolicyByte(string(opts.Policy))
+	if err != nil {
+		return nil, err
 	}
 	c, err := remote.Dial(remote.ClientConfig{
-		Directory:   dirAddr,
-		CachePages:  opts.CachePages,
-		SubpageSize: opts.SubpageSize,
-		Policy:      wire,
-		Readahead:   opts.Readahead,
+		Directory:      dirAddr,
+		CachePages:     opts.CachePages,
+		SubpageSize:    opts.SubpageSize,
+		Policy:         wire,
+		Readahead:      opts.Readahead,
+		DialTimeout:    opts.DialTimeout,
+		RequestTimeout: opts.RequestTimeout,
+		MaxRetries:     opts.MaxRetries,
+		Hedge:          opts.Hedge,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Client{c: c}, nil
-}
-
-type errUnsupportedPolicy Policy
-
-func (e errUnsupportedPolicy) Error() string {
-	return "gmsubpage: policy " + string(e) + " is not supported by the wire protocol"
 }
 
 // Read fills buf from the global address addr, faulting in missing
@@ -138,6 +150,11 @@ type ClientStats struct {
 	Evictions  int64
 	PutPages   int64
 	BytesIn    int64
+	// Resilience counters: attempts beyond the first, retries that moved
+	// to a different replica, and hedged duplicate fetches.
+	Retries   int64
+	Failovers int64
+	Hedges    int64
 	// Median fault-to-subpage-arrival and fault-to-complete-page times.
 	SubpageLatencyUs float64
 	FullLatencyUs    float64
@@ -152,6 +169,9 @@ func (c *Client) Stats() ClientStats {
 		Evictions:        st.Evictions,
 		PutPages:         st.PutPages,
 		BytesIn:          st.BytesIn,
+		Retries:          st.Retries,
+		Failovers:        st.Failovers,
+		Hedges:           st.Hedges,
 		SubpageLatencyUs: st.SubpageLat.Median(),
 		FullLatencyUs:    st.FullLat.Median(),
 	}
