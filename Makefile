@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench chaos-demo
+.PHONY: ci fmt vet lint build test race bench chaos-demo
 
-# ci is the full gate: formatting, vet, build, tests, and a race-detector
-# pass over the concurrent packages.
-ci: fmt vet build test race
+# ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
+# tests (including the gmsdebug-instrumented core), and a race-detector
+# pass over every package.
+ci: fmt vet lint build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -15,16 +16,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific analyzers (unitsafety, simpurity, lockio,
+# errdrop); see DESIGN.md "Static analysis & invariants".
+lint:
+	$(GO) run ./cmd/gmslint ./...
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+	$(GO) test -tags gmsdebug ./internal/core
 
-# The remote client and the fault injector are the concurrency-heavy
-# packages; the race run is mandatory for them.
+# -short skips the full experiment sweep, which is CPU-bound model code
+# with no goroutines; every concurrent path still runs under the detector.
 race:
-	$(GO) test -race ./internal/remote ./internal/chaos
+	$(GO) test -race -short -timeout 15m ./...
 
 bench:
 	$(GO) test -bench . -benchtime 200x -run xxx ./...

@@ -1,0 +1,69 @@
+// Command gmslint runs the repository's static analyzer suite (see
+// internal/lint): unitsafety, simpurity, lockio and errdrop. It exits
+// nonzero when any finding survives //lint:allow suppression, which is
+// what `make lint` — and so `make ci` — gates on.
+//
+// Usage:
+//
+//	gmslint [-checks unitsafety,simpurity,lockio,errdrop] [packages]
+//
+// Packages are directories, or directory/... subtrees; the default is
+// ./... from the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gms-sim/gmsubpage/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(*checks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmslint:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, modPath, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmslint:", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmslint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "gmslint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}

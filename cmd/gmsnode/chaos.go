@@ -33,7 +33,7 @@ func runChaos(args []string) {
 	reqTO := fs.Duration("timeout", 2*time.Second, "per-fetch-attempt timeout")
 	retries := fs.Int("retries", 4, "retries beyond the first attempt")
 	hedge := fs.Duration("hedge", 0, "duplicate a fetch to the replica after this delay (0 = off)")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 
 	dir, err := remote.ListenDirectory("127.0.0.1:0")
 	if err != nil {
@@ -90,10 +90,10 @@ func runChaos(args []string) {
 	var buf [64]byte
 	failed := 0
 	killed := false
-	start := time.Now()
+	start := time.Now() //lint:allow simpurity chaos demo reports real elapsed time of the live cluster under faults
 	for p := 0; p < *pages; p++ {
 		if p == killPage {
-			primary.Close()
+			_ = primary.Close()
 			killed = true
 			fmt.Printf("page %4d: killed primary %s mid-workload\n", p, primary.Addr())
 		}
@@ -120,7 +120,7 @@ func runChaos(args []string) {
 			failed++
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow simpurity chaos demo reports real elapsed time of the live cluster under faults
 
 	st := c.Stats()
 	fmt.Printf("workload done: %d pages in %v, %d failed reads\n", *pages, elapsed.Round(time.Millisecond), failed)

@@ -105,7 +105,7 @@ func main() {
 		}
 		s := c.Stats()
 		fmt.Printf("  %-10s %11.0f us %11.0f us\n", pol, s.SubpageLatencyUs, s.FullLatencyUs)
-		c.Close()
+		_ = c.Close()
 	}
 	fmt.Println("\nwith subpage policies the program resumes before the page finishes arriving,")
 	fmt.Println("exactly as on the paper's Alpha/AN2 prototype (0.52 ms vs 1.48 ms there).")

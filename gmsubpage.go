@@ -249,11 +249,11 @@ func SimulateTraceFile(path string, cfg Config) (*Report, error) {
 	}
 	rd, err := trace.Open(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	prof := trace.ProfileOf(rd)
-	f.Close()
+	_ = f.Close()
 	if prof.Refs == 0 {
 		return nil, fmt.Errorf("gmsubpage: trace %s is empty", path)
 	}
@@ -285,7 +285,7 @@ func SimulateTraceFile(path string, cfg Config) (*Report, error) {
 			}
 			rd, err := trace.Open(f)
 			if err != nil {
-				f.Close()
+				_ = f.Close()
 				return &trace.SliceReader{}
 			}
 			return &closingReader{r: rd, f: f}
@@ -312,7 +312,7 @@ type closingReader struct {
 func (c *closingReader) Read(buf []trace.Ref) int {
 	n := c.r.Read(buf)
 	if n == 0 && c.f != nil {
-		c.f.Close()
+		_ = c.f.Close()
 		c.f = nil
 	}
 	return n

@@ -123,7 +123,7 @@ func (n *Network) KillActive() int {
 	}
 	n.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		_ = c.Close()
 	}
 	return len(victims)
 }
@@ -252,7 +252,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 	parted := c.netw.partitioned
 	c.netw.mu.Unlock()
 	if parted {
-		c.Close()
+		_ = c.Close()
 		return 0, ErrPartitioned
 	}
 	return c.inner.Read(b)
@@ -265,16 +265,16 @@ func (c *Conn) Write(b []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	if err := c.waitStall(); err != nil {
-		c.Close()
+		_ = c.Close()
 		return 0, err
 	}
 	p, err := c.netw.plan(len(b))
 	if err != nil {
-		c.Close()
+		_ = c.Close()
 		return 0, err
 	}
 	if p.reset {
-		c.Close()
+		_ = c.Close()
 		return 0, ErrReset
 	}
 	if p.delay > 0 {
@@ -283,7 +283,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if p.drop {
 		// The bytes vanish and the link dies: the caller sees success
 		// now and errors on the next use, the peer sees EOF.
-		c.Close()
+		_ = c.Close()
 		return len(b), nil
 	}
 	return c.inner.Write(b)

@@ -37,9 +37,9 @@ func Start(steps []Step) *Scenario {
 
 func (s *Scenario) run(steps []Step) {
 	defer close(s.done)
-	start := time.Now()
+	start := time.Now() //lint:allow simpurity scenario steps are scheduled against the real clock of the live prototype
 	for _, st := range steps {
-		wait := st.After - time.Since(start)
+		wait := st.After - time.Since(start) //lint:allow simpurity step deadlines are wall-clock offsets into the live run
 		if wait > 0 {
 			select {
 			case <-time.After(wait):

@@ -1,0 +1,9 @@
+//go:build !gmsdebug
+
+package core
+
+// debugEnabled gates the runtime invariant assertions. Build with
+// `-tags gmsdebug` to enable them; this default build compiles them away.
+const debugEnabled = false
+
+func debugAssert(bool, string) {}

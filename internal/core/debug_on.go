@@ -1,0 +1,13 @@
+//go:build gmsdebug
+
+package core
+
+// debugEnabled gates the runtime invariant assertions. Build with
+// `-tags gmsdebug` to enable them; the default build compiles them away.
+const debugEnabled = true
+
+func debugAssert(cond bool, msg string) {
+	if !cond {
+		panic("core: invariant violated: " + msg)
+	}
+}

@@ -146,8 +146,36 @@ func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int)
 		}
 	}
 	t.FirstArrival = t.arrivals[0]
+	if debugEnabled {
+		e.checkTransferInvariants(t, plan, now, faultOff)
+	}
 	e.Faults++
 	return t
+}
+
+// checkTransferInvariants verifies, under -tags gmsdebug, the properties
+// every planned transfer must satisfy. Arrivals are monotone only within a
+// delivery class: Deliver=true messages serialize on the receiving CPU,
+// Deliver=false deposits on the controller's DMA engine, and the two
+// streams may interleave freely on the global clock.
+func (e *Engine) checkTransferInvariants(t *Transfer, plan []PlannedMessage, now units.Ticks, faultOff int) {
+	debugAssert(len(plan) > 0, "transfer plan is empty")
+	debugAssert(plan[0].Deliver, "first planned message is not CPU-delivered")
+	debugAssert(t.covers[0].Has(faultOff),
+		"first planned message does not cover the faulted subpage")
+	var lastCPU, lastDMA units.Ticks
+	for i := range plan {
+		debugAssert(t.arrivals[i] > now, "message arrival not after fault issue")
+		if plan[i].Deliver {
+			debugAssert(t.arrivals[i] >= lastCPU, "CPU-delivered arrivals out of order")
+			debugAssert(t.arrivals[i] >= t.FirstArrival,
+				"faulted subpage does not arrive first among CPU deliveries")
+			lastCPU = t.arrivals[i]
+		} else {
+			debugAssert(t.arrivals[i] >= lastDMA, "controller-deposit arrivals out of order")
+			lastDMA = t.arrivals[i]
+		}
+	}
 }
 
 // NoteStall records that the program stalled from 'from' to 'to' waiting
@@ -157,6 +185,10 @@ func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int)
 func (e *Engine) NoteStall(from, to units.Ticks, tr *Transfer, initial bool) {
 	if to <= from {
 		return
+	}
+	if debugEnabled && len(e.stallEnd) > 0 {
+		debugAssert(from >= e.stallEnd[len(e.stallEnd)-1],
+			"stall interval overlaps an earlier one (double-counted stall time)")
 	}
 	d := to - from
 	e.stallStart = append(e.stallStart, from)

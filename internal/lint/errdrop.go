@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop flags calls whose error result is silently discarded: a call
+// used as a bare statement when its (last) result is an error. The repo's
+// convention for a deliberate drop is an explicit `_ =`, which keeps the
+// decision visible at the call site. Deferred calls are exempt (the
+// `defer f.Close()` idiom), as are fmt's terminal printers and writes into
+// in-memory buffers (strings.Builder, bytes.Buffer), which are documented
+// never to fail.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "silently discarded error returns without an explicit _ =",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !lastResultIsError(pass, call) || errdropExempt(pass, call) {
+				return true
+			}
+			name := types.ExprString(call.Fun)
+			pass.Reportf(st.Pos(), "error result of %s is silently dropped; handle it or write `_ = %s(...)` to make the drop explicit", name, name)
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+func lastResultIsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len() > 0 && isErrorType(tuple.At(tuple.Len()-1).Type())
+	}
+	return isErrorType(tv.Type)
+}
+
+// inMemoryWriter reports whether t is a writer that cannot fail.
+func inMemoryWriter(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// Methods on in-memory buffers never return a non-nil error.
+		return inMemoryWriter(sig.Recv().Type())
+	}
+	if pkg != "fmt" {
+		return false
+	}
+	switch {
+	case name == "Print", name == "Printf", name == "Println":
+		return true // terminal output; nothing sane to do with the error
+	case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+		if inMemoryWriter(pass.Info.Types[call.Args[0]].Type) {
+			return true
+		}
+		// Writes to the process's own stdio are as unhandleable as Print.
+		dst := types.ExprString(call.Args[0])
+		return dst == "os.Stdout" || dst == "os.Stderr"
+	}
+	return false
+}

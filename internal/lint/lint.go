@@ -1,0 +1,201 @@
+// Package lint implements gmslint, the repository's static analyzer suite.
+//
+// The simulator's credibility rests on invariants the Go compiler cannot
+// see: the event clock (units.Ticks, one 12 ns memory-reference event) must
+// never mix with physical durations (units.Nanos, time.Duration), model
+// code must be bit-reproducible (seeded internal/rng, no wall clock, no
+// map-ordered output), and the concurrent remote client must not hold
+// mutexes across blocking I/O. Each of those is a project-specific
+// analyzer here; cmd/gmslint runs them all and exits nonzero on findings,
+// which is what `make lint` (and so `make ci`) gates on.
+//
+// A finding is suppressed with a comment on the same line or the line
+// above:
+//
+//	//lint:allow <check> <justification>
+//
+// The justification is mandatory: a bare //lint:allow still suppresses the
+// finding but is itself reported, so the build stays red until the reason
+// is written down.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Msg)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package and collects its
+// findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Info     *types.Info
+	Path     string // import path
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:   p.Fset.Position(pos),
+		Check: p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Unitsafety, Simpurity, Lockio, Errdrop}
+}
+
+// ByName resolves a comma-separated list of analyzer names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+	}
+	return out, nil
+}
+
+// allowMark is one parsed //lint:allow comment.
+type allowMark struct {
+	check     string
+	justified bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow comment of the package. It
+// returns the marks keyed by filename and the lines they cover (the
+// comment's own line and the next, so both trailing and standalone
+// placement work), plus a diagnostic for every mark missing its mandatory
+// justification.
+func collectAllows(pkg *Package) (map[string]map[int][]allowMark, []Diagnostic) {
+	marks := make(map[string]map[int][]allowMark)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{Pos: pos, Check: "allow",
+						Msg: "lint:allow needs a check name and a justification"})
+					continue
+				}
+				m := allowMark{check: fields[0], justified: len(fields) > 1}
+				if !m.justified {
+					diags = append(diags, Diagnostic{Pos: pos, Check: "allow",
+						Msg: fmt.Sprintf("lint:allow %s needs a justification (//lint:allow %s <why>)", m.check, m.check)})
+				}
+				byLine := marks[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]allowMark)
+					marks[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], m)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], m)
+			}
+		}
+	}
+	return marks, diags
+}
+
+func suppressed(marks map[string]map[int][]allowMark, d Diagnostic) bool {
+	for _, m := range marks[d.Pos.Filename][d.Pos.Line] {
+		if m.check == d.Check {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applies //lint:allow
+// suppressions, and returns the surviving findings in file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		marks, allowDiags := collectAllows(pkg)
+		out = append(out, allowDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(marks, d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// pathHasSegment reports whether the slash-separated segment sequence seg
+// occurs in the import path (so "internal/sim" matches
+// "mod/internal/sim" but not "mod/internal/simfoo").
+func pathHasSegment(path, seg string) bool {
+	return strings.Contains("/"+path+"/", "/"+seg+"/")
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, modPath)
+}
+
+// wantPattern extracts the quoted or backquoted regexps of a // want
+// comment.
+var wantPattern = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)+)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runWantTest loads the fixture package in dir, runs the analyzers, and
+// checks the diagnostics against the fixture's // want comments: every
+// diagnostic must match a want on its line, and every want must be hit.
+func runWantTest(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPattern.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string: %v", pos.Filename, pos.Line, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+
+	diags := Run([]*Package{pkg}, analyzers)
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Msg) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %v", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestUnitsafetyFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/unitsafety", []*Analyzer{Unitsafety})
+}
+
+func TestSimpurityFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/internal/sim", []*Analyzer{Simpurity})
+}
+
+func TestLockioFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/internal/remote", []*Analyzer{Lockio})
+}
+
+func TestErrdropFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/errdrop", []*Analyzer{Errdrop})
+}
+
+// TestInjectedViolationIsFatal pins the cmd/gmslint exit contract: an
+// injected violation must yield findings, and findings are what the
+// command turns into a nonzero exit.
+func TestInjectedViolationIsFatal(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir("testdata/src/errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, All()); len(diags) == 0 {
+		t.Fatal("injected violations produced no findings; gmslint would exit 0")
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "time"
+
+//lint:allow simpurity harness timing is deliberately wall-clock for the operator
+var t0 = time.Now()
+
+var t1 = time.Now() //lint:allow simpurity trailing placement covers its own line
+
+//lint:allow simpurity
+var t2 = time.Now()
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Simpurity})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the missing-justification finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Check != "allow" || !strings.Contains(diags[0].Msg, "justification") {
+		t.Fatalf("want a missing-justification finding, got %v", diags[0])
+	}
+}
+
+// TestRepositoryIsLintClean runs the full suite over the whole module —
+// the same gate as `make lint` — so a violation introduced anywhere fails
+// the ordinary test run, not just CI.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	loader := newTestLoader(t)
+	pkgs, err := loader.Expand([]string{filepath.Join(loader.Root, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Error(d)
+	}
+}
+
+// TestAnalyzerDocs keeps the -list output usable.
+func TestAnalyzerDocs(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, n := range []string{"unitsafety", "simpurity", "lockio", "errdrop"} {
+		if !names[n] {
+			t.Errorf("missing analyzer %q", n)
+		}
+	}
+	if _, err := ByName("unitsafety, errdrop"); err != nil {
+		t.Errorf("ByName: %v", err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName accepted an unknown check")
+	}
+}
+
+func ExampleDiagnostic_String() {
+	d := Diagnostic{Check: "unitsafety", Msg: "example"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	fmt.Println(d)
+	// Output: x.go:3:7: [unitsafety] example
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockio guards lock discipline in the concurrent prototype packages
+// (internal/remote, internal/chaos): a sync.Mutex or sync.RWMutex must not
+// be held across blocking operations — network I/O, channel sends and
+// receives, selects without a default, time.Sleep, dials — because one
+// stalled peer then wedges every goroutine queued on the mutex.
+//
+// The walk is a linear, branch-local approximation: Lock()/Unlock() pairs
+// are tracked through straight-line code and defer, and nested blocks see
+// a copy of the held set, so a conditional early-unlock path cannot hide a
+// hold on the fall-through path. Deliberately held writes (bounded by a
+// write deadline) carry a justified //lint:allow lockio.
+var Lockio = &Analyzer{
+	Name: "lockio",
+	Doc:  "mutex held across network I/O, channel operations or sleeps in the concurrent packages",
+	Run:  runLockio,
+}
+
+var lockioSegments = []string{"internal/remote", "internal/chaos"}
+
+func runLockio(pass *Pass) {
+	inScope := false
+	for _, seg := range lockioSegments {
+		if pathHasSegment(pass.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+func isMutexType(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockOp classifies expr as a mutex Lock/Unlock call: op is "lock",
+// "unlock" or "", and key names the mutex expression.
+func (w *lockWalker) lockOp(expr ast.Expr) (op, key string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return "", ""
+	}
+	return op, types.ExprString(sel.X)
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		w.stmt(st, held)
+	}
+}
+
+func (w *lockWalker) stmt(st ast.Stmt, held map[string]token.Pos) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if op, key := w.lockOp(s.X); op == "lock" {
+			held[key] = s.Pos()
+			return
+		} else if op == "unlock" {
+			delete(held, key)
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the mutex stays held for
+		// the rest of the body, which is exactly what held already says.
+		// Other deferred calls run after the body; nothing blocks now.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), held, "a channel send")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// Launching a goroutine does not block; its body runs elsewhere.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.report(s.Pos(), held, "a blocking select")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// expr scans an expression for blocking operations while mutexes are held.
+func (w *lockWalker) expr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // runs when invoked, not here
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.report(x.Pos(), held, "a channel receive")
+			}
+		case *ast.CallExpr:
+			if what := w.blockingCall(x); what != "" {
+				w.report(x.Pos(), held, what)
+			}
+		}
+		return true
+	})
+}
+
+// ioMethodNames are method-name shapes that move bytes on a connection or
+// stream. Accessors like SetWriteDeadline or RemoteAddr do not match.
+func isIOMethodName(name string) bool {
+	if strings.HasPrefix(name, "Set") {
+		return false
+	}
+	return strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write") ||
+		strings.HasPrefix(name, "Send") || strings.HasPrefix(name, "Recv") ||
+		name == "Flush" || name == "Accept"
+}
+
+// blockingCall classifies a call that can block indefinitely: sleeps,
+// dials, and I/O methods on network-ish types (net, bufio, crypto/tls and
+// the repo's wire protocol package internal/proto).
+func (w *lockWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	if sig.Recv() == nil {
+		switch {
+		case pkg == "time" && name == "Sleep":
+			return "time.Sleep"
+		case pkg == "net" && strings.HasPrefix(name, "Dial"):
+			return "a network dial"
+		case pkg == "io" && (name == "ReadFull" || name == "ReadAtLeast" ||
+			name == "Copy" || name == "CopyN" || name == "ReadAll"):
+			return "io." + name
+		}
+		return ""
+	}
+	ioPkg := pkg == "net" || pkg == "bufio" || pkg == "crypto/tls" ||
+		pathHasSegment(pkg, "internal/proto")
+	if ioPkg && (isIOMethodName(name) || (pkg == "net" && strings.HasPrefix(name, "Dial"))) {
+		return "network I/O (" + name + ")"
+	}
+	return ""
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) report(pos token.Pos, held map[string]token.Pos, what string) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	first := w.pass.Fset.Position(held[keys[0]])
+	w.pass.Reportf(pos, "%s held across %s (locked at line %d); move the blocking work outside the critical section or bound it with a deadline", strings.Join(keys, ", "), what, first.Line)
+}

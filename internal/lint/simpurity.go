@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Simpurity guards the determinism of the trace-driven simulator.
+//
+// Model code — the packages that produce the paper's numbers — must be
+// bit-reproducible: it advances a seeded event clock, draws randomness
+// from the seeded internal/rng, and never observes the wall clock or Go's
+// randomized map iteration order in its output. Three rules at two scopes:
+//
+//   - In the model packages (internal/sim, internal/core,
+//     internal/experiments, internal/analytic): no wall clock at all
+//     (time.Now/Since/Sleep/After/...), no math/rand import (internal/rng
+//     is the seeded, version-stable source), and no printing from inside a
+//     range over a map.
+//   - Everywhere: no global math/rand top-level functions (shared,
+//     unseeded process state; constructing a seeded *rand.Rand via
+//     rand.New(rand.NewSource(seed)) is fine), and no time.Now/time.Since
+//     outside internal/remote (the live RPC path, whose deadlines and
+//     latency stats genuinely are wall-clock) — prototype timing paths
+//     carry a justified //lint:allow instead.
+var Simpurity = &Analyzer{
+	Name: "simpurity",
+	Doc:  "wall clock, unseeded randomness and map-ordered output in deterministic simulator code",
+	Run:  runSimpurity,
+}
+
+var modelSegments = []string{"internal/sim", "internal/core", "internal/experiments", "internal/analytic"}
+
+func isModelPkg(path string) bool {
+	for _, seg := range modelSegments {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// Seeded constructors of math/rand: building a local generator from an
+// explicit seed is exactly what the rule wants, so these are exempt.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSimpurity(pass *Pass) {
+	model := isModelPkg(pass.Path)
+	wallClockScope := !pathHasSegment(pass.Path, "internal/remote")
+	for _, f := range pass.Files {
+		if model {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && isRandPath(path) {
+					pass.Reportf(imp.Pos(), "model code imports %s; use the seeded internal/rng so experiment output is stable across runs and Go versions", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkPurityCall(pass, e, model, wallClockScope)
+			case *ast.RangeStmt:
+				if model {
+					checkMapOrderOutput(pass, e)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the *types.Func a call invokes, if any.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkPurityCall(pass *Pass, call *ast.CallExpr, model, wallClockScope bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	switch {
+	case pkg == "time" && sig.Recv() == nil:
+		switch name {
+		case "Now", "Since":
+			if wallClockScope {
+				pass.Reportf(call.Pos(), "wall-clock time.%s in simulator code; model time advances on the event clock (prototype timing paths: //lint:allow simpurity <why>)", name)
+			}
+		case "Sleep", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			if model {
+				pass.Reportf(call.Pos(), "time.%s in model code; the simulator advances via the event clock, never by real waiting", name)
+			}
+		}
+	case isRandPath(pkg) && sig.Recv() == nil && !seededConstructors[name]:
+		pass.Reportf(call.Pos(), "global math/rand.%s draws from shared, unseeded process-wide state; use a seeded *rand.Rand or internal/rng", name)
+	}
+}
+
+// checkMapOrderOutput flags printing from inside a range over a map: the
+// iteration order is randomized per run, so anything emitted inside the
+// loop is nondeterministic output.
+func checkMapOrderOutput(pass *Pass, rng *ast.RangeStmt) {
+	if _, ok := types.Unalias(pass.Info.Types[rng.X].Type).Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+			pass.Reportf(call.Pos(), "fmt.%s inside a range over a map emits in nondeterministic order; collect the keys, sort, then print", fn.Name())
+		}
+		return true
+	})
+}

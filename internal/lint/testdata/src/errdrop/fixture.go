@@ -1,0 +1,31 @@
+// Package errdrop is a gmslint test fixture; the // want comments are
+// matched against the analyzer's diagnostics by the harness test.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func drops(f *os.File) {
+	mayFail()    // want `error result of mayFail is silently dropped`
+	twoResults() // want `error result of twoResults`
+	f.Close()    // want `error result of f\.Close`
+	f.Sync()     // want `error result of f\.Sync`
+}
+
+func fine(f *os.File) {
+	_ = mayFail()
+	_, _ = twoResults()
+	defer f.Close() // deferred cleanup: exempt by convention
+	fmt.Println("terminal output is exempt")
+	var b strings.Builder
+	fmt.Fprintf(&b, "in-memory writers are exempt")
+	b.WriteString("x")
+	fmt.Fprintln(os.Stderr, "stdio is exempt")
+}

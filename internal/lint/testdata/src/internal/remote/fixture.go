@@ -1,0 +1,72 @@
+// Package remote is a gmslint test fixture for the lockio analyzer: its
+// directory sits under a path segment internal/remote, so it is in the
+// lock-discipline scope.
+package remote
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	ch   chan int
+	conn net.Conn
+}
+
+func (g *guarded) badStraightLine() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond)        // want `g\.mu held across time\.Sleep`
+	g.ch <- 1                           // want `held across a channel send`
+	<-g.ch                              // want `held across a channel receive`
+	_, _ = g.conn.Read(make([]byte, 1)) // want `held across network I/O \(Read\)`
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // released: fine
+}
+
+func (g *guarded) badDeferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `held across a blocking select`
+	case <-g.ch:
+	case g.ch <- 1:
+	}
+}
+
+func (g *guarded) condHold(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return
+	}
+	<-g.ch // want `held across a channel receive`
+	g.mu.Unlock()
+}
+
+func (g *guarded) earlyUnlockThenBlock(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	<-g.ch // both paths released: fine
+}
+
+func (g *guarded) nonBlockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // has a default clause: cannot block
+	case v := <-g.ch:
+		_ = v
+	default:
+	}
+}
+
+func (g *guarded) deadlineAccessorsAreFine(t time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = g.conn.SetWriteDeadline(t)
+	_ = g.conn.RemoteAddr()
+}

@@ -1,0 +1,33 @@
+// Package sim is a gmslint test fixture for the simpurity analyzer: its
+// directory sits under a path segment internal/sim, so it is treated as
+// model code.
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want `model code imports math/rand`
+	"time"
+)
+
+func impure(m map[int]int) {
+	_ = time.Now()               // want `wall-clock time\.Now`
+	_ = time.Since(time.Time{})  // want `wall-clock time\.Since`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in model code`
+	_ = rand.Intn(4)             // want `global math/rand\.Intn`
+	for k, v := range m {
+		fmt.Println(k, v) // want `nondeterministic order`
+	}
+}
+
+func pure(m map[int]int, keys []int) {
+	r := rand.New(rand.NewSource(1)) // seeded local generator: allowed
+	_ = r.Intn(4)
+	sum := 0
+	for _, v := range m { // aggregation over a map is order-independent
+		sum += v
+	}
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // sorted keys drive the output order
+	}
+	_ = sum
+}

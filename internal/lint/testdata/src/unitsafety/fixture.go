@@ -1,0 +1,31 @@
+// Package unitsafety is a gmslint test fixture; the // want comments are
+// matched against the analyzer's diagnostics by the harness test.
+package unitsafety
+
+import (
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func illegal(t units.Ticks, n units.Nanos, d time.Duration, other units.Ticks) {
+	_ = units.Nanos(t)        // want `conversion from units\.Ticks to units\.Nanos`
+	_ = units.Ticks(n)        // want `conversion from units\.Nanos to units\.Ticks`
+	_ = time.Duration(t)      // want `conversion from units\.Ticks to time\.Duration`
+	_ = units.Nanos(d)        // want `crosses the model-time/wall-clock boundary`
+	_ = units.Nanos(int64(d)) // want `via int64`
+	_ = units.Ticks(int64(n)) // want `via int64`
+	_ = t * other             // want `squared time units`
+}
+
+func legal(t units.Ticks, n units.Nanos, d time.Duration, count int) {
+	_ = n.ToTicks()
+	_ = t.ToNanos()
+	_ = units.FromDuration(d)
+	_ = n.Duration()
+	_ = 2 * n
+	_ = t * units.Ticks(3)
+	_ = t * units.Ticks(count) // dimensionless count lifted into the type
+	_ = int64(t)
+	_ = units.Nanos(count)
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unitsafety guards the event-clock/wall-clock unit boundary.
+//
+// units.Ticks counts 12 ns memory-reference events while units.Nanos and
+// time.Duration count nanoseconds, so a conversion between them that does
+// not go through the blessed helpers (ToTicks, ToNanos, FromMs,
+// FromDuration, Duration) silently rescales every latency by 12x — exactly
+// the class of accounting bug that invalidates a latency study. The
+// analyzer flags direct conversions between the three time-like types
+// (including conversions laundered through a plain integer type) and
+// multiplications of two time-valued operands (squared units). The units
+// package itself is the boundary and is exempt.
+var Unitsafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "conversions and arithmetic that cross the Ticks/Nanos/time.Duration unit boundary",
+	Run:  runUnitsafety,
+}
+
+// timeKind names the time-like unit of t, or "" for everything else.
+func timeKind(t types.Type) string {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "time" && obj.Name() == "Duration":
+		return "time.Duration"
+	case pathHasSegment(obj.Pkg().Path(), "internal/units") &&
+		(obj.Name() == "Ticks" || obj.Name() == "Nanos"):
+		return "units." + obj.Name()
+	}
+	return ""
+}
+
+func runUnitsafety(pass *Pass) {
+	if pathHasSegment(pass.Path, "internal/units") {
+		return // the blessed conversion boundary
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, e)
+			case *ast.BinaryExpr:
+				checkUnitMul(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// conversionOf reports whether e is a conversion expression T(x), and if
+// so returns the destination type and the operand.
+func conversionOf(pass *Pass, e *ast.CallExpr) (types.Type, ast.Expr, bool) {
+	if len(e.Args) != 1 {
+		return nil, nil, false
+	}
+	tv, ok := pass.Info.Types[e.Fun]
+	if !ok || !tv.IsType() {
+		return nil, nil, false
+	}
+	return tv.Type, e.Args[0], true
+}
+
+// timeSource resolves the time-like unit an expression carries, unwrapping
+// conversions through plain integer types so that units.Nanos(int64(d)) is
+// still seen as sourced from time.Duration. via names the laundering type,
+// if any.
+func timeSource(pass *Pass, e ast.Expr) (kind, via string) {
+	e = ast.Unparen(e)
+	if k := timeKind(pass.Info.Types[e].Type); k != "" {
+		return k, ""
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	dst, arg, ok := conversionOf(pass, call)
+	if !ok {
+		return "", ""
+	}
+	if b, ok := types.Unalias(dst).(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return "", ""
+	}
+	if k, _ := timeSource(pass, arg); k != "" {
+		return k, dst.String()
+	}
+	return "", ""
+}
+
+func checkUnitConversion(pass *Pass, e *ast.CallExpr) {
+	dstType, arg, ok := conversionOf(pass, e)
+	if !ok {
+		return
+	}
+	dst := timeKind(dstType)
+	if dst == "" {
+		return
+	}
+	src, via := timeSource(pass, arg)
+	if src == "" || src == dst {
+		return
+	}
+	through := ""
+	if via != "" {
+		through = " via " + via
+	}
+	if (src == "units.Ticks") != (dst == "units.Ticks") {
+		pass.Reportf(e.Pos(), "conversion from %s to %s%s rescales time by the 12 ns event size; use the units helpers (ToTicks/ToNanos)", src, dst, through)
+		return
+	}
+	// Nanos <-> Duration is numerically safe but crosses the model
+	// time / wall-clock boundary the units package exists to enforce.
+	pass.Reportf(e.Pos(), "conversion from %s to %s%s crosses the model-time/wall-clock boundary; use units.FromDuration or Nanos.Duration", src, dst, through)
+}
+
+// liftedScale reports whether e is a conversion of a dimensionless value
+// into a time-like type (the only way Go lets you scale a typed quantity,
+// e.g. t * units.Ticks(n)).
+func liftedScale(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	dst, arg, ok := conversionOf(pass, call)
+	if !ok || timeKind(dst) == "" {
+		return false
+	}
+	k, _ := timeSource(pass, arg)
+	return k == ""
+}
+
+func checkUnitMul(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.MUL {
+		return
+	}
+	tx, ty := pass.Info.Types[e.X], pass.Info.Types[e.Y]
+	kx, ky := timeKind(tx.Type), timeKind(ty.Type)
+	if kx == "" || kx != ky {
+		return
+	}
+	if tx.Value != nil || ty.Value != nil {
+		return // a constant operand is a scale factor, not a time value
+	}
+	if liftedScale(pass, e.X) || liftedScale(pass, e.Y) {
+		return // explicit lift of a dimensionless count into the unit type
+	}
+	pass.Reportf(e.Pos(), "multiplying %s by %s yields squared time units; one operand should be a dimensionless scalar", kx, ky)
+}

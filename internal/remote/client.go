@@ -151,6 +151,12 @@ type Client struct {
 	srvMu   sync.Mutex
 	servers map[string]*srvConn
 
+	// jmu guards jrand, the client's own seeded jitter source: backoff
+	// jitter must not contend on (or correlate through) the process-wide
+	// math/rand state shared with every other client in the process.
+	jmu   sync.Mutex
+	jrand *rand.Rand
+
 	wg sync.WaitGroup
 }
 
@@ -166,6 +172,10 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		located: make(map[uint64][]string),
 		servers: make(map[string]*srvConn),
 		closeCh: make(chan struct{}),
+		// Seeded from the wall clock so a fleet of clients restarting
+		// together still jitters apart; backoff jitter needs spread, not
+		// reproducibility.
+		jrand: rand.New(rand.NewSource(time.Now().UnixNano())), //lint:allow simpurity jitter seed wants real-time entropy, not determinism
 	}
 	dc, err := c.dial(cfg.Directory)
 	if err != nil {
@@ -207,7 +217,7 @@ func (c *Client) Close() error {
 	c.dirPtrMu.Unlock()
 	c.srvMu.Lock()
 	for _, sc := range c.servers {
-		sc.conn.Close()
+		_ = sc.conn.Close()
 	}
 	c.srvMu.Unlock()
 	c.wg.Wait()
@@ -536,7 +546,7 @@ func (c *Client) sendGet(addr string, page uint64, off int) error {
 	defer sc.wmu.Unlock()
 	_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	defer sc.conn.SetWriteDeadline(time.Time{})
-	return sc.w.SendGetPage(proto.GetPage{
+	return sc.w.SendGetPage(proto.GetPage{ //lint:allow lockio write is bounded by the deadline above; wmu only serializes writers on this conn
 		Page:        page,
 		FaultOff:    uint32(off),
 		SubpageSize: uint32(c.cfg.SubpageSize),
@@ -559,7 +569,10 @@ func (c *Client) backoffDelay(n int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(half+1))
+	c.jmu.Lock()
+	j := c.jrand.Int63n(half + 1)
+	c.jmu.Unlock()
+	return time.Duration(half + j)
 }
 
 // sleep waits for d or until the client closes, reporting true if the full
@@ -614,7 +627,7 @@ func (c *Client) putPage(addrs []string, page uint64, data []byte) {
 		}
 		sc.wmu.Lock()
 		_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
-		err = sc.w.SendPutPage(proto.PutPage{Page: page, Data: data})
+		err = sc.w.SendPutPage(proto.PutPage{Page: page, Data: data}) //lint:allow lockio write is bounded by the deadline above; wmu only serializes writers on this conn
 		_ = sc.conn.SetWriteDeadline(time.Time{})
 		sc.wmu.Unlock()
 		if err == nil {
@@ -699,7 +712,7 @@ func (c *Client) ensureDirConn() error {
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
-		conn.Close()
+		_ = conn.Close()
 		return errClientClosed
 	}
 	c.dirPtrMu.Lock()
@@ -715,7 +728,7 @@ func (c *Client) ensureDirConn() error {
 func (c *Client) dropDirConn() {
 	c.dirPtrMu.Lock()
 	if c.dirC != nil {
-		c.dirC.Close()
+		_ = c.dirC.Close()
 		c.dirC = nil
 		c.dirW, c.dirR = nil, nil
 	}
@@ -761,7 +774,7 @@ func (c *Client) server(addr string) (*srvConn, error) {
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
-		conn.Close()
+		_ = conn.Close()
 		return nil, errClientClosed
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -813,7 +826,7 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 func (c *Client) dropServer(addr string, cause error) {
 	c.srvMu.Lock()
 	if sc, ok := c.servers[addr]; ok {
-		sc.conn.Close()
+		_ = sc.conn.Close()
 		delete(c.servers, addr)
 	}
 	c.srvMu.Unlock()
@@ -839,7 +852,7 @@ func (c *Client) failPending(addr string, cause error) {
 			ch := p.waitCh
 			p.waitCh = nil
 			p.inflight = false
-			ch <- cause
+			ch <- cause //lint:allow lockio waitCh has capacity 1 and is nilled in this critical section, so the send never blocks
 		}
 	}
 	c.cond.Broadcast()
@@ -878,7 +891,7 @@ func (c *Client) applyFragment(addr string, pd proto.PageData) {
 			c.stats.FullLat.Add(float64(time.Since(p.start).Microseconds()))
 			p.start = time.Time{}
 		}
-		ch <- nil
+		ch <- nil //lint:allow lockio waitCh has capacity 1 and is nilled in this critical section, so the send never blocks
 	}
 	c.cond.Broadcast()
 }

@@ -48,7 +48,7 @@ func newSleeper() *sleeper {
 // Close releases the timer.
 func (s *sleeper) Close() {
 	if s != nil {
-		s.f.Close()
+		_ = s.f.Close()
 	}
 }
 

@@ -67,7 +67,7 @@ func (d *Directory) Close() error {
 	d.mu.Lock()
 	d.done = true
 	for conn := range d.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	d.mu.Unlock()
 	d.wg.Wait()
@@ -132,13 +132,13 @@ func (d *Directory) serve(conn net.Conn) {
 	d.mu.Lock()
 	if d.done {
 		d.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return
 	}
 	d.conns[conn] = struct{}{}
 	d.mu.Unlock()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		d.mu.Lock()
 		delete(d.conns, conn)
 		d.mu.Unlock()

@@ -94,7 +94,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.done = true
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -175,13 +175,13 @@ func (s *Server) serve(conn net.Conn) {
 	s.mu.Lock()
 	if s.done {
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()

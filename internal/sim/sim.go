@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/disk"
@@ -317,6 +318,9 @@ func (r *runner) pagesTouched() []memmodel.PageID {
 	for p := range pages {
 		ids = append(ids, p)
 	}
+	// Map iteration order would otherwise leak into the warm cache's age
+	// ordering and node placement, making cluster runs nondeterministic.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

@@ -8,6 +8,8 @@
 // converted to events at the simulator boundary.
 package units
 
+import "time"
+
 // EventNs is the modelled duration of one memory-reference event in
 // nanoseconds (paper §3.2: "average time per trace event ... about 12
 // nanoseconds").
@@ -48,6 +50,15 @@ func (n Nanos) Us() float64 { return float64(n) / float64(Microsecond) }
 
 // FromMs builds a duration from fractional milliseconds.
 func FromMs(ms float64) Nanos { return Nanos(ms * float64(Millisecond)) }
+
+// FromDuration converts a wall-clock duration into a model duration. This
+// and Nanos.Duration are the only blessed crossings between time.Duration
+// and the model's unit types; gmslint's unitsafety check flags any other.
+func FromDuration(d time.Duration) Nanos { return Nanos(d.Nanoseconds()) }
+
+// Duration converts a model duration to a wall-clock duration, for display
+// and for configuring the live prototype from model-derived values.
+func (n Nanos) Duration() time.Duration { return time.Duration(n) }
 
 // ToNanos converts simulator events back to physical time.
 func (t Ticks) ToNanos() Nanos { return Nanos(int64(t) * EventNs) }

@@ -64,7 +64,7 @@ func (c *Client) ReplayWorkload(workload string, scale float64, firstPage uint64
 		return nil, fmt.Errorf("gmsubpage: unknown workload %q (have %v)", workload, Workloads())
 	}
 	before := c.Stats()
-	start := time.Now()
+	start := time.Now() //lint:allow simpurity live replay measures the real prototype, so wall-clock elapsed time is the result
 
 	pageMap := make(map[uint64]uint64, app.TotalPages)
 	nextPage := firstPage
@@ -108,7 +108,7 @@ func (c *Client) ReplayWorkload(workload string, scale float64, firstPage uint64
 	return &ReplayReport{
 		Workload:         workload,
 		Refs:             refs,
-		Elapsed:          time.Since(start),
+		Elapsed:          time.Since(start), //lint:allow simpurity wall-clock elapsed time of the live run is the reported measurement
 		Faults:           after.Faults - before.Faults,
 		Prefetches:       after.Prefetches - before.Prefetches,
 		Evictions:        after.Evictions - before.Evictions,
