@@ -1,11 +1,15 @@
 GO ?= go
 
+# Trace scale for the BENCH_experiments.json snapshot; 1.0 is the paper's
+# full traces.
+BENCH_SCALE ?= 0.25
+
 .PHONY: ci fmt vet lint build test race bench chaos-demo
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
-# tests (including the gmsdebug-instrumented core), and a race-detector
-# pass over every package.
-ci: fmt vet lint build test race
+# tests (including the gmsdebug-instrumented core), a race-detector pass
+# over every package, and the benchmark snapshot.
+ci: fmt vet lint build test race bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -28,13 +32,23 @@ test:
 	$(GO) test ./...
 	$(GO) test -tags gmsdebug ./internal/core
 
-# -short skips the full experiment sweep, which is CPU-bound model code
-# with no goroutines; every concurrent path still runs under the detector.
+# -short skips the heaviest experiment sweeps, but the parallel-engine
+# determinism test (internal/experiments TestParallelOutputMatchesSequential)
+# deliberately stays enabled so the full RunAll fan-out — every experiment,
+# every sweep cell, on a width-8 pool — runs under the race detector at
+# small scale on every CI pass.
 race:
 	$(GO) test -race -short -timeout 15m ./...
 
+# bench runs the Go microbenchmarks and regenerates BENCH_experiments.json,
+# the per-experiment wall-clock snapshot that seeds the repo's perf
+# trajectory (see EXPERIMENTS.md). Override the scale or width with e.g.
+# `make bench BENCH_SCALE=1.0 BENCH_J=8`.
+BENCH_J ?= 0
 bench:
-	$(GO) test -bench . -benchtime 200x -run xxx ./...
+	$(GO) test -bench . -benchtime 200x -run xxx -timeout 30m ./...
+	$(GO) run ./cmd/subpagesim -run all -scale $(BENCH_SCALE) -j $(BENCH_J) \
+		-benchout BENCH_experiments.json > /dev/null
 
 chaos-demo:
 	$(GO) run ./cmd/gmsnode chaos -pages 256 -kill-at 0.5 -restart -hedge 5ms

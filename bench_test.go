@@ -78,6 +78,22 @@ func BenchmarkAblationPipelineVariants(b *testing.B) { benchExperiment(b, "pipev
 // Methodology (§3.2): cache-hierarchy replay deriving the event clock.
 func BenchmarkEventTimeDerivation(b *testing.B) { benchExperiment(b, "eventtime") }
 
+// BenchmarkFig9Parallel8 runs the widest sweep (5 apps × 3 policies) on
+// an 8-wide worker pool; against BenchmarkFig9AllApps it measures what
+// the parallel engine buys (or costs, on one core) per experiment. The
+// output is byte-identical to the sequential run at any width.
+func BenchmarkFig9Parallel8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := gmsubpage.RunExperimentParallel("fig9", benchScale, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw trace-replay speed: references
 // simulated per second, the figure that bounds paper-scale runs.
 func BenchmarkSimulatorThroughput(b *testing.B) {

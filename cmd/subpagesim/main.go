@@ -5,6 +5,8 @@
 //	subpagesim -list
 //	subpagesim -run table2
 //	subpagesim -run all -scale 1.0        # full paper-scale traces
+//	subpagesim -run all -j 8              # 8 parallel workers
+//	subpagesim -run all -benchout BENCH_experiments.json
 //
 // Ad-hoc simulation:
 //
@@ -15,38 +17,94 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	gmsubpage "github.com/gms-sim/gmsubpage"
+	"github.com/gms-sim/gmsubpage/internal/experiments"
+	"github.com/gms-sim/gmsubpage/internal/par"
 )
 
-func main() {
-	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		runID   = flag.String("run", "", "experiment id to regenerate, or \"all\"")
-		scale   = flag.Float64("scale", 0.25, "trace scale (1.0 = paper-sized traces)")
-		app     = flag.String("app", "", "run one simulation of this workload instead of an experiment")
-		traceIn = flag.String("trace", "", "simulate a trace file saved by tracegen instead of a workload")
-		mem     = flag.Float64("mem", 1.0, "local memory as a fraction of the workload footprint")
-		policy  = flag.String("policy", "eager", "transfer policy")
-		subpage = flag.Int("subpage", 1024, "subpage size in bytes")
-		disk    = flag.Bool("disk", false, "serve faults from disk instead of network memory")
-		pal     = flag.Bool("pal", false, "charge PALcode software valid-bit emulation costs")
-		asJSON  = flag.Bool("json", false, "emit -app/-trace results as JSON")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// allFlags lists every flag name in display order, so conflict errors
+// name the offending flags deterministically.
+var allFlags = []string{"list", "run", "scale", "j", "benchout",
+	"app", "trace", "mem", "policy", "subpage", "disk", "pal", "json"}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("subpagesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list experiments and exit")
+		runID    = fs.String("run", "", "experiment id to regenerate, or \"all\"")
+		scale    = fs.Float64("scale", 0.25, "trace scale (1.0 = paper-sized traces)")
+		workers  = fs.Int("j", 0, "parallel workers for -run (0 = GOMAXPROCS, 1 = sequential)")
+		benchOut = fs.String("benchout", "", "write per-experiment wall-clock JSON to this file (-run only)")
+		app      = fs.String("app", "", "run one simulation of this workload instead of an experiment")
+		traceIn  = fs.String("trace", "", "simulate a trace file saved by tracegen instead of a workload")
+		mem      = fs.Float64("mem", 1.0, "local memory as a fraction of the workload footprint")
+		policy   = fs.String("policy", "eager", "transfer policy")
+		subpage  = fs.Int("subpage", 1024, "subpage size in bytes")
+		disk     = fs.Bool("disk", false, "serve faults from disk instead of network memory")
+		pal      = fs.Bool("pal", false, "charge PALcode software valid-bit emulation costs")
+		asJSON   = fs.Bool("json", false, "emit -app/-trace results as JSON")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := conflictErr(set); err != nil {
+		_, _ = fmt.Fprintln(stderr, "subpagesim:", err)
+		return 2
+	}
+
+	fail := func(err error) int {
+		_, _ = fmt.Fprintln(stderr, "subpagesim:", err)
+		return 1
+	}
 	switch {
 	case *list:
 		for _, id := range gmsubpage.Experiments() {
-			fmt.Println(id)
-		}
-	case *runID == "all":
-		for _, id := range gmsubpage.Experiments() {
-			mustRun(id, *scale)
+			_, _ = fmt.Fprintln(stdout, id)
 		}
 	case *runID != "":
-		mustRun(*runID, *scale)
+		ids := []string{*runID}
+		if *runID == "all" {
+			ids = experiments.IDs()
+		}
+		for _, id := range ids {
+			if _, ok := experiments.ByID(id); !ok {
+				return fail(fmt.Errorf("unknown experiment %q (have %v)", id, experiments.IDs()))
+			}
+		}
+		// One pool serves both levels of the fan-out: whole experiments
+		// run concurrently, and the sweep cells inside each experiment
+		// fan out onto the same workers. Results are collected by index,
+		// so the printed output is identical at any -j width.
+		pool := par.New(*workers)
+		outs := make([]string, len(ids))
+		dursMs := make([]float64, len(ids))
+		wallStart := time.Now() //lint:allow simpurity benchmark snapshot: experiment wall-clock is the measurement, not model time
+		pool.ForEach(len(ids), func(i int) {
+			e, _ := experiments.ByID(ids[i])
+			start := time.Now() //lint:allow simpurity benchmark snapshot: experiment wall-clock is the measurement, not model time
+			outs[i] = e.Run(experiments.Config{Scale: *scale, Pool: pool}).String()
+			dursMs[i] = float64(time.Since(start).Nanoseconds()) / 1e6 //lint:allow simpurity benchmark snapshot: experiment wall-clock is the measurement, not model time
+		})
+		totalMs := float64(time.Since(wallStart).Nanoseconds()) / 1e6 //lint:allow simpurity benchmark snapshot: experiment wall-clock is the measurement, not model time
+		for _, out := range outs {
+			_, _ = fmt.Fprintln(stdout, out)
+		}
+		if *benchOut != "" {
+			if err := writeBench(*benchOut, *scale, pool.Workers(), ids, dursMs, totalMs); err != nil {
+				return fail(err)
+			}
+		}
 	case *app != "" || *traceIn != "":
 		cfg := gmsubpage.Config{
 			Workload:       *app,
@@ -65,41 +123,116 @@ func main() {
 			rep, err = gmsubpage.Simulate(cfg)
 		}
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *asJSON {
 			out, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Println(string(out))
-			return
+			_, _ = fmt.Fprintln(stdout, string(out))
+			return 0
 		}
-		fmt.Printf("%s %s subpage=%d mem=%d pages\n", rep.Workload, rep.Policy,
+		_, _ = fmt.Fprintf(stdout, "%s %s subpage=%d mem=%d pages\n", rep.Workload, rep.Policy,
 			rep.SubpageSize, rep.MemoryPages)
-		fmt.Printf("  runtime   %10.1f ms\n", rep.RuntimeMs)
-		fmt.Printf("  exec      %10.1f ms\n", rep.ExecMs)
-		fmt.Printf("  sp wait   %10.1f ms\n", rep.SubpageWaitMs)
-		fmt.Printf("  page wait %10.1f ms\n", rep.PageWaitMs)
-		fmt.Printf("  disk wait %10.1f ms\n", rep.DiskWaitMs)
-		fmt.Printf("  faults    %10d (+%d subpage refetches)\n", rep.Faults, rep.SubpageFaults)
-		fmt.Printf("  moved     %10.1f MB, io-overlap share %.0f%%\n",
+		_, _ = fmt.Fprintf(stdout, "  runtime   %10.1f ms\n", rep.RuntimeMs)
+		_, _ = fmt.Fprintf(stdout, "  exec      %10.1f ms\n", rep.ExecMs)
+		_, _ = fmt.Fprintf(stdout, "  sp wait   %10.1f ms\n", rep.SubpageWaitMs)
+		_, _ = fmt.Fprintf(stdout, "  page wait %10.1f ms\n", rep.PageWaitMs)
+		_, _ = fmt.Fprintf(stdout, "  disk wait %10.1f ms\n", rep.DiskWaitMs)
+		_, _ = fmt.Fprintf(stdout, "  faults    %10d (+%d subpage refetches)\n", rep.Faults, rep.SubpageFaults)
+		_, _ = fmt.Fprintf(stdout, "  moved     %10.1f MB, io-overlap share %.0f%%\n",
 			float64(rep.BytesMoved)/(1<<20), rep.IOOverlapShare*100)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func mustRun(id string, scale float64) {
-	out, err := gmsubpage.RunExperiment(id, scale)
+// conflictErr rejects flag combinations that the command would otherwise
+// silently ignore: each mode (-list, -run, -app/-trace) accepts only its
+// own flags.
+func conflictErr(set map[string]bool) error {
+	others := func(allowed ...string) []string {
+		ok := make(map[string]bool, len(allowed))
+		for _, a := range allowed {
+			ok[a] = true
+		}
+		var bad []string
+		for _, f := range allFlags {
+			if set[f] && !ok[f] {
+				bad = append(bad, "-"+f)
+			}
+		}
+		return bad
+	}
+	switch {
+	case set["list"]:
+		if bad := others("list"); len(bad) > 0 {
+			return fmt.Errorf("-list takes no other flags (got %s)", strings.Join(bad, " "))
+		}
+	case set["run"]:
+		if bad := others("run", "scale", "j", "benchout"); len(bad) > 0 {
+			return fmt.Errorf("-run regenerates experiments and ignores the single-simulation flags; drop %s or drop -run", strings.Join(bad, " "))
+		}
+	case set["app"] && set["trace"]:
+		return fmt.Errorf("-app and -trace both name a reference stream; give exactly one")
+	case set["app"]:
+		if bad := others("app", "scale", "mem", "policy", "subpage", "disk", "pal", "json"); len(bad) > 0 {
+			return fmt.Errorf("%s only applies to -run; drop it or use -run", strings.Join(bad, " "))
+		}
+	case set["trace"]:
+		if bad := others("trace", "mem", "policy", "subpage", "disk", "pal", "json"); len(bad) > 0 {
+			if set["scale"] {
+				return fmt.Errorf("-scale does not apply to -trace: the file fixes the reference stream")
+			}
+			return fmt.Errorf("%s only applies to -run; drop it or use -run", strings.Join(bad, " "))
+		}
+	default:
+		if len(set) > 0 {
+			return fmt.Errorf("no mode selected: give -list, -run, -app or -trace")
+		}
+	}
+	return nil
+}
+
+// benchSnapshot is the BENCH_experiments.json schema: one wall-clock
+// sample per experiment plus the whole-run wall time at the recorded
+// scale and pool width.
+type benchSnapshot struct {
+	Schema      string            `json:"schema"`
+	Scale       float64           `json:"scale"`
+	Workers     int               `json:"workers"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	TotalMs     float64           `json:"total_ms"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	ID string  `json:"id"`
+	Ms float64 `json:"ms"`
+}
+
+func writeBench(path string, scale float64, workers int, ids []string, dursMs []float64, totalMs float64) error {
+	snap := benchSnapshot{
+		Schema:     "gmsubpage-bench-experiments/v1",
+		Scale:      scale,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TotalMs:    round1(totalMs),
+	}
+	for i, id := range ids {
+		snap.Experiments = append(snap.Experiments, benchExperiment{ID: id, Ms: round1(dursMs[i])})
+	}
+	out, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(out)
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "subpagesim:", err)
-	os.Exit(1)
+// round1 keeps the snapshot readable: wall-clock at 0.1 ms granularity.
+func round1(ms float64) float64 {
+	return float64(int64(ms*10+0.5)) / 10
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConflictingFlagsRejected pins the fix for the silent-ignore bug:
+// flags outside the selected mode used to be dropped without a word (e.g.
+// `-run fig1 -json` ran the experiment and ignored -json). Every such
+// combination must now fail with exit code 2 and an error on stderr.
+func TestConflictingFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+	}{
+		{"run+app", []string{"-run", "fig1", "-app", "render"}},
+		{"run+json", []string{"-run", "fig1", "-json"}},
+		{"run+policy", []string{"-run", "all", "-policy", "pipelined"}},
+		{"run+mem", []string{"-run", "all", "-mem", "0.5"}},
+		{"run+subpage", []string{"-run", "fig3", "-subpage", "512"}},
+		{"run+disk", []string{"-run", "fig1", "-disk"}},
+		{"run+pal", []string{"-run", "fig1", "-pal"}},
+		{"run+trace", []string{"-run", "fig1", "-trace", "x.trc"}},
+		{"list+run", []string{"-list", "-run", "all"}},
+		{"list+scale", []string{"-list", "-scale", "1"}},
+		{"app+trace", []string{"-app", "render", "-trace", "x.trc"}},
+		{"app+j", []string{"-app", "render", "-j", "4"}},
+		{"app+benchout", []string{"-app", "render", "-benchout", "b.json"}},
+		{"trace+scale", []string{"-trace", "x.trc", "-scale", "0.5"}},
+		{"j alone", []string{"-j", "4"}},
+		{"benchout alone", []string{"-benchout", "b.json"}},
+		{"json alone", []string{"-json"}},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.argv, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit = %d, want 2 (stderr: %s)", c.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), "subpagesim:") {
+			t.Errorf("%s: no error on stderr, got %q", c.name, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s: rejected invocation still wrote output: %q", c.name, stdout.String())
+		}
+	}
+}
+
+func TestListMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, id := range []string{"fig1", "table2", "cluster"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, stdout.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestRunWithBenchout runs one cheap experiment through the pool path and
+// checks the benchmark snapshot it writes.
+func TestRunWithBenchout(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "eventtime", "-scale", "0.05", "-j", "2", "-benchout", benchPath},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Event-time derivation") {
+		t.Errorf("experiment output missing:\n%s", stdout.String())
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("bad bench JSON: %v\n%s", err, raw)
+	}
+	if snap.Schema != "gmsubpage-bench-experiments/v1" {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.Scale != 0.05 || snap.Workers != 2 {
+		t.Errorf("scale/workers = %v/%d, want 0.05/2", snap.Scale, snap.Workers)
+	}
+	if len(snap.Experiments) != 1 || snap.Experiments[0].ID != "eventtime" {
+		t.Errorf("experiments = %+v", snap.Experiments)
+	}
+	if snap.TotalMs <= 0 {
+		t.Errorf("total_ms = %v, want > 0", snap.TotalMs)
+	}
+}
+
+// TestRunOutputIdenticalAcrossWidths checks the CLI-level determinism
+// guarantee on a sweep experiment: same bytes at -j 1 and -j 8.
+func TestRunOutputIdenticalAcrossWidths(t *testing.T) {
+	outAt := func(j string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-run", "smallpage", "-scale", "0.05", "-j", j}, &stdout, &stderr); code != 0 {
+			t.Fatalf("-j %s: exit = %d, stderr: %s", j, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if seq, par := outAt("1"), outAt("8"); seq != par {
+		t.Errorf("-j 1 and -j 8 outputs differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+}

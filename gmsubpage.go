@@ -30,6 +30,7 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/experiments"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -326,9 +327,17 @@ func Experiments() []string { return experiments.IDs() }
 // (0 means the fast default, 1.0 the paper's full traces) and returns its
 // rendered tables.
 func RunExperiment(id string, scale float64) (string, error) {
+	return RunExperimentParallel(id, scale, 1)
+}
+
+// RunExperimentParallel is RunExperiment with the independent simulation
+// cells inside the experiment fanned out onto a bounded worker pool of
+// the given width (0 selects GOMAXPROCS, 1 is sequential). The rendered
+// output is byte-identical at every width.
+func RunExperimentParallel(id string, scale float64, workers int) (string, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return "", fmt.Errorf("gmsubpage: unknown experiment %q (have %v)", id, Experiments())
 	}
-	return e.Run(experiments.Config{Scale: scale}).String(), nil
+	return e.Run(experiments.Config{Scale: scale, Pool: par.New(workers)}).String(), nil
 }

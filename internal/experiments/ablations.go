@@ -5,6 +5,7 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
@@ -44,11 +45,15 @@ func SmallPage(cfg Config) *Result {
 	small.TLBEntries = memmodel.DefaultTLBEntries
 	small.TLBPageSize = 1024
 
-	for _, c := range []struct {
+	cases := []struct {
 		name string
 		cfg  sim.Config
-	}{{"p_8192", fullpage}, {"eager_1024", eager}, {"smallpage_1024", small}} {
-		r := sim.Run(c.cfg)
+	}{{"p_8192", fullpage}, {"eager_1024", eager}, {"smallpage_1024", small}}
+	cells := par.Map(cfg.Pool, len(cases), func(i int) *sim.Result {
+		return sim.Run(cases[i].cfg)
+	})
+	for ci, c := range cases {
+		r := cells[ci]
 		t.AddRow(c.name, stats.F(r.RuntimeMs(), 0), fmt.Sprint(r.Faults),
 			fmt.Sprint(r.SubpageFaults), fmt.Sprint(r.TLBMisses),
 			stats.F(r.TLBTicks.Ms(), 1),
@@ -69,24 +74,30 @@ func PipeVariants(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	app := trace.Modula3(cfg.Scale)
 	res := &Result{ID: "pipevariants", Title: "Pipelining variants"}
-	for _, s := range []int{1024, 512} {
+	sizes := []int{1024, 512}
+	policies := []core.Policy{
+		core.Eager{},
+		core.Pipelined{},
+		core.Pipelined{DoubleFollowOn: true},
+		core.Pipelined{Neighbors: 2},
+		core.WideFault{},
+		core.Pipelined{SoftwareDelivery: true},
+	}
+	// One cell per size × policy; the eager baseline of each size is its
+	// own first cell (policies[0]), so no extra baseline run is needed.
+	cells := par.Map(cfg.Pool, len(sizes)*len(policies), func(i int) *sim.Result {
+		return run(app, 0.5, policies[i%len(policies)], sizes[i/len(policies)], false)
+	})
+	for si, s := range sizes {
 		t := &stats.Table{
 			Title:  fmt.Sprintf("§4.3 variants at %d-byte subpages (Modula-3, 1/2-mem)", s),
 			Header: []string{"policy", "runtime(ms)", "sp_latency(ms)", "page_wait(ms)", "gain vs eager"},
 		}
-		eager := run(app, 0.5, core.Eager{}, s, false)
-		policies := []core.Policy{
-			core.Eager{},
-			core.Pipelined{},
-			core.Pipelined{DoubleFollowOn: true},
-			core.Pipelined{Neighbors: 2},
-			core.WideFault{},
-			core.Pipelined{SoftwareDelivery: true},
-		}
-		for _, p := range policies {
-			r := run(app, 0.5, p, s, false)
+		eager := cells[si*len(policies)]
+		for pi, p := range policies {
+			r := cells[si*len(policies)+pi]
 			name := p.Name()
-			if _, ok := p.(core.Pipelined); ok && p.(core.Pipelined).Neighbors == 2 {
+			if pp, ok := p.(core.Pipelined); ok && pp.Neighbors == 2 {
 				name = "pipelined-2n"
 			}
 			t.AddRow(name, stats.F(r.RuntimeMs(), 0),

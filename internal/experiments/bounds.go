@@ -5,6 +5,8 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/analytic"
 	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/par"
+	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -25,8 +27,12 @@ func Bounds(cfg Config) *Result {
 			"achieved-overlap", "in-band"},
 	}
 	res := &Result{ID: "bounds", Title: "Analytic validation"}
-	for _, app := range trace.Apps(cfg.Scale) {
-		r := run(app, 0.5, core.Eager{}, 1024, false)
+	apps := trace.Apps(cfg.Scale)
+	cells := par.Map(cfg.Pool, len(apps), func(i int) *sim.Result {
+		return run(apps[i], 0.5, core.Eager{}, 1024, false)
+	})
+	for ai, app := range apps {
+		r := cells[ai]
 		w := analytic.Workload{ExecTicks: units.Ticks(r.Events), Faults: r.Faults}
 		lo, hi := model.BestCase(w), model.WorstCase(w)
 		// Congestion during bursts can push the simulated runtime

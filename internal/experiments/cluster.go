@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
@@ -27,32 +28,38 @@ func Cluster(cfg Config) *Result {
 	// footprint: two active nodes fit comfortably, four overflow.
 	app := trace.Modula3(cfg.Scale)
 	donate := app.TotalPages
-	for _, active := range []int{1, 2, 4} {
+	actives := []int{1, 2, 4}
+	policies := []core.Policy{core.FullPage{}, core.Eager{}}
+	// Each active × policy cell is one full multi-node simulation with its
+	// own private global cache; they fan out independently.
+	cells := par.Map(cfg.Pool, len(actives)*len(policies), func(i int) *sim.ClusterResult {
+		active := actives[i/len(policies)]
+		pol := policies[i%len(policies)]
 		apps := make([]*trace.App, active)
-		for i := range apps {
-			apps[i] = app
+		for j := range apps {
+			apps[j] = app
 		}
-		for _, pol := range []core.Policy{core.FullPage{}, core.Eager{}} {
-			sub := 1024
-			if pol.Name() == "fullpage" {
-				sub = 8192
-			}
-			res := sim.RunCluster(sim.ClusterConfig{
-				Apps:               apps,
-				MemFraction:        0.5,
-				Policy:             pol,
-				SubpageSize:        sub,
-				IdleNodes:          2,
-				GlobalPagesPerIdle: donate,
-				UseEpoch:           true,
-			})
-			t.AddRow(fmt.Sprint(active), pol.Name(),
-				stats.F(res.TotalRuntime().Ms(), 0),
-				fmt.Sprint(res.DiskFaults()),
-				fmt.Sprint(res.Discards),
-				fmt.Sprint(res.GlobalHits),
-				fmt.Sprint(res.Epochs))
+		sub := 1024
+		if pol.Name() == "fullpage" {
+			sub = 8192
 		}
+		return sim.RunCluster(sim.ClusterConfig{
+			Apps:               apps,
+			MemFraction:        0.5,
+			Policy:             pol,
+			SubpageSize:        sub,
+			IdleNodes:          2,
+			GlobalPagesPerIdle: donate,
+			UseEpoch:           true,
+		})
+	})
+	for i, res := range cells {
+		t.AddRow(fmt.Sprint(actives[i/len(policies)]), policies[i%len(policies)].Name(),
+			stats.F(res.TotalRuntime().Ms(), 0),
+			fmt.Sprint(res.DiskFaults()),
+			fmt.Sprint(res.Discards),
+			fmt.Sprint(res.GlobalHits),
+			fmt.Sprint(res.Epochs))
 	}
 	return &Result{
 		ID: "cluster", Title: "Multi-node global memory under load",

@@ -1,6 +1,11 @@
 package experiments
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/par"
+)
 
 // TestSameSeedSameOutput is the determinism regression test backing the
 // simpurity lint check: running an experiment twice with an identical
@@ -27,5 +32,39 @@ func TestSameSeedSameOutput(t *testing.T) {
 				t.Fatalf("suspiciously short output:\n%s", first)
 			}
 		})
+	}
+}
+
+// TestParallelOutputMatchesSequential is the parallel-engine determinism
+// guarantee: RunAll over the full registry must render byte-identical
+// output on a width-1 pool and a width-8 pool. Cells are collected by
+// index, so any diff here means a cell read state owned by another cell.
+// This deliberately stays enabled under -short so `make race` sweeps the
+// whole parallel fan-out (every experiment, every cell) at small scale.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	render := func(pool *par.Pool) string {
+		var b strings.Builder
+		for _, r := range RunAll(Config{Scale: 0.05, Pool: pool}) {
+			b.WriteString(r.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	seq := render(par.New(1))
+	con := render(par.New(8))
+	if seq != con {
+		i := 0
+		for i < len(seq) && i < len(con) && seq[i] == con[i] {
+			i++
+		}
+		lo := i - 200
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("parallel output diverges from sequential at byte %d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			i, seq[lo:min(i+200, len(seq))], con[lo:min(i+200, len(con))])
+	}
+	if len(seq) < 1000 {
+		t.Fatalf("suspiciously short RunAll output (%d bytes)", len(seq))
 	}
 }

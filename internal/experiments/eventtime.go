@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gms-sim/gmsubpage/internal/cachesim"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -23,8 +24,13 @@ func EventTime(cfg Config) *Result {
 		Header: []string{"app", "refs", "L1 miss", "L2 miss", "avg ns/ref"},
 	}
 	var sum stats.Summary
-	for _, app := range trace.Apps(cfg.Scale) {
-		h := cachesim.Replay(app.NewReader())
+	apps := trace.Apps(cfg.Scale)
+	// One cache-hierarchy replay per application, fanned out.
+	replays := par.Map(cfg.Pool, len(apps), func(i int) *cachesim.Hierarchy {
+		return cachesim.Replay(apps[i].NewReader())
+	})
+	for ai, app := range apps {
+		h := replays[ai]
 		ns := h.AvgNsPerAccess()
 		sum.Add(ns)
 		t.AddRow(app.Name, fmt.Sprint(h.Accesses()),

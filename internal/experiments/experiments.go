@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
@@ -22,6 +23,12 @@ type Config struct {
 	// lengths (minutes of CPU); the default 0.25 keeps every shape while
 	// running in seconds.
 	Scale float64
+
+	// Pool fans the independent simulation cells of the sweep experiments
+	// out to a bounded worker pool. nil (and a width-1 pool) run fully
+	// sequentially; every cell writes only its own result slot, so the
+	// rendered output is byte-identical at any width.
+	Pool *par.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +100,16 @@ var registry = []Experiment{
 // All returns every experiment in presentation order.
 func All() []Experiment { return append([]Experiment(nil), registry...) }
 
+// RunAll regenerates every registered experiment, fanning whole experiments
+// (and, inside the sweeps, their individual cells) out to cfg.Pool. Results
+// come back in registry order regardless of completion order, so the
+// concatenated output is byte-identical to a sequential pass.
+func RunAll(cfg Config) []*Result {
+	return par.Map(cfg.Pool, len(registry), func(i int) *Result {
+		return registry[i].Run(cfg)
+	})
+}
+
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range registry {
@@ -124,6 +141,9 @@ var memoryConfigs = []struct {
 	{"1/2-mem", 0.5},
 	{"1/4-mem", 0.25},
 }
+
+// halfMemIdx indexes the 1/2-mem entry of memoryConfigs.
+const halfMemIdx = 1
 
 // run executes one simulation with common defaults.
 func run(app *trace.App, frac float64, policy core.Policy, subpage int, track bool) *sim.Result {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
@@ -12,7 +13,8 @@ import (
 
 // Fig3 regenerates Figure 3: Modula-3 runtime under disk paging, full-page
 // global memory, and eager fullpage fetch at every subpage size, for the
-// three memory configurations.
+// three memory configurations. The 3 × (2 + sizes) independent cells fan
+// out to cfg.Pool and are collected by index.
 func Fig3(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	app := trace.Modula3(cfg.Scale)
@@ -21,36 +23,51 @@ func Fig3(cfg Config) *Result {
 		Header: []string{"memory", "faults", "disk_8192", "p_8192",
 			"sp_4096", "sp_2048", "sp_1024", "sp_512", "sp_256", "best-sp-gain"},
 	}
+	// Per memory config: cell 0 disk, cell 1 fullpage, cells 2.. the
+	// eager subpage sizes.
+	perRow := 2 + len(subpageSizes)
+	cells := par.Map(cfg.Pool, len(memoryConfigs)*perRow, func(i int) *sim.Result {
+		mc := memoryConfigs[i/perRow]
+		switch j := i % perRow; j {
+		case 0:
+			return runDisk(app, mc.frac)
+		case 1:
+			return run(app, mc.frac, core.FullPage{}, units.PageSize, false)
+		default:
+			return run(app, mc.frac, core.Eager{}, subpageSizes[j-2], false)
+		}
+	})
 	var notes []string
-	for _, mc := range memoryConfigs {
-		diskRes := runDisk(app, mc.frac)
-		full := run(app, mc.frac, core.FullPage{}, units.PageSize, false)
-		row := []string{mc.name, fmt.Sprint(full.Faults),
+	for mi, mc := range memoryConfigs {
+		row := cells[mi*perRow : (mi+1)*perRow]
+		diskRes, full := row[0], row[1]
+		cols := []string{mc.name, fmt.Sprint(full.Faults),
 			stats.F(diskRes.RuntimeMs(), 0), stats.F(full.RuntimeMs(), 0)}
 		best := full.Runtime
-		for _, s := range subpageSizes {
-			r := run(app, mc.frac, core.Eager{}, s, false)
-			row = append(row, stats.F(r.RuntimeMs(), 0))
+		for _, r := range row[2:] {
+			cols = append(cols, stats.F(r.RuntimeMs(), 0))
 			if r.Runtime < best {
 				best = r.Runtime
 			}
 		}
-		row = append(row, stats.Pct(improvement(full.Runtime, best)))
-		t.AddRow(row...)
+		cols = append(cols, stats.Pct(improvement(full.Runtime, best)))
+		t.AddRow(cols...)
 		notes = append(notes, fmt.Sprintf("%s: global memory is %.1fx faster than disk",
 			mc.name, float64(diskRes.Runtime)/float64(full.Runtime)))
 	}
 	notes = append(notes,
 		"subpage benefit grows as the program's memory is stressed (paper: 16%->38% for 1K)")
 
-	// Figure 3's bars, rendered for the 1/2-mem configuration.
+	// Figure 3's bars, rendered for the 1/2-mem configuration — the same
+	// cells as that row, so reuse them instead of re-simulating.
+	half := cells[halfMemIdx*perRow : (halfMemIdx+1)*perRow]
 	chart := &stats.BarChart{
 		Title: "1/2-mem runtime (ms):", Unit: "ms",
 	}
-	chart.Add("disk_8192", runDisk(app, 0.5).RuntimeMs())
-	chart.Add("p_8192", run(app, 0.5, core.FullPage{}, units.PageSize, false).RuntimeMs())
-	for _, s := range subpageSizes {
-		chart.Add(fmt.Sprintf("sp_%d", s), run(app, 0.5, core.Eager{}, s, false).RuntimeMs())
+	chart.Add("disk_8192", half[0].RuntimeMs())
+	chart.Add("p_8192", half[1].RuntimeMs())
+	for si, s := range subpageSizes {
+		chart.Add(fmt.Sprintf("sp_%d", s), half[2+si].RuntimeMs())
 	}
 	return &Result{ID: "fig3", Title: "Subpage performance for 3 memory sizes",
 		Tables: []*stats.Table{t}, Notes: notes, Text: chart.String()}
@@ -77,9 +94,16 @@ func Fig4(cfg Config) *Result {
 			stats.Pct(float64(r.SpLatency)/float64(r.Runtime)),
 			stats.Pct(float64(r.PageWait)/float64(r.Runtime)))
 	}
-	addRow("p_8192", run(app, 0.5, core.FullPage{}, units.PageSize, false))
-	for _, s := range subpageSizes {
-		addRow(fmt.Sprintf("sp_%d", s), run(app, 0.5, core.Eager{}, s, false))
+	// Cell 0 is the fullpage baseline, cells 1.. the eager subpage sizes.
+	cells := par.Map(cfg.Pool, 1+len(subpageSizes), func(i int) *sim.Result {
+		if i == 0 {
+			return run(app, 0.5, core.FullPage{}, units.PageSize, false)
+		}
+		return run(app, 0.5, core.Eager{}, subpageSizes[i-1], false)
+	})
+	addRow("p_8192", cells[0])
+	for si, s := range subpageSizes {
+		addRow(fmt.Sprintf("sp_%d", s), cells[1+si])
 	}
 	return &Result{ID: "fig4", Title: "Runtime decomposition", Tables: []*stats.Table{t},
 		Notes: []string{
@@ -110,9 +134,13 @@ func Fig5(cfg Config) *Result {
 		{"sp_512", core.Eager{}, 512},
 		{"sp_256", core.Eager{}, 256},
 	}
-	for _, c := range configs {
-		r := run(app, 0.5, c.policy, c.subpage, true)
-		waits := sortedDesc(r.PerFaultWait)
+	cells := par.Map(cfg.Pool, len(configs), func(i int) *sim.Result {
+		return run(app, 0.5, configs[i].policy, configs[i].subpage, true)
+	})
+	sorted := make([][]float64, len(configs))
+	for ci, c := range configs {
+		waits := sortedDesc(cells[ci].PerFaultWait)
+		sorted[ci] = waits
 		if len(waits) == 0 {
 			continue
 		}
@@ -132,13 +160,11 @@ func Fig5(cfg Config) *Result {
 		XLabel: "fault rank", YLabel: "wait (ms)",
 		Height: 14,
 	}
-	for _, c := range []struct {
-		name    string
-		subpage int
-	}{{"sp_4096", 4096}, {"sp_1024", 1024}, {"sp_256", 256}} {
-		r := run(app, 0.5, core.Eager{}, c.subpage, true)
-		waits := sortedDesc(r.PerFaultWait)
-		series := &stats.Series{Name: c.name}
+	// The plotted configs are a subset of the table's rows; reuse their
+	// (identical) results instead of re-simulating.
+	for _, ci := range []int{1, 3, 5} { // sp_4096, sp_1024, sp_256
+		waits := sorted[ci]
+		series := &stats.Series{Name: configs[ci].name}
 		for i := 0; i < len(waits); i += maxDiv(len(waits), 60) {
 			series.Add(float64(i), waits[i])
 		}
@@ -188,7 +214,7 @@ func segmentFractions(waits []float64) (best, worst float64) {
 // metric.
 func Fig6(cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	return faultClustering("fig6", "Temporal clustering of page faults (Modula-3)",
+	return faultClustering(cfg, "fig6", "Temporal clustering of page faults (Modula-3)",
 		[]*trace.App{trace.Modula3(cfg.Scale)})
 }
 
@@ -196,19 +222,22 @@ func Fig6(cfg Config) *Result {
 // Atom (smooth).
 func Fig10(cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	return faultClustering("fig10", "Temporal clustering: gdb vs. Atom",
+	return faultClustering(cfg, "fig10", "Temporal clustering: gdb vs. Atom",
 		[]*trace.App{trace.Gdb(cfg.Scale), trace.Atom(cfg.Scale)})
 }
 
-func faultClustering(id, title string, apps []*trace.App) *Result {
+func faultClustering(cfg Config, id, title string, apps []*trace.App) *Result {
 	res := &Result{ID: id, Title: title}
 	plot := &stats.LinePlot{
 		Title:  "Cumulative fault share vs. execution progress",
 		XLabel: "% of run's events", YLabel: "% of faults",
 		Height: 14,
 	}
-	for _, app := range apps {
-		r := run(app, 0.5, core.Eager{}, 1024, true)
+	cells := par.Map(cfg.Pool, len(apps), func(i int) *sim.Result {
+		return run(apps[i], 0.5, core.Eager{}, 1024, true)
+	})
+	for ai, app := range apps {
+		r := cells[ai]
 		t := &stats.Table{
 			Title:  fmt.Sprintf("%s: cumulative page faults vs. simulation events (1/2-mem)", app.Name),
 			Header: []string{"events%", "events(M)", "faults", "faults%"},
@@ -250,8 +279,12 @@ func Fig7(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	app := trace.Modula3(cfg.Scale)
 	res := &Result{ID: "fig7", Title: "Distance to next accessed subpage"}
-	for _, s := range []int{2048, 1024} {
-		r := run(app, 0.5, core.Eager{}, s, true)
+	sizes := []int{2048, 1024}
+	cells := par.Map(cfg.Pool, len(sizes), func(i int) *sim.Result {
+		return run(app, 0.5, core.Eager{}, sizes[i], true)
+	})
+	for si, s := range sizes {
+		r := cells[si]
 		t := &stats.Table{
 			Title:  fmt.Sprintf("subpage size %d: next-access distance distribution", s),
 			Header: []string{"distance", "share"},
@@ -283,9 +316,16 @@ func Fig8(cfg Config) *Result {
 		Header: []string{"subpage", "eager(ms)", "pipe(ms)", "eager pw(ms)", "pipe pw(ms)",
 			"pw reduction", "extra gain"},
 	}
-	for _, s := range subpageSizes {
-		eager := run(app, 0.5, core.Eager{}, s, false)
-		pipe := run(app, 0.5, core.Pipelined{}, s, false)
+	// Two cells per subpage size: eager and pipelined.
+	cells := par.Map(cfg.Pool, 2*len(subpageSizes), func(i int) *sim.Result {
+		s := subpageSizes[i/2]
+		if i%2 == 0 {
+			return run(app, 0.5, core.Eager{}, s, false)
+		}
+		return run(app, 0.5, core.Pipelined{}, s, false)
+	})
+	for si, s := range subpageSizes {
+		eager, pipe := cells[2*si], cells[2*si+1]
 		t.AddRow(fmt.Sprint(s),
 			stats.F(eager.RuntimeMs(), 0), stats.F(pipe.RuntimeMs(), 0),
 			stats.F(eager.PageWait.Ms(), 0), stats.F(pipe.PageWait.Ms(), 0),
@@ -310,10 +350,21 @@ func Fig9(cfg Config) *Result {
 		Header: []string{"app", "faults", "p_8192(ms)", "eager(ms)", "pipe(ms)",
 			"eager gain", "pipe gain", "io-overlap share"},
 	}
-	for _, app := range trace.Apps(cfg.Scale) {
-		full := run(app, 0.5, core.FullPage{}, units.PageSize, false)
-		eager := run(app, 0.5, core.Eager{}, 1024, false)
-		pipe := run(app, 0.5, core.Pipelined{}, 1024, false)
+	apps := trace.Apps(cfg.Scale)
+	// Three cells per application: fullpage, eager, pipelined.
+	cells := par.Map(cfg.Pool, 3*len(apps), func(i int) *sim.Result {
+		app := apps[i/3]
+		switch i % 3 {
+		case 0:
+			return run(app, 0.5, core.FullPage{}, units.PageSize, false)
+		case 1:
+			return run(app, 0.5, core.Eager{}, 1024, false)
+		default:
+			return run(app, 0.5, core.Pipelined{}, 1024, false)
+		}
+	})
+	for ai, app := range apps {
+		full, eager, pipe := cells[3*ai], cells[3*ai+1], cells[3*ai+2]
 		t.AddRow(app.Name, fmt.Sprint(full.Faults),
 			stats.F(full.RuntimeMs(), 0),
 			stats.F(eager.RuntimeMs(), 0),

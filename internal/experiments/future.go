@@ -6,6 +6,7 @@ import (
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
 	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/par"
 	"github.com/gms-sim/gmsubpage/internal/sim"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
@@ -29,17 +30,27 @@ func Future(cfg Config) *Result {
 	}
 	res := &Result{ID: "future", Title: "Faster networks shrink the optimal subpage"}
 
+	speeds := []int{1, 4, 16}
+	policies := []core.Policy{core.Eager{}, core.Pipelined{}}
+	// Flatten the speed × policy × size grid into independent cells; each
+	// builds its own scaled Params so nothing is shared across workers.
+	perPol := len(subpageSizes)
+	perSpeed := len(policies) * perPol
+	cells := par.Map(cfg.Pool, len(speeds)*perSpeed, func(i int) *sim.Result {
+		return sim.Run(sim.Config{
+			App: app, MemFraction: 0.5,
+			Policy:      policies[i%perSpeed/perPol],
+			SubpageSize: subpageSizes[i%perPol],
+			Net:         scaledNet(speeds[i/perSpeed]),
+		})
+	})
 	var bestEager []int
-	for _, speed := range []int{1, 4, 16} {
-		net := scaledNet(speed)
-		for _, pol := range []core.Policy{core.Eager{}, core.Pipelined{}} {
+	for si, speed := range speeds {
+		for pi, pol := range policies {
 			row := []string{fmt.Sprintf("%dx", speed), pol.Name()}
 			bestSize, bestRt := 0, units.Ticks(1)<<62
-			for _, size := range subpageSizes {
-				r := sim.Run(sim.Config{
-					App: app, MemFraction: 0.5, Policy: pol,
-					SubpageSize: size, Net: net,
-				})
+			for zi, size := range subpageSizes {
+				r := cells[si*perSpeed+pi*perPol+zi]
 				row = append(row, stats.F(r.RuntimeMs(), 0))
 				if r.Runtime < bestRt {
 					bestSize, bestRt = size, r.Runtime
@@ -89,8 +100,11 @@ func TLBCoverage(cfg Config) *Result {
 		Header: []string{"page size", "coverage", "misses", "miss rate",
 			"miss overhead(ms)"},
 	}
-	for _, pageSize := range []int{1024, 2048, 4096, 8192, 16384, 65536} {
-		tlb := memmodel.NewTLB(memmodel.DefaultTLBEntries, pageSize)
+	pageSizes := []int{1024, 2048, 4096, 8192, 16384, 65536}
+	// Each page size replays the full reference stream through its own
+	// TLB model: an independent cell.
+	tlbs := par.Map(cfg.Pool, len(pageSizes), func(i int) *memmodel.TLB {
+		tlb := memmodel.NewTLB(memmodel.DefaultTLBEntries, pageSizes[i])
 		buf := make([]trace.Ref, 8192)
 		rd := app.NewReader()
 		for {
@@ -102,6 +116,10 @@ func TLBCoverage(cfg Config) *Result {
 				tlb.Access(ref.Addr)
 			}
 		}
+		return tlb
+	})
+	for i, pageSize := range pageSizes {
+		tlb := tlbs[i]
 		overhead := units.Nanos(tlb.Misses()) * memmodel.TLBMissCost
 		t.AddRow(
 			fmt.Sprint(pageSize),

@@ -229,6 +229,43 @@ func TestTimelineRendering(t *testing.T) {
 	}
 }
 
+// TestTimelineRequestSpansTile pins the request-phase geometry: the
+// fault+request, request-msg, and process-request spans must tile
+// [0, p.Request] contiguously — no gap or overlap — even when Request
+// is not divisible by 4, with the server span absorbing the remainder.
+func TestTimelineRequestSpansTile(t *testing.T) {
+	for _, request := range []units.Nanos{270000, 270001, 270002, 270003, 10, 7, 5, 4, 3} {
+		p := AN2ATM()
+		p.Request = request
+		spans := p.Timeline([]Message{{Bytes: 1024, Deliver: true}})
+		if len(spans) < 3 {
+			t.Fatalf("Request=%d: expected at least 3 spans, got %d", request, len(spans))
+		}
+		req := spans[:3]
+		if req[0].Start != 0 {
+			t.Errorf("Request=%d: first span starts at %d, want 0", request, req[0].Start)
+		}
+		for i := 1; i < 3; i++ {
+			if req[i].Start != req[i-1].End {
+				t.Errorf("Request=%d: span %d starts at %d but span %d ends at %d",
+					request, i, req[i].Start, i-1, req[i-1].End)
+			}
+		}
+		if req[2].End != request {
+			t.Errorf("Request=%d: last request span ends at %d, want %d",
+				request, req[2].End, request)
+		}
+		// The intended split: half requester CPU, a quarter wire.
+		if req[0].End != request/2 {
+			t.Errorf("Request=%d: requester span ends at %d, want %d",
+				request, req[0].End, request/2)
+		}
+		if got := req[1].End - req[1].Start; got != request/4 {
+			t.Errorf("Request=%d: wire span is %d wide, want %d", request, got, request/4)
+		}
+	}
+}
+
 func TestStageCost(t *testing.T) {
 	s := Stage{Fixed: 100, PerKiB: 1024}
 	if got := s.Cost(0); got != 100 {

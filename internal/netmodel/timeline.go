@@ -23,13 +23,17 @@ func (p *Params) Timeline(msgs []Message) []TimelineSpan {
 	var spans []TimelineSpan
 	// The request phase: requester CPU handles the fault and sends a
 	// control message; the server CPU processes it. We display the split
-	// as half requester, a short wire hop, and half server, which is how
-	// the prototype's four leading "black bars" in Figure 2 divide.
-	q := p.Request / 4
+	// as half requester, a quarter wire hop, and the rest server, which is
+	// how the prototype's four leading "black bars" in Figure 2 divide.
+	// The boundaries are computed directly (not as multiples of Request/4)
+	// so the three spans tile [0, p.Request] exactly — and the server span
+	// absorbs the rounding remainder — even when Request % 4 != 0.
+	half := p.Request / 2
+	quarter := p.Request / 4
 	spans = append(spans,
-		TimelineSpan{"Req-CPU", "fault+request", 0, 2 * q},
-		TimelineSpan{"Wire", "request msg", 2 * q, 3 * q},
-		TimelineSpan{"Srv-CPU", "process request", 3 * q, p.Request},
+		TimelineSpan{"Req-CPU", "fault+request", 0, half},
+		TimelineSpan{"Wire", "request msg", half, half + quarter},
+		TimelineSpan{"Srv-CPU", "process request", half + quarter, p.Request},
 	)
 	arr := p.Transfer(0, nil, msgs)
 	for i, a := range arr {

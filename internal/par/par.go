@@ -1,0 +1,87 @@
+// Package par provides the bounded worker pool behind the deterministic
+// parallel experiment engine. Experiments fan independent simulation cells
+// out to a shared Pool and collect results by index, so the rendered output
+// is byte-for-byte identical to a sequential run regardless of scheduling.
+//
+// The pool is deadlock-free under nesting: a ForEach caller always executes
+// jobs inline when no worker slot is free, so an experiment running on a
+// pool worker can itself fan its cells out to the same pool. Total
+// concurrency (workers plus inline callers) stays bounded by the configured
+// width.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value and the nil pool both run
+// everything inline (fully sequential); construct widths > 1 with New.
+type Pool struct {
+	// slots holds one token per *extra* goroutine the pool may spawn; the
+	// calling goroutine is the remaining worker. nil means sequential.
+	slots chan struct{}
+}
+
+// New returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return &Pool{}
+	}
+	return &Pool{slots: make(chan struct{}, workers-1)}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil || p.slots == nil {
+		return 1
+	}
+	return cap(p.slots) + 1
+}
+
+// ForEach runs fn(0) .. fn(n-1), each exactly once, and returns when all
+// calls have finished. Calls may run concurrently up to the pool width; the
+// caller's goroutine participates, so nested ForEach calls cannot deadlock.
+// fn must not panic across goroutines' shared state; each index should be
+// an independent unit of work that writes only its own slot.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if p == nil || p.slots == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-p.slots
+					wg.Done()
+				}()
+				fn(i)
+			}(i)
+		default:
+			// No free slot: run this job inline so the pool can never
+			// deadlock on nested fan-out.
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Map runs fn over 0..n-1 on the pool and returns the results in index
+// order, independent of execution order.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

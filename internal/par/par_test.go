@@ -1,0 +1,99 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		const n = 100
+		var counts [n]int32
+		p.ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestNilAndZeroPoolAreSequential(t *testing.T) {
+	var nilPool *Pool
+	order := []int{}
+	nilPool.ForEach(5, func(i int) { order = append(order, i) })
+	(&Pool{}).ForEach(5, func(i int) { order = append(order, i) })
+	want := []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+	if nilPool.Workers() != 1 || New(1).Workers() != 1 {
+		t.Fatal("sequential pools must report one worker")
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(4).Workers(); got != 4 {
+		t.Fatalf("New(4).Workers() = %d", got)
+	}
+}
+
+// TestNestedForEachNoDeadlock is the property the experiment engine relies
+// on: experiments fan out on the pool while themselves running as pool
+// jobs. Saturating nesting must complete (inline fallback), not deadlock.
+func TestNestedForEachNoDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) {
+			p.ForEach(4, func(k int) { total.Add(1) })
+		})
+	})
+	if total.Load() != 8*8*4 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}
+
+// TestConcurrencyBounded: at most Workers() jobs run at once, counting the
+// inline caller.
+func TestConcurrencyBounded(t *testing.T) {
+	p := New(3)
+	var cur, peak int32
+	var mu sync.Mutex
+	p.ForEach(64, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		for k := 0; k < 1000; k++ {
+			runtime.Gosched()
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool width 3", peak)
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	p := New(4)
+	got := Map(p, 10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+	if len(Map(p, 0, func(i int) int { return i })) != 0 {
+		t.Fatal("empty Map should return empty slice")
+	}
+}

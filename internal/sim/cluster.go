@@ -128,6 +128,17 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 			Name:      fmt.Sprintf("%s@node%d", app.Name, i),
 			Pages:     app.TotalPages,
 			NewReader: func() trace.Reader { return trace.Offset(app.NewReader(), delta) },
+			// The node's footprint is the app's memoized footprint shifted
+			// into its address slice (nodeSpacing is page-aligned), sparing
+			// one full trace scan per node at warm-up.
+			Touched: func() []uint64 {
+				base := trace.TouchedPages(app)
+				out := make([]uint64, len(base))
+				for j, p := range base {
+					out[j] = p + delta/units.PageSize
+				}
+				return out
+			},
 		}
 		rcfg := Config{
 			Source:      src,

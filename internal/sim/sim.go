@@ -56,6 +56,10 @@ type TraceSource struct {
 	// NewReader returns a fresh reader over the stream; it must be
 	// repeatable for warm-cache preloading to see the same pages.
 	NewReader func() trace.Reader
+	// Touched optionally returns the stream's distinct page numbers in
+	// ascending order, sparing the warm-cache preload a full scan of the
+	// stream. When nil the preload scans NewReader().
+	Touched func() []uint64
 }
 
 // Config describes one simulation run.
@@ -299,9 +303,16 @@ func newRunner(cfg Config) *runner {
 	return r
 }
 
-// pagesTouched scans the workload once and returns every page it
-// references, for warm-cache preloading.
+// pagesTouched returns every page the workload references, ascending, for
+// warm-cache preloading. App-backed runs and sources with a Touched hook
+// use the memoized footprint; other sources pay a scan of the stream.
 func (r *runner) pagesTouched() []memmodel.PageID {
+	if src := r.cfg.Source; src != nil && src.Touched != nil {
+		return toPageIDs(src.Touched())
+	}
+	if r.cfg.Source == nil {
+		return toPageIDs(trace.TouchedPages(r.cfg.App))
+	}
 	pages := make(map[memmodel.PageID]struct{}, r.cfg.footprint())
 	buf := make([]trace.Ref, 8192)
 	rd := r.cfg.newReader()
@@ -321,6 +332,16 @@ func (r *runner) pagesTouched() []memmodel.PageID {
 	// Map iteration order would otherwise leak into the warm cache's age
 	// ordering and node placement, making cluster runs nondeterministic.
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// toPageIDs converts ascending page numbers to PageIDs, preserving order
+// (the warm cache's age ordering depends on it).
+func toPageIDs(pages []uint64) []memmodel.PageID {
+	ids := make([]memmodel.PageID, len(pages))
+	for i, p := range pages {
+		ids[i] = memmodel.PageID(p)
+	}
 	return ids
 }
 

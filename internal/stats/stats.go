@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -12,11 +13,12 @@ import (
 // Summary accumulates scalar observations and reports simple aggregates.
 // The zero value is ready to use.
 type Summary struct {
-	n    int
-	sum  float64
-	min  float64
-	max  float64
-	vals []float64 // retained for percentiles; observation counts are small
+	n      int
+	sum    float64
+	min    float64
+	max    float64
+	vals   []float64 // retained for percentiles; observation counts are small
+	sorted []float64 // cached sorted copy of vals; nil when stale
 }
 
 // Add records one observation.
@@ -30,6 +32,7 @@ func (s *Summary) Add(v float64) {
 	s.n++
 	s.sum += v
 	s.vals = append(s.vals, v)
+	s.sorted = nil
 }
 
 // N reports the number of observations.
@@ -52,29 +55,39 @@ func (s *Summary) Min() float64 { return s.min }
 // Max reports the largest observation, or 0 with no observations.
 func (s *Summary) Max() float64 { return s.max }
 
-// Percentile reports the p-th percentile (0 <= p <= 100) using
-// nearest-rank on the sorted observations. With no observations it
-// returns 0.
+// Percentile reports the p-th percentile (0 <= p <= 100) using the
+// nearest-rank definition: the smallest observation such that at least
+// p% of the data is <= it, i.e. sorted[ceil(p/100*n)] with 1-based
+// ranks. With no observations it returns 0.
 func (s *Summary) Percentile(p float64) float64 {
 	if s.n == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
+	sorted := s.sortedVals()
 	if p <= 0 {
 		return sorted[0]
 	}
 	if p >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[rank]
+	return sorted[rank-1]
+}
+
+// sortedVals returns the observations in ascending order, computing and
+// caching the sort on first use after any Add.
+func (s *Summary) sortedVals() []float64 {
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
 }
 
 // Median is Percentile(50).
@@ -195,7 +208,9 @@ func (t *Table) String() string {
 	}
 	if len(t.Header) > 0 {
 		writeRow(t.Header)
-		rule := make([]string, len(t.Header))
+		// The rule spans every column, including overflow columns that
+		// only ragged rows contribute.
+		rule := make([]string, len(widths))
 		for i := range rule {
 			rule[i] = strings.Repeat("-", widths[i])
 		}

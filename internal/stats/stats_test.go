@@ -77,6 +77,69 @@ func TestMedianOddEven(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank definition: the value
+// at 1-based rank ceil(p/100*n). The former rounding implementation
+// returned rank round(p/100*n), which e.g. mapped Percentile(10) over 11
+// samples to the 1st sample instead of the 2nd.
+func TestPercentileNearestRank(t *testing.T) {
+	oneToN := func(n int) []float64 {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i + 1)
+		}
+		return vals
+	}
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"p10 of 11 is rank ceil(1.1)=2", oneToN(11), 10, 2},
+		{"p25 of 4 is rank 1", oneToN(4), 25, 1},
+		{"p26 of 4 is rank ceil(1.04)=2", oneToN(4), 26, 2},
+		{"p50 of 4 is rank 2", oneToN(4), 50, 2},
+		{"p50 of 5 is rank 3", oneToN(5), 50, 3},
+		{"p75 of 4 is rank 3", oneToN(4), 75, 3},
+		{"p90 of 10 is rank 9", oneToN(10), 90, 9},
+		{"p91 of 10 is rank 10", oneToN(10), 91, 10},
+		{"p99 of 2 is rank 2", oneToN(2), 99, 2},
+		{"p1 of 2 is rank 1", oneToN(2), 1, 1},
+		{"p0 clamps to min", oneToN(7), 0, 1},
+		{"p100 clamps to max", oneToN(7), 100, 7},
+		{"single sample", []float64{42}, 37, 42},
+		{"unsorted input", []float64{9, 1, 5}, 50, 5},
+	}
+	for _, c := range cases {
+		var s Summary
+		for _, v := range c.vals {
+			s.Add(v)
+		}
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+// TestPercentileCacheInvalidation checks that the cached sort is rebuilt
+// after Add: a percentile query interleaved with new observations must
+// see the new data.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	if got := s.Percentile(50); got != 10 {
+		t.Fatalf("Percentile(50) = %v, want 10", got)
+	}
+	s.Add(1)
+	s.Add(2)
+	if got := s.Percentile(50); got != 2 {
+		t.Errorf("Percentile(50) after more Adds = %v, want 2", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("Percentile(100) after more Adds = %v, want 10", got)
+	}
+}
+
 func TestHist(t *testing.T) {
 	var h Hist
 	if h.Total() != 0 || h.Fraction(1) != 0 {
@@ -145,6 +208,30 @@ func TestTableRendering(t *testing.T) {
 		cell := strings.TrimSpace(ln[idx:])
 		if cell != "1" && cell != "22" {
 			t.Errorf("misaligned row %q", ln)
+		}
+	}
+}
+
+// TestTableRuleSpansRaggedRows is a regression test: when a row carries
+// more cells than the header, the rule under the header must still span
+// every rendered column, not just the header's.
+func TestTableRuleSpansRaggedRows(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}}
+	tab.AddRow("x", "y", "overflow-cell", "zz")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	ruleCols := strings.Fields(lines[1])
+	if len(ruleCols) != 4 {
+		t.Fatalf("rule has %d columns, want 4: %q", len(ruleCols), lines[1])
+	}
+	// Each rule segment matches its column's width.
+	wantWidths := []int{1, 1, len("overflow-cell"), len("zz")}
+	for i, col := range ruleCols {
+		if col != strings.Repeat("-", wantWidths[i]) {
+			t.Errorf("rule col %d = %q, want %d dashes", i, col, wantWidths[i])
 		}
 	}
 }

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// The trace cache memoizes synthesized reference streams so a parallel
+// experiment sweep synthesizes each app × scale trace once and shares it —
+// read-only — across every simulation cell, instead of regenerating it per
+// run (each sim.Run otherwise replays the generators twice: once for the
+// warm-cache footprint scan and once for the reference loop).
+//
+// References are packed to 8 bytes (addr<<1 | store) and the cache is
+// admission-bounded by a byte budget: traces that would overflow the budget
+// simply fall back to the generators, so output never depends on what got
+// cached. Entries are immutable once synthesized, which is what makes
+// sharing across worker goroutines safe.
+
+// DefaultCacheBudget bounds the packed bytes the trace cache may retain.
+// At the paper's full scale the five app traces pack to ~4 GiB; the default
+// keeps the hottest apps cached without risking small machines.
+const DefaultCacheBudget int64 = 2 << 30
+
+// cacheKey identifies one synthesized stream. Scale is not stored on App,
+// but (name, seed, pages, refs) uniquely determine the generated stream.
+type cacheKey struct {
+	name  string
+	seed  uint64
+	pages int
+	refs  int64
+}
+
+type cacheEntry struct {
+	admitted bool // packed refs fit the budget at admission time
+
+	refsOnce sync.Once
+	packed   []uint64 // addr<<1|store, immutable after refsOnce
+
+	pagesOnce sync.Once
+	touched   []uint64 // distinct pages ascending, immutable after pagesOnce
+}
+
+var traceCache = struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	bytes   int64
+	budget  int64
+}{entries: make(map[cacheKey]*cacheEntry), budget: DefaultCacheBudget}
+
+// SetCacheBudget bounds the bytes of packed references the trace cache may
+// hold; 0 disables caching of reference streams (footprints are still
+// memoized). Already-cached entries are kept. Returns the previous budget.
+func SetCacheBudget(n int64) int64 {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	prev := traceCache.budget
+	traceCache.budget = n
+	return prev
+}
+
+// CacheStats reports the trace cache's occupancy.
+type CacheStats struct {
+	Entries int   // streams admitted
+	Bytes   int64 // packed bytes retained
+	Budget  int64
+}
+
+// CacheUsage returns the current cache occupancy.
+func CacheUsage() CacheStats {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	n := 0
+	for _, e := range traceCache.entries {
+		if e.admitted {
+			n++
+		}
+	}
+	return CacheStats{Entries: n, Bytes: traceCache.bytes, Budget: traceCache.budget}
+}
+
+// resetCache drops every entry (tests only).
+func resetCache() {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	traceCache.entries = make(map[cacheKey]*cacheEntry)
+	traceCache.bytes = 0
+}
+
+// cacheFor returns the app's cache entry, admitting its packed size against
+// the budget on first sight.
+func cacheFor(a *App) *cacheEntry {
+	key := cacheKey{name: a.Name, seed: a.Seed, pages: a.TotalPages, refs: a.totalRefs}
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	if e, ok := traceCache.entries[key]; ok {
+		return e
+	}
+	e := &cacheEntry{}
+	if size := a.totalRefs * 8; size > 0 && traceCache.bytes+size <= traceCache.budget {
+		e.admitted = true
+		traceCache.bytes += size
+	}
+	traceCache.entries[key] = e
+	return e
+}
+
+// synthesize materializes the app's stream into e.packed. Safe only inside
+// e.refsOnce.
+func (e *cacheEntry) synthesize(a *App) {
+	packed := make([]uint64, 0, a.totalRefs)
+	buf := make([]Ref, 8192)
+	rd := a.generatorReader()
+	for {
+		n := rd.Read(buf)
+		if n == 0 {
+			break
+		}
+		for _, ref := range buf[:n] {
+			p := ref.Addr << 1
+			if ref.Store {
+				p |= 1
+			}
+			packed = append(packed, p)
+		}
+	}
+	e.packed = packed
+}
+
+// packedReader replays a cached stream. Each reader has private position
+// state; the packed slice itself is shared and never written.
+type packedReader struct {
+	refs []uint64
+	pos  int
+}
+
+func (p *packedReader) Read(buf []Ref) int {
+	i := 0
+	for i < len(buf) && p.pos < len(p.refs) {
+		v := p.refs[p.pos]
+		buf[i] = Ref{Addr: v >> 1, Store: v&1 != 0}
+		i++
+		p.pos++
+	}
+	return i
+}
+
+// TouchedPages returns the distinct page numbers (Addr / units.PageSize)
+// the app's trace references, in ascending order — the warm-cache preload
+// set. The result is memoized per app × scale and shared: callers must not
+// modify it.
+func TouchedPages(a *App) []uint64 {
+	e := cacheFor(a)
+	e.pagesOnce.Do(func() {
+		e.touched = scanTouched(a.NewReader())
+	})
+	return e.touched
+}
+
+// scanTouched reads a stream to the end and collects its footprint.
+func scanTouched(rd Reader) []uint64 {
+	pages := make(map[uint64]struct{})
+	buf := make([]Ref, 8192)
+	for {
+		n := rd.Read(buf)
+		if n == 0 {
+			break
+		}
+		for _, ref := range buf[:n] {
+			pages[ref.Addr/units.PageSize] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(pages))
+	for p := range pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// drain reads a stream to the end.
+func drain(t *testing.T, rd Reader) []Ref {
+	t.Helper()
+	var out []Ref
+	buf := make([]Ref, 1024)
+	for {
+		n := rd.Read(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func sameRefs(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCachedReaderMatchesGenerator: the packed replay must be byte-for-byte
+// the generator's stream — the cache is a pure memoization.
+func TestCachedReaderMatchesGenerator(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	app := Gdb(0.3)
+	want := drain(t, app.generatorReader())
+	got := drain(t, app.NewReader())
+	if !sameRefs(want, got) {
+		t.Fatalf("cached stream differs from generated stream (%d vs %d refs)", len(got), len(want))
+	}
+	if u := CacheUsage(); u.Entries != 1 || u.Bytes != app.TotalRefs()*8 {
+		t.Fatalf("cache usage = %+v, want 1 entry of %d bytes", u, app.TotalRefs()*8)
+	}
+	// A second reader replays the same shared copy from the start.
+	again := drain(t, app.NewReader())
+	if !sameRefs(want, again) {
+		t.Fatal("second cached reader differs")
+	}
+}
+
+// TestCacheBudgetZeroDisables: with no budget every reader regenerates and
+// still produces the identical stream.
+func TestCacheBudgetZeroDisables(t *testing.T) {
+	resetCache()
+	prev := SetCacheBudget(0)
+	defer func() { SetCacheBudget(prev); resetCache() }()
+	app := Gdb(0.3)
+	if _, ok := app.NewReader().(*packedReader); ok {
+		t.Fatal("reader cached despite zero budget")
+	}
+	if u := CacheUsage(); u.Entries != 0 || u.Bytes != 0 {
+		t.Fatalf("cache not empty: %+v", u)
+	}
+}
+
+// TestCacheAdmissionBounded: an app bigger than the remaining budget falls
+// back to generation without evicting what's cached.
+func TestCacheAdmissionBounded(t *testing.T) {
+	resetCache()
+	small := Gdb(0.3)
+	prev := SetCacheBudget(small.TotalRefs() * 8)
+	defer func() { SetCacheBudget(prev); resetCache() }()
+	if _, ok := small.NewReader().(*packedReader); !ok {
+		t.Fatal("small app should be admitted")
+	}
+	big := Modula3(0.3)
+	if _, ok := big.NewReader().(*packedReader); ok {
+		t.Fatal("big app should have been refused")
+	}
+	if u := CacheUsage(); u.Entries != 1 {
+		t.Fatalf("cache usage = %+v, want the small entry only", u)
+	}
+}
+
+// TestTouchedPages: the memoized footprint equals a scan of the stream, is
+// ascending, and is shared across calls.
+func TestTouchedPages(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	app := Gdb(0.3)
+	got := TouchedPages(app)
+	want := map[uint64]struct{}{}
+	for _, r := range drain(t, app.NewReader()) {
+		want[r.Addr/units.PageSize] = struct{}{}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("footprint %d pages, scan found %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if _, ok := want[p]; !ok {
+			t.Fatalf("page %d not in scan", p)
+		}
+		if i > 0 && got[i-1] >= p {
+			t.Fatalf("footprint not strictly ascending at %d", i)
+		}
+	}
+	again := TouchedPages(Gdb(0.3)) // distinct *App, same key
+	if &again[0] != &got[0] {
+		t.Fatal("footprint not memoized across App instances")
+	}
+}
+
+// TestCacheConcurrentReaders: many goroutines racing to be first reader of
+// the same stream all see the identical trace (run under -race in CI).
+func TestCacheConcurrentReaders(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	app := Gdb(0.2)
+	want := drain(t, app.generatorReader())
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]Ref, 512)
+			var got []Ref
+			rd := Gdb(0.2).NewReader()
+			for {
+				n := rd.Read(buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !sameRefs(want, got) {
+				errs <- "concurrent reader produced a different stream"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -80,7 +80,21 @@ func (a *App) TotalRefs() int64 { return a.totalRefs }
 func (a *App) Phases() []Phase { return a.newPhases() }
 
 // NewReader returns a fresh deterministic reader over the app's trace.
+// When the trace cache has (or can admit) this app × scale stream, the
+// reader replays the shared memoized copy; otherwise it regenerates from
+// the phase generators. Both paths produce the identical stream.
 func (a *App) NewReader() Reader {
+	if e := cacheFor(a); e.admitted {
+		e.refsOnce.Do(func() { e.synthesize(a) })
+		if e.packed != nil {
+			return &packedReader{refs: e.packed}
+		}
+	}
+	return a.generatorReader()
+}
+
+// generatorReader always synthesizes from the phase builders.
+func (a *App) generatorReader() Reader {
 	return &appReader{phases: a.newPhases(), rand: rng.New(a.Seed)}
 }
 
