@@ -4,7 +4,7 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint build test race bench chaos-demo
+.PHONY: ci fmt vet lint build test race bench chaos chaos-demo
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
@@ -49,6 +49,15 @@ bench:
 	$(GO) test -bench . -benchtime 200x -run xxx -timeout 30m ./...
 	$(GO) run ./cmd/subpagesim -run all -scale $(BENCH_SCALE) -j $(BENCH_J) \
 		-benchout BENCH_experiments.json > /dev/null
+
+# chaos runs the kill/restart self-heal soak: the control-plane recovery
+# scenario (lease expiry, epoch-fenced re-registration, breaker probe) on a
+# lossy, jittery network across several fault-schedule seeds, under the
+# race detector. The short single-pass variant of the same scenario runs in
+# every `make test` / `make race` (and thus `make ci`) as
+# TestChaosKillRestartSelfHeal.
+chaos:
+	GMS_CHAOS_SOAK=1 $(GO) test -race -run 'TestChaosKillRestart' -count=1 -v ./internal/remote/
 
 chaos-demo:
 	$(GO) run ./cmd/gmsnode chaos -pages 256 -kill-at 0.5 -restart -hedge 5ms

@@ -36,6 +36,23 @@ type ClusterConfig struct {
 	// LeastLoaded disables GMS's epoch-weighted placement in favour of
 	// simple least-loaded placement.
 	LeastLoaded bool
+	// NodeFailures schedules idle-node deaths against the simulated clock
+	// (see FailureEvent). The schedule is part of the simulation input, so
+	// runs stay deterministic. Incompatible with NoIdleNodes.
+	NodeFailures []FailureEvent
+}
+
+// FailureEvent kills idle node Node at simulated time AtMs (milliseconds):
+// its donated pages vanish from the global cache, so refaults on them fall
+// through to disk — the paper's graceful-degradation story. When
+// RejoinAtMs > AtMs the node rejoins with empty memory at that time;
+// otherwise it stays dead. Events at 0 ms apply before the first
+// reference, so failing every idle node at 0 reproduces the NoIdleNodes
+// all-disk baseline exactly.
+type FailureEvent struct {
+	Node       int
+	AtMs       float64
+	RejoinAtMs float64
 }
 
 // NodeReport is one active node's outcome in a cluster run.
@@ -62,6 +79,8 @@ type ClusterReport struct {
 	GlobalHits int64
 	// Epochs counts replacement-epoch boundaries (0 with LeastLoaded).
 	Epochs int64
+	// DroppedPages counts donated pages lost to scheduled node failures.
+	DroppedPages int64
 }
 
 // SimulateCluster runs every workload against one shared global memory,
@@ -83,6 +102,23 @@ func SimulateCluster(cfg ClusterConfig) (*ClusterReport, error) {
 		cfg.IdleNodes = -1 // all-disk baseline: RunCluster gets no idle memory
 	} else if cfg.IdleNodes == 0 {
 		cfg.IdleNodes = 2
+	}
+	if len(cfg.NodeFailures) > 0 && cfg.IdleNodes < 0 {
+		return nil, fmt.Errorf("gmsubpage: NodeFailures needs idle nodes to fail")
+	}
+	failures := make([]sim.FailureEvent, 0, len(cfg.NodeFailures))
+	for _, ev := range cfg.NodeFailures {
+		if ev.Node < 0 || ev.Node >= cfg.IdleNodes {
+			return nil, fmt.Errorf("gmsubpage: FailureEvent node %d out of range [0,%d)", ev.Node, cfg.IdleNodes)
+		}
+		if ev.AtMs < 0 || ev.RejoinAtMs < 0 {
+			return nil, fmt.Errorf("gmsubpage: FailureEvent times must be non-negative")
+		}
+		failures = append(failures, sim.FailureEvent{
+			Node:     ev.Node,
+			At:       units.FromMs(ev.AtMs).ToTicks(),
+			RejoinAt: units.FromMs(ev.RejoinAtMs).ToTicks(),
+		})
 	}
 	if !units.ValidSubpageSize(cfg.SubpageSize) {
 		return nil, fmt.Errorf("gmsubpage: invalid subpage size %d", cfg.SubpageSize)
@@ -106,13 +142,15 @@ func SimulateCluster(cfg ClusterConfig) (*ClusterReport, error) {
 		IdleNodes:          cfg.IdleNodes,
 		GlobalPagesPerIdle: cfg.DonatedPagesPerIdle,
 		UseEpoch:           !cfg.LeastLoaded,
+		NodeFailures:       failures,
 	})
 	out := &ClusterReport{
-		MakespanMs: res.TotalRuntime().Ms(),
-		DiskFaults: res.DiskFaults(),
-		Discards:   res.Discards,
-		GlobalHits: res.GlobalHits,
-		Epochs:     res.Epochs,
+		MakespanMs:   res.TotalRuntime().Ms(),
+		DiskFaults:   res.DiskFaults(),
+		Discards:     res.Discards,
+		GlobalHits:   res.GlobalHits,
+		Epochs:       res.Epochs,
+		DroppedPages: res.DroppedPages,
 	}
 	for _, n := range res.Nodes {
 		out.Nodes = append(out.Nodes, NodeReport{

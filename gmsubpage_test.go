@@ -311,6 +311,54 @@ func TestSimulateClusterErrors(t *testing.T) {
 	}); err == nil {
 		t.Error("bad subpage size should fail")
 	}
+	if _, err := gmsubpage.SimulateCluster(gmsubpage.ClusterConfig{
+		Workloads: []string{"gdb"}, NoIdleNodes: true,
+		NodeFailures: []gmsubpage.FailureEvent{{Node: 0}},
+	}); err == nil {
+		t.Error("NodeFailures without idle nodes should fail")
+	}
+	if _, err := gmsubpage.SimulateCluster(gmsubpage.ClusterConfig{
+		Workloads: []string{"gdb"}, IdleNodes: 2,
+		NodeFailures: []gmsubpage.FailureEvent{{Node: 5}},
+	}); err == nil {
+		t.Error("out-of-range failure node should fail")
+	}
+	if _, err := gmsubpage.SimulateCluster(gmsubpage.ClusterConfig{
+		Workloads: []string{"gdb"}, IdleNodes: 2,
+		NodeFailures: []gmsubpage.FailureEvent{{Node: 0, AtMs: -1}},
+	}); err == nil {
+		t.Error("negative failure time should fail")
+	}
+}
+
+func TestSimulateClusterNodeFailures(t *testing.T) {
+	base := gmsubpage.ClusterConfig{
+		Workloads:      []string{"gdb", "gdb"},
+		Scale:          0.5,
+		MemoryFraction: 0.5,
+		IdleNodes:      2,
+	}
+	healthy, err := gmsubpage.SimulateCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.DroppedPages != 0 {
+		t.Fatalf("healthy run dropped pages: %+v", healthy)
+	}
+
+	cfg := base
+	cfg.NodeFailures = []gmsubpage.FailureEvent{{Node: 0, AtMs: healthy.MakespanMs / 2}}
+	degraded, err := gmsubpage.SimulateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.DroppedPages == 0 {
+		t.Fatalf("failure should drop the dead donor's pages: %+v", degraded)
+	}
+	if degraded.MakespanMs <= healthy.MakespanMs {
+		t.Fatalf("losing a donor mid-run should cost time: %.1fms vs healthy %.1fms",
+			degraded.MakespanMs, healthy.MakespanMs)
+	}
 }
 
 func TestSimulateTraceFile(t *testing.T) {

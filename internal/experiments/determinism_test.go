@@ -15,8 +15,9 @@ import (
 func TestSameSeedSameOutput(t *testing.T) {
 	cfg := Config{Scale: 0.05}
 	// fig7 exercises the synthetic trace generator and the fault engine;
-	// cluster exercises the multi-node path; table2 the analytic model.
-	for _, id := range []string{"fig7", "cluster", "table2"} {
+	// cluster exercises the multi-node path; table2 the analytic model;
+	// reliability exercises the node-failure schedule.
+	for _, id := range []string{"fig7", "cluster", "table2", "reliability"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

@@ -78,8 +78,16 @@ func (m *EpochManager) newEpoch() {
 		ages = append(ages, aged{e.node, e.epoch})
 	}
 	if len(ages) == 0 {
+		// Empty directory: split weight evenly among the alive nodes (a
+		// dead node cannot accept placements). With none alive the weights
+		// stay zero; Place drops stores before consulting them.
+		if m.cluster.aliveCount == 0 {
+			return
+		}
 		for i := range m.weights {
-			m.weights[i] = 1 / float64(nodes)
+			if m.cluster.alive[i] {
+				m.weights[i] = 1 / float64(m.cluster.aliveCount)
+			}
 		}
 		return
 	}
@@ -103,15 +111,24 @@ func (m *EpochManager) Weights() []float64 {
 // when the current one's eviction budget is spent. It returns the chosen
 // node.
 func (m *EpochManager) Place(page memmodel.PageID) NodeID {
+	c := m.cluster
+	if _, ok := c.directory[page]; ok {
+		panic("gms: epoch Place of page already in global memory")
+	}
+	if c.aliveCount == 0 {
+		// Every donor is down: drop the store, like Cluster.Store.
+		return 0
+	}
 	if m.remaining <= 0 {
 		m.newEpoch()
 	}
 	m.remaining--
 
 	node := m.pick()
-	c := m.cluster
-	if _, ok := c.directory[page]; ok {
-		panic("gms: epoch Place of page already in global memory")
+	if !c.alive[node] {
+		// The weights predate a failure in this epoch; place on the
+		// least-loaded survivor until the next boundary recomputes them.
+		node = c.leastLoaded()
 	}
 	if c.cfg.GlobalPagesPerNode > 0 && c.load[node] >= c.cfg.GlobalPagesPerNode {
 		// The target is full: discard its oldest page (the weighted

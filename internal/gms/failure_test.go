@@ -1,0 +1,183 @@
+package gms
+
+import (
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+)
+
+func TestFailNodeDropsItsPages(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	c.Warm([]memmodel.PageID{1, 2, 3, 4}) // round-robin: node0={1,3}, node1={2,4}
+	dropped := c.FailNode(0)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if c.DroppedPages != 2 {
+		t.Fatalf("DroppedPages = %d, want 2", c.DroppedPages)
+	}
+	if c.Discards != 0 {
+		t.Fatalf("Discards = %d, want 0: a crash is not a replacement decision", c.Discards)
+	}
+	if c.Load(0) != 0 {
+		t.Fatalf("dead node load = %d, want 0", c.Load(0))
+	}
+	if c.AliveNodes() != 1 {
+		t.Fatalf("AliveNodes = %d, want 1", c.AliveNodes())
+	}
+	// The dead node's pages are gone; the survivor's remain.
+	for _, p := range []memmodel.PageID{1, 3} {
+		if _, ok := c.Lookup(p); ok {
+			t.Errorf("page %d should have vanished with node 0", p)
+		}
+	}
+	for _, p := range []memmodel.PageID{2, 4} {
+		if _, ok := c.Lookup(p); !ok {
+			t.Errorf("page %d on the surviving node should remain", p)
+		}
+	}
+}
+
+func TestFailNodeIdempotent(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	c.Warm([]memmodel.PageID{1, 2})
+	c.FailNode(1)
+	if again := c.FailNode(1); again != 0 {
+		t.Fatalf("second FailNode dropped %d pages, want 0", again)
+	}
+	if c.AliveNodes() != 1 {
+		t.Fatalf("AliveNodes = %d, want 1", c.AliveNodes())
+	}
+}
+
+func TestFailNodeOutOfRangePanics(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FailNode(2) on a 2-node cluster should panic")
+		}
+	}()
+	c.FailNode(2)
+}
+
+func TestStoreSkipsDeadNodes(t *testing.T) {
+	c := NewCluster(Config{Nodes: 3})
+	c.FailNode(1)
+	for p := memmodel.PageID(0); p < 10; p++ {
+		if n := c.Store(p); n == 1 {
+			t.Fatalf("Store(%d) placed on dead node 1", p)
+		}
+	}
+	if c.Load(1) != 0 {
+		t.Fatalf("dead node load = %d, want 0", c.Load(1))
+	}
+}
+
+func TestStoreWithAllNodesDeadIsLostUncounted(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	c.FailNode(0)
+	c.FailNode(1)
+	c.Store(42)
+	if c.Stores != 0 || c.Discards != 0 {
+		t.Fatalf("Stores/Discards = %d/%d, want 0/0 (all-disk baseline counts neither)", c.Stores, c.Discards)
+	}
+	if _, ok := c.Lookup(42); ok {
+		t.Fatal("store with every donor down should be dropped")
+	}
+	// Fetch still misses normally.
+	if _, ok := c.Fetch(42); ok {
+		t.Fatal("fetch should miss")
+	}
+	if c.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", c.Misses)
+	}
+}
+
+func TestWarmSkipsDeadNodes(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	c.FailNode(0)
+	c.Warm([]memmodel.PageID{1, 2, 3})
+	if c.Load(0) != 0 || c.Load(1) != 3 {
+		t.Fatalf("loads = %d/%d, want 0/3", c.Load(0), c.Load(1))
+	}
+	c.FailNode(1)
+	c.Warm([]memmodel.PageID{4})
+	if _, ok := c.Lookup(4); ok {
+		t.Fatal("warming an all-dead cluster should be a no-op")
+	}
+}
+
+func TestReviveNodeRejoinsEmpty(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	c.Warm([]memmodel.PageID{1, 2, 3, 4})
+	c.FailNode(0)
+	c.ReviveNode(0)
+	if c.AliveNodes() != 2 {
+		t.Fatalf("AliveNodes = %d, want 2", c.AliveNodes())
+	}
+	if c.Load(0) != 0 {
+		t.Fatalf("revived node load = %d, want 0 (rejoins with empty memory)", c.Load(0))
+	}
+	// It accepts placements again: least-loaded prefers the empty rejoiner.
+	if n := c.Store(10); n != 0 {
+		t.Fatalf("Store placed on node %d, want the empty rejoined node 0", n)
+	}
+	// Reviving a live node is a no-op.
+	c.ReviveNode(0)
+	if c.AliveNodes() != 2 {
+		t.Fatalf("AliveNodes = %d, want 2", c.AliveNodes())
+	}
+}
+
+func TestEpochPlaceAvoidsDeadNodes(t *testing.T) {
+	ec := NewEpochCluster(Config{Nodes: 3}, DefaultEpochConfig())
+	// Warm so the first epoch's weights put mass on every node, then kill
+	// one mid-epoch: placements must land on survivors without waiting for
+	// the next boundary.
+	pages := make([]memmodel.PageID, 30)
+	for i := range pages {
+		pages[i] = memmodel.PageID(i)
+	}
+	ec.Warm(pages)
+	ec.FailNode(2)
+	for p := memmodel.PageID(100); p < 160; p++ {
+		if n := ec.Store(p); n == 2 {
+			t.Fatalf("epoch Place(%d) chose dead node 2", p)
+		}
+	}
+	if ec.Load(2) != 0 {
+		t.Fatalf("dead node load = %d, want 0", ec.Load(2))
+	}
+}
+
+func TestEpochPlaceWithAllNodesDeadDropsStore(t *testing.T) {
+	ec := NewEpochCluster(Config{Nodes: 2}, DefaultEpochConfig())
+	epochsBefore := ec.Epoch.Epochs
+	ec.FailNode(0)
+	ec.FailNode(1)
+	ec.Store(7)
+	if ec.Stores != 0 {
+		t.Fatalf("Stores = %d, want 0", ec.Stores)
+	}
+	if _, ok := ec.Lookup(7); ok {
+		t.Fatal("store with every donor down should be dropped")
+	}
+	if ec.Epoch.Epochs != epochsBefore {
+		t.Fatalf("dropped stores must not burn epochs: %d -> %d", epochsBefore, ec.Epoch.Epochs)
+	}
+}
+
+func TestEpochNewEpochSplitsAmongAlive(t *testing.T) {
+	c := NewCluster(Config{Nodes: 4})
+	c.FailNode(3)
+	m := NewEpochManager(c, DefaultEpochConfig())
+	w := m.Weights()
+	if w[3] != 0 {
+		t.Fatalf("dead node weight = %v, want 0", w[3])
+	}
+	for i := 0; i < 3; i++ {
+		if w[i] == 0 {
+			t.Errorf("alive node %d weight = 0, want an even share", i)
+		}
+	}
+}

@@ -48,11 +48,21 @@ type Cluster struct {
 	load      []int // pages stored per node
 	clock     int64
 
+	// Node liveness: a failed node's donated pages vanish (refaults go to
+	// disk) and placement skips it until it rejoins. With every node dead
+	// the cluster degrades to the all-disk baseline: fetches miss and
+	// stores are dropped uncounted, exactly like the no-idle-nodes case.
+	alive      []bool
+	aliveCount int
+
 	// Statistics.
 	Hits     int64 // getpage satisfied from global memory
 	Misses   int64 // getpage fell through to disk
 	Stores   int64 // putpage accepted
 	Discards int64 // globally-oldest pages dropped to make room
+	// DroppedPages counts pages lost to node failures — not Discards,
+	// because a crash is not a replacement decision.
+	DroppedPages int64
 }
 
 // EpochCluster couples a Cluster with epoch-weighted putpage placement:
@@ -77,21 +87,78 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("gms: cluster needs at least one node")
 	}
+	alive := make([]bool, cfg.Nodes)
+	for i := range alive {
+		alive[i] = true
+	}
 	return &Cluster{
-		cfg:       cfg,
-		directory: make(map[memmodel.PageID]entry),
-		load:      make([]int, cfg.Nodes),
+		cfg:        cfg,
+		directory:  make(map[memmodel.PageID]entry),
+		load:       make([]int, cfg.Nodes),
+		alive:      alive,
+		aliveCount: cfg.Nodes,
 	}
 }
 
-// Warm preloads pages into global memory, spread round-robin across nodes:
-// the paper's "warm (global) cache situation, that is, all pages are
-// assumed to initially reside in remote memory".
+// FailNode kills node n: its donated pages vanish from global memory so
+// subsequent refaults fall through to disk, and placement skips it. The
+// number of pages dropped is returned and accumulated in DroppedPages.
+// Failing an already-dead node is a no-op.
+func (c *Cluster) FailNode(n NodeID) int {
+	if n < 0 || int(n) >= c.cfg.Nodes {
+		panic(fmt.Sprintf("gms: FailNode(%d) with %d nodes", n, c.cfg.Nodes))
+	}
+	if !c.alive[n] {
+		return 0
+	}
+	c.alive[n] = false
+	c.aliveCount--
+	dropped := 0
+	for p, e := range c.directory {
+		if e.node == n {
+			delete(c.directory, p)
+			dropped++
+		}
+	}
+	c.load[n] = 0
+	c.DroppedPages += int64(dropped)
+	return dropped
+}
+
+// ReviveNode rejoins node n with empty memory. Reviving a live node is a
+// no-op.
+func (c *Cluster) ReviveNode(n NodeID) {
+	if n < 0 || int(n) >= c.cfg.Nodes {
+		panic(fmt.Sprintf("gms: ReviveNode(%d) with %d nodes", n, c.cfg.Nodes))
+	}
+	if c.alive[n] {
+		return
+	}
+	c.alive[n] = true
+	c.aliveCount++
+}
+
+// AliveNodes reports how many donor nodes are currently alive.
+func (c *Cluster) AliveNodes() int { return c.aliveCount }
+
+// Warm preloads pages into global memory, spread round-robin across the
+// alive nodes: the paper's "warm (global) cache situation, that is, all
+// pages are assumed to initially reside in remote memory".
 func (c *Cluster) Warm(pages []memmodel.PageID) {
+	if c.aliveCount == 0 {
+		return
+	}
+	targets := make([]NodeID, 0, c.aliveCount)
+	for i, ok := range c.alive {
+		if ok {
+			targets = append(targets, NodeID(i))
+		}
+	}
 	for i, p := range pages {
+		n := targets[i%len(targets)]
 		c.clock++
-		c.directory[p] = entry{node: NodeID(i % c.cfg.Nodes), epoch: c.clock}
-		c.load[i%c.cfg.Nodes]++
+		c.directory[p] = entry{node: n, epoch: c.clock}
+		c.load[n]++
 	}
 }
 
@@ -124,6 +191,12 @@ func (c *Cluster) Store(page memmodel.PageID) NodeID {
 	if _, ok := c.directory[page]; ok {
 		panic(fmt.Sprintf("gms: page %d already in global memory", page))
 	}
+	if c.aliveCount == 0 {
+		// Every donor is down: the eviction is lost, exactly as in the
+		// no-idle-nodes baseline (which counts neither a store nor a
+		// discard).
+		return 0
+	}
 	node := c.leastLoaded()
 	if c.cfg.GlobalPagesPerNode > 0 && c.load[node] >= c.cfg.GlobalPagesPerNode {
 		c.discardOldest()
@@ -142,12 +215,20 @@ func (c *Cluster) Size() int { return len(c.directory) }
 // Load returns the number of pages stored on node.
 func (c *Cluster) Load(node NodeID) int { return c.load[node] }
 
+// leastLoaded returns the alive node with the fewest stored pages. It must
+// not be called with every node dead.
 func (c *Cluster) leastLoaded() NodeID {
-	best := NodeID(0)
-	for i := 1; i < len(c.load); i++ {
-		if c.load[i] < c.load[best] {
+	best := NodeID(-1)
+	for i := 0; i < len(c.load); i++ {
+		if !c.alive[i] {
+			continue
+		}
+		if best < 0 || c.load[i] < c.load[best] {
 			best = NodeID(i)
 		}
+	}
+	if best < 0 {
+		panic("gms: leastLoaded with no alive nodes")
 	}
 	return best
 }

@@ -9,7 +9,7 @@ import (
 )
 
 // Lockio guards lock discipline in the concurrent prototype packages
-// (internal/remote, internal/chaos): a sync.Mutex or sync.RWMutex must not
+// (internal/remote, internal/chaos, cmd/gmsnode): a sync.Mutex or sync.RWMutex must not
 // be held across blocking operations — network I/O, channel sends and
 // receives, selects without a default, time.Sleep, dials — because one
 // stalled peer then wedges every goroutine queued on the mutex.
@@ -25,7 +25,9 @@ var Lockio = &Analyzer{
 	Run:  runLockio,
 }
 
-var lockioSegments = []string{"internal/remote", "internal/chaos"}
+// cmd/gmsnode rides along so the heartbeat/breaker-era demo code keeps the
+// same discipline as the library it drives.
+var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode"}
 
 func runLockio(pass *Pass) {
 	inScope := false

@@ -43,6 +43,8 @@ const (
 	TRegister
 	// TError reports a failure in place of the normal reply.
 	TError
+	// THeartbeat renews a page server's directory lease.
+	THeartbeat
 )
 
 // String names the type for diagnostics.
@@ -64,6 +66,8 @@ func (t Type) String() string {
 		return "Register"
 	case TError:
 		return "Error"
+	case THeartbeat:
+		return "Heartbeat"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -124,10 +128,25 @@ type LookupReply struct {
 	Addrs []string
 }
 
-// Register announces pages stored at Addr.
+// Register announces pages stored at Addr. Epoch is the server's
+// registration epoch: a number that grows across the server's incarnations
+// (a restart registers with a higher epoch) so the directory can fence out
+// the stale entries of a crashed predecessor instead of accumulating
+// duplicates. Registrations with an epoch below the directory's current
+// epoch for Addr are rejected as stale.
 type Register struct {
 	Addr  string
+	Epoch uint64
 	Pages []uint64
+}
+
+// Heartbeat renews the directory lease for the server at Addr. The epoch
+// must match the server's registered epoch; a heartbeat for an unknown or
+// superseded registration draws a TError so the server knows to
+// re-register.
+type Heartbeat struct {
+	Addr  string
+	Epoch uint64
 }
 
 // ErrorMsg reports a remote failure.
@@ -226,13 +245,26 @@ func (w *Writer) SendRegister(m Register) error {
 	if len(m.Addr) > 255 {
 		return fmt.Errorf("proto: address too long: %q", m.Addr)
 	}
-	p := make([]byte, 0, 1+len(m.Addr)+8*len(m.Pages))
+	p := make([]byte, 0, 9+len(m.Addr)+8*len(m.Pages))
 	p = append(p, byte(len(m.Addr)))
 	p = append(p, m.Addr...)
+	p = binary.LittleEndian.AppendUint64(p, m.Epoch)
 	for _, pg := range m.Pages {
 		p = binary.LittleEndian.AppendUint64(p, pg)
 	}
 	return w.send(TRegister, p)
+}
+
+// SendHeartbeat writes a THeartbeat frame.
+func (w *Writer) SendHeartbeat(m Heartbeat) error {
+	if len(m.Addr) > 255 {
+		return fmt.Errorf("proto: address too long: %q", m.Addr)
+	}
+	p := make([]byte, 0, 9+len(m.Addr))
+	p = append(p, byte(len(m.Addr)))
+	p = append(p, m.Addr...)
+	p = binary.LittleEndian.AppendUint64(p, m.Epoch)
+	return w.send(THeartbeat, p)
 }
 
 // SendError writes a TError frame.
@@ -353,11 +385,14 @@ func DecodeRegister(p []byte) (Register, error) {
 		return Register{}, short(TRegister)
 	}
 	alen := int(p[0])
-	if len(p) < 1+alen {
+	if len(p) < 1+alen+8 {
 		return Register{}, short(TRegister)
 	}
-	m := Register{Addr: string(p[1 : 1+alen])}
-	rest := p[1+alen:]
+	m := Register{
+		Addr:  string(p[1 : 1+alen]),
+		Epoch: binary.LittleEndian.Uint64(p[1+alen : 9+alen]),
+	}
+	rest := p[9+alen:]
 	if len(rest)%8 != 0 {
 		return Register{}, fmt.Errorf("proto: ragged page list in Register")
 	}
@@ -365,6 +400,21 @@ func DecodeRegister(p []byte) (Register, error) {
 		m.Pages = append(m.Pages, binary.LittleEndian.Uint64(rest[i:i+8]))
 	}
 	return m, nil
+}
+
+// DecodeHeartbeat parses a THeartbeat payload.
+func DecodeHeartbeat(p []byte) (Heartbeat, error) {
+	if len(p) < 1 {
+		return Heartbeat{}, short(THeartbeat)
+	}
+	alen := int(p[0])
+	if len(p) != 1+alen+8 {
+		return Heartbeat{}, short(THeartbeat)
+	}
+	return Heartbeat{
+		Addr:  string(p[1 : 1+alen]),
+		Epoch: binary.LittleEndian.Uint64(p[1+alen:]),
+	}, nil
 }
 
 // DecodeError parses a TError payload.

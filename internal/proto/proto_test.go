@@ -144,14 +144,48 @@ func TestPolicyMapping(t *testing.T) {
 }
 
 func TestRegisterRoundTrip(t *testing.T) {
-	in := Register{Addr: "h:1", Pages: []uint64{1, 2, 3, 1 << 40}}
+	in := Register{Addr: "h:1", Epoch: 42, Pages: []uint64{1, 2, 3, 1 << 40}}
 	f := roundTrip(t, func(w *Writer) error { return w.SendRegister(in) })
 	out, err := DecodeRegister(f.Payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Addr != in.Addr || len(out.Pages) != 4 || out.Pages[3] != 1<<40 {
+	if out.Addr != in.Addr || out.Epoch != 42 || len(out.Pages) != 4 || out.Pages[3] != 1<<40 {
 		t.Fatalf("register mismatch: %+v", out)
+	}
+}
+
+func TestRegisterZeroEpochEmptyPages(t *testing.T) {
+	in := Register{Addr: "h:1"}
+	f := roundTrip(t, func(w *Writer) error { return w.SendRegister(in) })
+	out, err := DecodeRegister(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Addr != "h:1" || out.Epoch != 0 || len(out.Pages) != 0 {
+		t.Fatalf("register mismatch: %+v", out)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := Heartbeat{Addr: "10.0.0.2:9999", Epoch: 1 << 50}
+	f := roundTrip(t, func(w *Writer) error { return w.SendHeartbeat(in) })
+	if f.Type != THeartbeat {
+		t.Fatalf("type = %v", f.Type)
+	}
+	out, err := DecodeHeartbeat(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestHeartbeatAddrTooLong(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.SendHeartbeat(Heartbeat{Addr: strings.Repeat("x", 300)}); err == nil {
+		t.Fatal("overlong address should fail")
 	}
 }
 
@@ -239,8 +273,22 @@ func TestShortPayloadDecodes(t *testing.T) {
 	if _, err := DecodeRegister(nil); err == nil {
 		t.Error("short Register should fail")
 	}
+	// Address present but epoch missing.
 	if _, err := DecodeRegister([]byte{1, 'a', 0xff}); err == nil {
+		t.Error("Register without epoch should fail")
+	}
+	if _, err := DecodeRegister([]byte{1, 'a', 1, 2, 3, 4, 5, 6, 7, 8, 0xff}); err == nil {
 		t.Error("ragged Register page list should fail")
+	}
+	if _, err := DecodeHeartbeat(nil); err == nil {
+		t.Error("short Heartbeat should fail")
+	}
+	if _, err := DecodeHeartbeat([]byte{1, 'a', 0xff}); err == nil {
+		t.Error("Heartbeat without full epoch should fail")
+	}
+	// Trailing bytes after the epoch are also malformed.
+	if _, err := DecodeHeartbeat([]byte{1, 'a', 1, 2, 3, 4, 5, 6, 7, 8, 9}); err == nil {
+		t.Error("overlong Heartbeat should fail")
 	}
 }
 
@@ -321,6 +369,8 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 				DecodeRegister(fr.Payload)
 			case TError:
 				DecodeError(fr.Payload)
+			case THeartbeat:
+				DecodeHeartbeat(fr.Payload)
 			}
 		}
 		return true
@@ -332,7 +382,7 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 
 func TestTypeStrings(t *testing.T) {
 	types := []Type{TGetPage, TPageData, TPutPage, TAck, TLookup,
-		TLookupReply, TRegister, TError}
+		TLookupReply, TRegister, TError, THeartbeat}
 	seen := map[string]bool{}
 	for _, tp := range types {
 		s := tp.String()

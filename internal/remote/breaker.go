@@ -1,0 +1,134 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. A server starts closed (requests flow); N consecutive
+// failed attempts open it (requests shunned); after a cooldown one probe is
+// let through half-open, and its outcome either closes the breaker or
+// re-opens it for another cooldown.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// breakerEntry tracks one server's breaker.
+type breakerEntry struct {
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// breaker is the client's per-server circuit breaker, layered under the
+// retry/failover logic: replica picking consults it so a server that has
+// failed repeatedly is shunned until a probe proves it healthy again,
+// instead of burning a timeout on every fault. It never blocks progress:
+// when every replica is denied the caller force-picks one anyway.
+type breaker struct {
+	threshold int // consecutive failures before opening; 0 disables
+	cooldown  time.Duration
+
+	mu      sync.Mutex
+	servers map[string]*breakerEntry
+	opens   int64 // closed→open transitions
+	probes  int64 // half-open probes granted
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		servers:   make(map[string]*breakerEntry),
+	}
+}
+
+// allow reports whether an attempt on addr should proceed, granting the
+// half-open probe when an open breaker's cooldown has elapsed. At most one
+// probe is outstanding per server.
+func (b *breaker) allow(addr string, now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.servers[addr]
+	if e == nil || e.state == brClosed {
+		return true
+	}
+	if e.state == brOpen && !e.probing && now.Sub(e.openedAt) >= b.cooldown {
+		e.state = brHalfOpen
+		e.probing = true
+		b.probes++
+		return true
+	}
+	return false
+}
+
+// wouldAllow is allow without side effects: it never grants a probe. Used
+// to steer hedges away from shunned servers.
+func (b *breaker) wouldAllow(addr string) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.servers[addr]
+	return e == nil || e.state == brClosed
+}
+
+// success records a completed attempt on addr, closing its breaker.
+func (b *breaker) success(addr string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	delete(b.servers, addr)
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt on addr. A closed breaker opens at the
+// threshold; a failed half-open probe re-opens for another cooldown; an
+// already-open breaker (forced pick) keeps its opening time so forced
+// traffic cannot postpone the next probe.
+func (b *breaker) failure(addr string, now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.servers[addr]
+	if e == nil {
+		e = &breakerEntry{}
+		b.servers[addr] = e
+	}
+	switch e.state {
+	case brClosed:
+		e.fails++
+		if e.fails >= b.threshold {
+			e.state = brOpen
+			e.openedAt = now
+			b.opens++
+		}
+	case brHalfOpen:
+		e.state = brOpen
+		e.openedAt = now
+		e.probing = false
+	}
+}
+
+// snapshot reports (closed→open trips, probes granted, servers currently
+// open or half-open).
+func (b *breaker) snapshot() (opens, probes int64, openNow int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.servers {
+		if e.state != brClosed {
+			openNow++
+		}
+	}
+	return b.opens, b.probes, openNow
+}

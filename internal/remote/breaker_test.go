@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	b := newBreaker(3, 100*time.Millisecond)
+	now := time.Unix(0, 0)
+	const addr = "srv:1"
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(addr, now) {
+			t.Fatalf("closed breaker denied attempt %d", i)
+		}
+		b.failure(addr, now)
+	}
+	opens, _, openNow := b.snapshot()
+	if opens != 0 || openNow != 0 {
+		t.Fatalf("breaker tripped below threshold: opens=%d openNow=%d", opens, openNow)
+	}
+	b.failure(addr, now) // third consecutive failure: trips
+	if opens, _, openNow = b.snapshot(); opens != 1 || openNow != 1 {
+		t.Fatalf("after threshold: opens=%d openNow=%d, want 1,1", opens, openNow)
+	}
+	if b.allow(addr, now.Add(50*time.Millisecond)) {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+	// Cooldown elapsed: exactly one probe goes through.
+	probeAt := now.Add(150 * time.Millisecond)
+	if !b.allow(addr, probeAt) {
+		t.Fatal("cooldown elapsed but probe denied")
+	}
+	if b.allow(addr, probeAt) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	if _, probes, _ := b.snapshot(); probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+	// Failed probe re-opens for a fresh cooldown.
+	b.failure(addr, probeAt)
+	if b.allow(addr, probeAt.Add(50*time.Millisecond)) {
+		t.Fatal("re-opened breaker allowed traffic before its new cooldown")
+	}
+	// A successful probe closes the breaker.
+	again := probeAt.Add(150 * time.Millisecond)
+	if !b.allow(addr, again) {
+		t.Fatal("second probe denied")
+	}
+	b.success(addr)
+	if !b.allow(addr, again) || !b.wouldAllow(addr) {
+		t.Fatal("breaker should be closed after a successful probe")
+	}
+	if _, _, openNow := b.snapshot(); openNow != 0 {
+		t.Fatalf("openNow = %d after recovery, want 0", openNow)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	now := time.Unix(0, 0)
+	b.failure("s", now)
+	b.failure("s", now)
+	b.success("s") // streak broken: the counter must reset
+	b.failure("s", now)
+	b.failure("s", now)
+	if opens, _, _ := b.snapshot(); opens != 0 {
+		t.Fatalf("non-consecutive failures tripped the breaker: opens=%d", opens)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second)
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		b.failure("s", now)
+	}
+	if !b.allow("s", now) || !b.wouldAllow("s") {
+		t.Fatal("disabled breaker must always allow")
+	}
+	if opens, probes, openNow := b.snapshot(); opens != 0 || probes != 0 || openNow != 0 {
+		t.Fatal("disabled breaker must record nothing")
+	}
+}
+
+func TestClientBreakerShunsDeadServerButFailsOver(t *testing.T) {
+	// Dead primary, live replica: after the breaker opens, faults go
+	// straight to the replica and the dead address stays shunned.
+	dir, srvA, srvB := replicatedCluster(t, 8)
+	_ = dir
+	if err := srvA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := testClient(t, dir, fastRetry(ClientConfig{
+		CachePages:       4,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // no probe during this test
+	}))
+	buf := make([]byte, 64)
+	for p := 0; p < 8; p++ {
+		if err := c.Read(buf, uint64(p)*8192); err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+	}
+	st := c.Stats()
+	if st.BreakerOpens == 0 {
+		t.Fatalf("breaker never opened on the dead server: %+v", st)
+	}
+	if st.OpenBreakers != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1 (the dead server)", st.OpenBreakers)
+	}
+	if st.Failovers == 0 {
+		t.Fatalf("expected failovers to the replica: %+v", st)
+	}
+	_ = srvB
+}
+
+func TestClientBreakerRecoversThroughProbe(t *testing.T) {
+	// Trip the breaker on a dead server, restart a server on the same
+	// address, and verify the half-open probe brings it back into rotation.
+	dir, err := ListenDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	for p := 0; p < 4; p++ {
+		srv.Store(uint64(p), pagePattern(uint64(p)))
+	}
+	if err := srv.RegisterWith(dir.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := testClient(t, dir, fastRetry(ClientConfig{
+		CachePages:       2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	}))
+	buf := make([]byte, 64)
+	if err := c.Read(buf, 0); err == nil {
+		t.Fatal("read from a dead cluster should fail")
+	}
+	if st := c.Stats(); st.BreakerOpens == 0 {
+		t.Fatalf("breaker never opened: %+v", st)
+	}
+	// Revive the server on the same address; its lease-backed registration
+	// makes the pages resolvable again.
+	srv2, err := ListenServer(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	for p := 0; p < 4; p++ {
+		srv2.Store(uint64(p), pagePattern(uint64(p)))
+	}
+	if err := srv2.RegisterWith(dir.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// After the cooldown the next fault is the half-open probe; it must
+	// succeed and close the breaker.
+	time.Sleep(80 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for p := uint64(0); ; p = (p + 1) % 4 {
+		err := c.Read(buf, p*8192)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrPageUnavailable) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered through the revived server")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Read unblocks on the faulted subpage; the breaker records success
+	// when the whole transfer completes, a moment later. Poll.
+	waitBreakerClosed(t, c, 2*time.Second)
+	if st := c.Stats(); st.BreakerProbes == 0 {
+		t.Fatalf("recovery should have gone through a half-open probe: %+v", st)
+	}
+	if !anyPagePrefix(buf) {
+		t.Fatal("recovered read returned wrong data")
+	}
+}
+
+// waitBreakerClosed polls until no breaker is open: a successful read
+// returns when its faulted subpage lands, slightly before the fetch
+// attempt finishes and records the breaker success.
+func waitBreakerClosed(t *testing.T, c *Client, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st := c.Stats()
+		if st.OpenBreakers == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("OpenBreakers = %d after recovery, want 0", st.OpenBreakers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// anyPagePrefix reports whether buf matches the prefix of some test page
+// pattern (the recovery loop may have succeeded on any of pages 0-3).
+func anyPagePrefix(buf []byte) bool {
+	for p := uint64(0); p < 4; p++ {
+		if bytes.Equal(buf, pagePattern(p)[:len(buf)]) {
+			return true
+		}
+	}
+	return false
+}

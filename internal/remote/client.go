@@ -51,6 +51,17 @@ type ClientConfig struct {
 	// the faulted subpage has not arrived after this delay — trading
 	// bandwidth for tail latency, as disaggregated-memory systems do.
 	Hedge time.Duration
+	// BreakerThreshold opens a per-server circuit breaker after this many
+	// consecutive failed attempts on that server (default 3; negative
+	// disables the breaker). An open server is skipped by replica picking
+	// and hedging until a half-open probe succeeds, so a dead node costs
+	// one timeout, not one per fault. When every replica is open, one is
+	// force-picked anyway — the breaker sheds load, it never strands a
+	// page.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker shuns its server before
+	// letting a single half-open probe through (default 1s).
+	BreakerCooldown time.Duration
 	// Dial overrides the network dialer (chaos injection, tests).
 	Dial func(network, addr string) (net.Conn, error)
 }
@@ -78,6 +89,14 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	} else if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = time.Second
+	}
 	return c
 }
 
@@ -93,6 +112,11 @@ type Stats struct {
 	Hedges     int64         // duplicate GetPages sent to mask a slow primary
 	SubpageLat stats.Summary // fault -> faulted-subpage arrival
 	FullLat    stats.Summary // fault -> complete page arrival
+
+	// Circuit-breaker observability (see ClientConfig.BreakerThreshold).
+	BreakerOpens  int64 // breakers tripped (closed -> open transitions)
+	BreakerProbes int64 // half-open probes granted after a cooldown
+	OpenBreakers  int   // servers currently shunned (open or half-open)
 }
 
 // cpage is one locally cached page.
@@ -151,6 +175,10 @@ type Client struct {
 	srvMu   sync.Mutex
 	servers map[string]*srvConn
 
+	// br is the per-server circuit breaker consulted by replica picking
+	// and hedging; it has its own lock and is never touched under c.mu.
+	br *breaker
+
 	// jmu guards jrand, the client's own seeded jitter source: backoff
 	// jitter must not contend on (or correlate through) the process-wide
 	// math/rand state shared with every other client in the process.
@@ -176,6 +204,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		// together still jitters apart; backoff jitter needs spread, not
 		// reproducibility.
 		jrand: rand.New(rand.NewSource(time.Now().UnixNano())), //lint:allow simpurity jitter seed wants real-time entropy, not determinism
+		br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	dc, err := c.dial(cfg.Directory)
 	if err != nil {
@@ -227,8 +256,10 @@ func (c *Client) Close() error {
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.mu.Unlock()
+	s.BreakerOpens, s.BreakerProbes, s.OpenBreakers = c.br.snapshot()
+	return s
 }
 
 // Read copies len(buf) bytes at the global address addr into buf, faulting
@@ -402,7 +433,7 @@ func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
 			lastErr = err
 			continue
 		}
-		addr := pickAddr(addrs, tried, attempt)
+		addr := c.pickAddr(addrs, tried, attempt)
 		tried[addr] = true
 		if firstAddr == "" {
 			firstAddr = addr
@@ -411,33 +442,48 @@ func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
 			c.stats.Failovers++
 			c.mu.Unlock()
 		}
-		if err := c.attempt(p, page, off, addr, hedgeAddr(addrs, addr)); err != nil {
+		if err := c.attempt(p, page, off, addr, c.hedgeAddr(addrs, addr)); err != nil {
+			c.br.failure(addr, time.Now())
 			lastErr = err
 			// Force a fresh directory answer next time round: the
 			// failure may mean our cached placement is stale.
 			c.forget(page)
 			continue
 		}
+		c.br.success(addr)
 		return nil
 	}
 	return &PageError{Page: page, Attempts: c.cfg.MaxRetries + 1, Err: lastErr}
 }
 
 // pickAddr chooses the next replica to try: the first address not yet
-// tried, or round-robin over the list once all have failed at least once.
-func pickAddr(addrs []string, tried map[string]bool, attempt int) string {
+// tried, or round-robin over the list once all have failed at least once —
+// skipping servers whose circuit breaker denies traffic. When every
+// candidate is denied the preferred one is force-picked anyway: the
+// breaker sheds load but never strands a fault.
+func (c *Client) pickAddr(addrs []string, tried map[string]bool, attempt int) string {
+	candidates := make([]string, 0, len(addrs)+1)
 	for _, a := range addrs {
 		if !tried[a] {
+			candidates = append(candidates, a)
+		}
+	}
+	candidates = append(candidates, addrs[attempt%len(addrs)])
+	now := time.Now()
+	for _, a := range candidates {
+		if c.br.allow(a, now) {
 			return a
 		}
 	}
-	return addrs[attempt%len(addrs)]
+	return candidates[0]
 }
 
-// hedgeAddr returns a replica distinct from the primary pick, or "".
-func hedgeAddr(addrs []string, primary string) string {
+// hedgeAddr returns a replica distinct from the primary pick whose breaker
+// is closed, or "": hedging to a server already known bad would waste the
+// bandwidth the hedge is spending.
+func (c *Client) hedgeAddr(addrs []string, primary string) string {
 	for _, a := range addrs {
-		if a != primary {
+		if a != primary && c.br.wouldAllow(a) {
 			return a
 		}
 	}

@@ -14,103 +14,310 @@ package remote
 
 import (
 	"fmt"
+	"math"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/gms-sim/gmsubpage/internal/proto"
 )
 
+// DefaultLeaseTTL is the lease duration used when DirectoryConfig.LeaseTTL
+// is zero. It is deliberately generous: a server whose heartbeats stop is
+// declared dead only after missing several renewal intervals.
+const DefaultLeaseTTL = 30 * time.Second
+
+// DirectoryConfig tunes the directory's liveness tracking.
+type DirectoryConfig struct {
+	// LeaseTTL is how long a registration stays visible without a renewing
+	// heartbeat. Zero selects DefaultLeaseTTL. Lookups filter expired
+	// servers inline, so a dead address is never returned for longer than
+	// one TTL even between janitor sweeps.
+	LeaseTTL time.Duration
+}
+
 // Directory is the global cache directory (GCD): it maps pages to the
 // servers storing them. A page registered by several servers has replicas;
-// the first registrant is the primary and lookups return the full list so
-// clients can fail over.
+// the earliest surviving registrant is the primary and lookups return the
+// full list (primary first, remaining replicas in sorted address order) so
+// clients can fail over deterministically.
+//
+// Liveness: each server's registration is a lease renewed by THeartbeat
+// frames. A server that stops heartbeating expires after one LeaseTTL and
+// its replicas are expunged. Registrations carry a per-server epoch; a
+// restarted server registers with a higher epoch, which atomically fences
+// out (expunges) every entry of its previous incarnation, while delayed
+// frames from the old incarnation are rejected as stale. The highest epoch
+// seen for an address is remembered even after its lease expires.
 type Directory struct {
-	ln net.Listener
+	ln  net.Listener
+	ttl time.Duration
 
-	mu    sync.Mutex
-	pages map[uint64][]string
-	conns map[net.Conn]struct{}
-	done  bool
+	mu      sync.Mutex
+	servers map[string]*dirServer
+	pages   map[uint64]map[string]struct{}
+	epochs  map[string]uint64 // highest epoch per addr; survives lease expiry
+	seq     uint64            // registration seniority counter
+	conns   map[net.Conn]struct{}
+	done    bool
 
-	wg sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// dirServer is one live registration (one server incarnation).
+type dirServer struct {
+	epoch   uint64
+	seq     uint64
+	expires time.Time
+	pages   map[uint64]struct{}
 }
 
 // ListenDirectory starts a directory on addr ("host:port", ":0" for an
-// ephemeral port).
+// ephemeral port) with default liveness settings.
 func ListenDirectory(addr string) (*Directory, error) {
+	return ListenDirectoryWith(addr, DirectoryConfig{})
+}
+
+// ListenDirectoryWith starts a directory on addr with explicit liveness
+// settings.
+func ListenDirectoryWith(addr string, cfg DirectoryConfig) (*Directory, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: directory listen: %w", err)
 	}
-	return ListenDirectoryOn(ln), nil
+	return ListenDirectoryOnWith(ln, cfg), nil
 }
 
 // ListenDirectoryOn starts a directory on an existing listener — the hook
 // for running it behind a chaos injector or a custom transport.
 func ListenDirectoryOn(ln net.Listener) *Directory {
-	d := &Directory{
-		ln:    ln,
-		pages: make(map[uint64][]string),
-		conns: make(map[net.Conn]struct{}),
+	return ListenDirectoryOnWith(ln, DirectoryConfig{})
+}
+
+// ListenDirectoryOnWith starts a directory on an existing listener with
+// explicit liveness settings.
+func ListenDirectoryOnWith(ln net.Listener, cfg DirectoryConfig) *Directory {
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
 	}
-	d.wg.Add(1)
+	d := &Directory{
+		ln:      ln,
+		ttl:     ttl,
+		servers: make(map[string]*dirServer),
+		pages:   make(map[uint64]map[string]struct{}),
+		epochs:  make(map[string]uint64),
+		conns:   make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}
+	d.wg.Add(2)
 	go d.acceptLoop()
+	go d.janitor()
 	return d
 }
 
 // Addr returns the directory's listen address.
 func (d *Directory) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the directory, severing active connections.
+// LeaseTTL reports the configured lease duration.
+func (d *Directory) LeaseTTL() time.Duration { return d.ttl }
+
+// Close stops the directory, severing active connections. It is idempotent:
+// concurrent and repeated calls all return the first call's error.
 func (d *Directory) Close() error {
-	err := d.ln.Close()
-	d.mu.Lock()
-	d.done = true
-	for conn := range d.conns {
-		_ = conn.Close()
-	}
-	d.mu.Unlock()
-	d.wg.Wait()
-	return err
+	d.closeOnce.Do(func() {
+		d.closeErr = d.ln.Close()
+		close(d.stop)
+		d.mu.Lock()
+		d.done = true
+		for conn := range d.conns {
+			_ = conn.Close()
+		}
+		d.mu.Unlock()
+		d.wg.Wait()
+	})
+	return d.closeErr
 }
 
 // Lookup reports the primary server storing page, for tests and tools.
 func (d *Directory) Lookup(page uint64) (string, bool) {
+	now := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	addrs := d.pages[page]
+	addrs := d.replicasLocked(page, now)
 	if len(addrs) == 0 {
 		return "", false
 	}
 	return addrs[0], true
 }
 
-// Replicas reports every server registered for page, primary first.
+// Replicas reports every live server registered for page: the primary
+// (earliest surviving registrant) first, then the remaining replicas in
+// sorted address order. Expired leases are filtered out inline.
 func (d *Directory) Replicas(page uint64) []string {
+	now := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]string(nil), d.pages[page]...)
+	return d.replicasLocked(page, now)
 }
 
-// Len reports the number of registered pages.
-func (d *Directory) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.pages)
-}
-
-// register adds addr as a holder of page. Re-registration by the same
-// server is idempotent; a different server becomes a replica, appended
-// after the existing holders (replica semantics, not last-writer-wins: the
-// primary keeps its role until it is deregistered or the directory
-// restarts). Called with d.mu held.
-func (d *Directory) register(page uint64, addr string) {
-	for _, a := range d.pages[page] {
-		if a == addr {
-			return
+func (d *Directory) replicasLocked(page uint64, now time.Time) []string {
+	var primary string
+	primarySeq := uint64(math.MaxUint64)
+	var rest []string
+	for addr := range d.pages[page] {
+		s := d.servers[addr]
+		if s == nil || now.After(s.expires) {
+			continue
+		}
+		if s.seq < primarySeq {
+			if primary != "" {
+				rest = append(rest, primary)
+			}
+			primary, primarySeq = addr, s.seq
+		} else {
+			rest = append(rest, addr)
 		}
 	}
-	d.pages[page] = append(d.pages[page], addr)
+	if primary == "" {
+		return nil
+	}
+	sort.Strings(rest)
+	return append([]string{primary}, rest...)
+}
+
+// Len reports the number of pages with at least one live holder.
+func (d *Directory) Len() int {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, holders := range d.pages {
+		for addr := range holders {
+			if s := d.servers[addr]; s != nil && !now.After(s.expires) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// ServerEpoch reports the highest registration epoch seen for addr,
+// whether or not its lease is still live. For tests and tools.
+func (d *Directory) ServerEpoch(addr string) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.epochs[addr]
+	return e, ok
+}
+
+// applyRegister installs a registration. It reports false when the
+// registration is stale (an epoch below the highest seen for the address),
+// in which case the caller answers with an error so the sender knows it has
+// been superseded. Registrations racing Close are acknowledged but not
+// recorded.
+func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done {
+		return true
+	}
+	cur := d.epochs[reg.Addr]
+	if reg.Epoch < cur {
+		return false
+	}
+	if reg.Epoch > cur {
+		// New incarnation: fence out every entry of the old one.
+		d.expungeLocked(reg.Addr)
+		d.epochs[reg.Addr] = reg.Epoch
+	}
+	s := d.servers[reg.Addr]
+	if s == nil {
+		d.seq++
+		s = &dirServer{epoch: reg.Epoch, seq: d.seq, pages: make(map[uint64]struct{})}
+		d.servers[reg.Addr] = s
+	}
+	s.expires = now.Add(d.ttl)
+	for _, p := range reg.Pages {
+		s.pages[p] = struct{}{}
+		holders := d.pages[p]
+		if holders == nil {
+			holders = make(map[string]struct{})
+			d.pages[p] = holders
+		}
+		holders[reg.Addr] = struct{}{}
+	}
+	return true
+}
+
+// renewLease extends the lease named by a heartbeat. It reports false when
+// the registration is unknown, superseded, or already expired — the sender
+// must re-register.
+func (d *Directory) renewLease(hb proto.Heartbeat, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done {
+		return true
+	}
+	s := d.servers[hb.Addr]
+	if s == nil || s.epoch != hb.Epoch || now.After(s.expires) {
+		return false
+	}
+	s.expires = now.Add(d.ttl)
+	return true
+}
+
+// expungeLocked removes addr's registration and every replica it holds.
+// Called with d.mu held.
+func (d *Directory) expungeLocked(addr string) {
+	s := d.servers[addr]
+	if s == nil {
+		return
+	}
+	for p := range s.pages {
+		holders := d.pages[p]
+		delete(holders, addr)
+		if len(holders) == 0 {
+			delete(d.pages, p)
+		}
+	}
+	delete(d.servers, addr)
+}
+
+// janitor periodically expunges expired leases. Lookups filter expired
+// entries inline, so the sweep only reclaims memory; staleness is bounded
+// by the TTL either way.
+func (d *Directory) janitor() {
+	defer d.wg.Done()
+	period := d.ttl / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-t.C:
+			d.sweep(now)
+		}
+	}
+}
+
+func (d *Directory) sweep(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for addr, s := range d.servers {
+		if now.After(s.expires) {
+			d.expungeLocked(addr)
+		}
+	}
 }
 
 func (d *Directory) acceptLoop() {
@@ -157,11 +364,27 @@ func (d *Directory) serve(conn net.Conn) {
 				_ = w.SendError(err.Error())
 				return
 			}
-			d.mu.Lock()
-			for _, p := range reg.Pages {
-				d.register(p, reg.Addr)
+			if !d.applyRegister(reg, time.Now()) {
+				if err := w.SendError(fmt.Sprintf("directory: stale epoch %d for %s", reg.Epoch, reg.Addr)); err != nil {
+					return
+				}
+				continue
 			}
-			d.mu.Unlock()
+			if err := w.SendAck(); err != nil {
+				return
+			}
+		case proto.THeartbeat:
+			hb, err := proto.DecodeHeartbeat(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			if !d.renewLease(hb, time.Now()) {
+				if err := w.SendError(fmt.Sprintf("directory: no lease for %s epoch %d", hb.Addr, hb.Epoch)); err != nil {
+					return
+				}
+				continue
+			}
 			if err := w.SendAck(); err != nil {
 				return
 			}
@@ -171,8 +394,9 @@ func (d *Directory) serve(conn net.Conn) {
 				_ = w.SendError(err.Error())
 				return
 			}
+			now := time.Now()
 			d.mu.Lock()
-			addrs := append([]string(nil), d.pages[lk.Page]...)
+			addrs := d.replicasLocked(lk.Page, now)
 			d.mu.Unlock()
 			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addrs: addrs}); err != nil {
 				return

@@ -17,6 +17,11 @@ var errNotRegistered = errors.New("not registered in the directory")
 // errClientClosed aborts in-flight work when the client shuts down.
 var errClientClosed = errors.New("remote: client closed")
 
+// ErrDirectoryUnreachable is returned by Server.RegisterWith when the
+// directory cannot be dialed, so callers can tell a down control plane
+// apart from a protocol failure with errors.Is.
+var ErrDirectoryUnreachable = errors.New("remote: directory unreachable")
+
 // PageError reports a page whose fetch failed permanently: every replica
 // was tried, retries are exhausted, or the directory answered that nobody
 // holds it. It matches ErrPageUnavailable under errors.Is and unwraps to

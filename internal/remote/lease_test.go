@@ -1,0 +1,407 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/proto"
+)
+
+// leaseDirectory stands up a directory with a short lease TTL so tests can
+// watch leases expire quickly.
+func leaseDirectory(t *testing.T, ttl time.Duration) *Directory {
+	t.Helper()
+	dir, err := ListenDirectoryWith("127.0.0.1:0", DirectoryConfig{LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	return dir
+}
+
+// rawRegister speaks the wire protocol directly, bypassing Server, so tests
+// can forge registrations from arbitrary addresses and epochs. It returns
+// the directory's reply type.
+func rawRegister(t *testing.T, dirAddr string, reg proto.Register) proto.Type {
+	t.Helper()
+	conn, err := net.Dial("tcp", dirAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.NewWriter(conn).SendRegister(reg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := proto.NewReader(conn).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Type
+}
+
+func TestDirectoryCloseIdempotent(t *testing.T) {
+	dir, err := ListenDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := dir.Close()
+	second := dir.Close()
+	if first != second {
+		t.Fatalf("second Close returned %v, first returned %v", second, first)
+	}
+	// Concurrent closes must also be safe.
+	dir2, err := ListenDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = dir2.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRegisterRacingCloseIsSafe(t *testing.T) {
+	// Registrations in flight while the directory shuts down must neither
+	// panic nor corrupt state; run several rounds to give the race detector
+	// material.
+	for round := 0; round < 10; round++ {
+		dir, err := ListenDirectory("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := dir.Addr()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return // directory already closed
+				}
+				defer conn.Close()
+				w := proto.NewWriter(conn)
+				r := proto.NewReader(conn)
+				for p := 0; p < 50; p++ {
+					reg := proto.Register{
+						Addr:  fmt.Sprintf("10.0.0.%d:1", i),
+						Epoch: 1,
+						Pages: []uint64{uint64(p)},
+					}
+					if err := w.SendRegister(reg); err != nil {
+						return
+					}
+					if _, err := r.Next(); err != nil {
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = dir.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+func TestLeaseExpiryHidesDeadServer(t *testing.T) {
+	const ttl = 150 * time.Millisecond
+	dir := leaseDirectory(t, ttl)
+	if rawRegister(t, dir.Addr(), proto.Register{Addr: "dead:1", Epoch: 1, Pages: []uint64{7}}) != proto.TAck {
+		t.Fatal("registration rejected")
+	}
+	if _, ok := dir.Lookup(7); !ok {
+		t.Fatal("page should resolve while the lease is live")
+	}
+	// No heartbeats arrive: the lease must lapse within one TTL (plus
+	// scheduling slack), after which lookups stop returning the address.
+	deadline := time.Now().Add(ttl + 500*time.Millisecond)
+	for {
+		if _, ok := dir.Lookup(7); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead server still resolvable well past one TTL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := dir.Replicas(7); len(got) != 0 {
+		t.Fatalf("Replicas after expiry = %v, want empty", got)
+	}
+	if dir.Len() != 0 {
+		t.Fatalf("Len after expiry = %d, want 0", dir.Len())
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	const ttl = 200 * time.Millisecond
+	dir := leaseDirectory(t, ttl)
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Store(1, pagePattern(1))
+	srv.SetHeartbeatInterval(40 * time.Millisecond)
+	if err := srv.RegisterWith(dir.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Across several TTLs the heartbeat must keep the registration live.
+	for elapsed := time.Duration(0); elapsed < 3*ttl; elapsed += ttl / 2 {
+		if _, ok := dir.Lookup(1); !ok {
+			t.Fatalf("lease lapsed despite heartbeats at %v", elapsed)
+		}
+		time.Sleep(ttl / 2)
+	}
+	// After Close the heartbeats stop and the lease must lapse.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(ttl + 500*time.Millisecond)
+	for {
+		if _, ok := dir.Lookup(1); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("closed server still resolvable well past one TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEpochFencingReplacesStaleEntries(t *testing.T) {
+	dir := leaseDirectory(t, time.Minute)
+	const addr = "srv:1"
+	// First incarnation holds pages 1 and 2.
+	if rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 10, Pages: []uint64{1, 2}}) != proto.TAck {
+		t.Fatal("first registration rejected")
+	}
+	// The restarted incarnation holds pages 2 and 3 and registers with a
+	// higher epoch — well before the old lease would expire.
+	if rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 11, Pages: []uint64{2, 3}}) != proto.TAck {
+		t.Fatal("re-registration rejected")
+	}
+	if got := dir.Replicas(1); len(got) != 0 {
+		t.Fatalf("page 1 should have been fenced out, got %v", got)
+	}
+	for _, p := range []uint64{2, 3} {
+		if got := dir.Replicas(p); len(got) != 1 || got[0] != addr {
+			t.Fatalf("page %d replicas = %v, want [%s] exactly once", p, got, addr)
+		}
+	}
+	// A delayed frame from the dead incarnation must be rejected, not
+	// merged.
+	if typ := rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 10, Pages: []uint64{4}}); typ != proto.TError {
+		t.Fatalf("stale-epoch registration drew %v, want TError", typ)
+	}
+	if got := dir.Replicas(4); len(got) != 0 {
+		t.Fatalf("stale registration leaked into the directory: %v", got)
+	}
+	if e, ok := dir.ServerEpoch(addr); !ok || e != 11 {
+		t.Fatalf("ServerEpoch = %d,%v want 11,true", e, ok)
+	}
+}
+
+func TestEpochMemorySurvivesLeaseExpiry(t *testing.T) {
+	const ttl = 100 * time.Millisecond
+	dir := leaseDirectory(t, ttl)
+	const addr = "srv:1"
+	if rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 20, Pages: []uint64{1}}) != proto.TAck {
+		t.Fatal("registration rejected")
+	}
+	// Let the lease lapse and the janitor sweep the entry.
+	time.Sleep(2 * ttl)
+	if _, ok := dir.Lookup(1); ok {
+		t.Fatal("lease should have expired")
+	}
+	// Even with the entry gone, a lower epoch must stay fenced.
+	if typ := rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 19, Pages: []uint64{2}}); typ != proto.TError {
+		t.Fatalf("stale epoch after expiry drew %v, want TError", typ)
+	}
+	// The same incarnation may re-register (it was slow, not replaced).
+	if rawRegister(t, dir.Addr(), proto.Register{Addr: addr, Epoch: 20, Pages: []uint64{1}}) != proto.TAck {
+		t.Fatal("same-epoch re-registration after expiry rejected")
+	}
+	if got := dir.Replicas(1); len(got) != 1 || got[0] != addr {
+		t.Fatalf("Replicas = %v, want [%s]", got, addr)
+	}
+}
+
+func TestReplicasSortedUnderChurn(t *testing.T) {
+	// Concurrent register/expire/lookup churn: replica lists must stay
+	// duplicate-free with the non-primary tail in sorted order, and settle
+	// to a deterministic value once the churn stops.
+	const ttl = 120 * time.Millisecond
+	dir := leaseDirectory(t, ttl)
+	addrs := []string{"10.0.0.5:1", "10.0.0.1:1", "10.0.0.3:1", "10.0.0.2:1", "10.0.0.4:1"}
+	const page = 42
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churners: each repeatedly re-registers its address (renewing the
+	// lease) with occasional pauses long enough for some leases to lapse.
+	for i, a := range addrs {
+		wg.Add(1)
+		go func(i int, a string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", dir.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			w := proto.NewWriter(conn)
+			r := proto.NewReader(conn)
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.SendRegister(proto.Register{Addr: a, Epoch: 1, Pages: []uint64{page}}); err != nil {
+					return
+				}
+				if _, err := r.Next(); err != nil {
+					return
+				}
+				// Stagger so different subsets are alive at any moment.
+				time.Sleep(time.Duration(5+3*i) * time.Millisecond)
+			}
+		}(i, a)
+	}
+	// Reader: every observed snapshot must be duplicate-free and sorted
+	// after the primary.
+	checkSnapshot := func(got []string) {
+		t.Helper()
+		seen := make(map[string]bool, len(got))
+		for _, a := range got {
+			if seen[a] {
+				t.Fatalf("duplicate replica %q in %v", a, got)
+			}
+			seen[a] = true
+		}
+		if tail := got[1:]; !sort.StringsAreSorted(tail) {
+			t.Fatalf("replica tail not sorted: %v", got)
+		}
+	}
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if got := dir.Replicas(page); len(got) > 0 {
+			checkSnapshot(got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// With churn stopped and every lease freshly renewed, the snapshot is
+	// fully deterministic up to the primary: all five alive, tail sorted.
+	conn, err := net.Dial("tcp", dir.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	for _, a := range addrs {
+		if err := w.SendRegister(proto.Register{Addr: a, Epoch: 1, Pages: []uint64{page}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := dir.Replicas(page)
+	if len(got) != len(addrs) {
+		t.Fatalf("Replicas = %v, want all %d servers", got, len(addrs))
+	}
+	checkSnapshot(got)
+	want := append([]string(nil), addrs...)
+	sort.Strings(want)
+	gotSorted := append([]string(nil), got...)
+	sort.Strings(gotSorted)
+	for i := range want {
+		if gotSorted[i] != want[i] {
+			t.Fatalf("Replicas membership = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterWithUnreachableDirectory(t *testing.T) {
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Store(1, pagePattern(1))
+	// Reserve an address and close it so the dial is refused immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = srv.RegisterWith(deadAddr)
+	if err == nil {
+		t.Fatal("registering with an unreachable directory should fail")
+	}
+	if !errors.Is(err, ErrDirectoryUnreachable) {
+		t.Fatalf("error %v does not match ErrDirectoryUnreachable", err)
+	}
+}
+
+func TestHeartbeatReregistersAfterDirectoryRestart(t *testing.T) {
+	// A directory that loses its state (restart on the same address) sees
+	// heartbeats for leases it does not know; the server must respond by
+	// re-registering so its pages become resolvable again.
+	dir, err := ListenDirectoryWith("127.0.0.1:0", DirectoryConfig{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dir.Addr()
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Store(1, pagePattern(1))
+	srv.SetHeartbeatInterval(25 * time.Millisecond)
+	if err := srv.RegisterWith(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart an empty directory on the same address.
+	dir2, err := ListenDirectoryWith(addr, DirectoryConfig{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { dir2.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := dir2.Lookup(1); ok {
+			if got != srv.Addr() {
+				t.Fatalf("Lookup = %q, want %q", got, srv.Addr())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never re-registered with the restarted directory")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

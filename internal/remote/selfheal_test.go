@@ -1,0 +1,234 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/chaos"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// TestChaosKillRestartSelfHeal is the end-to-end control-plane recovery
+// scenario from the issue, asserted rather than inspected:
+//
+//  1. kill the primary mid-workload — replicated reads fail over, the
+//     breaker opens on the dead address;
+//  2. the directory's lease expires — within one TTL no lookup returns the
+//     dead address, and pages only it held report unavailable (the
+//     caller's cue to fall back to disk);
+//  3. restart the server on the same address — it re-registers with a
+//     higher epoch, the client's half-open probe closes the breaker, and
+//     the once-lost pages serve again.
+func TestChaosKillRestartSelfHeal(t *testing.T) {
+	runSelfHealScenario(t, nil)
+}
+
+// TestChaosKillRestartSoak reruns the self-heal scenario on a lossy,
+// jittery network, where timeouts and replays land at arbitrary points of
+// the lease/breaker state machines. Heavyweight: enable it with
+// GMS_CHAOS_SOAK=1 (the `make chaos` target does).
+func TestChaosKillRestartSoak(t *testing.T) {
+	if os.Getenv("GMS_CHAOS_SOAK") == "" {
+		t.Skip("soak scenario: set GMS_CHAOS_SOAK=1 (or run `make chaos`)")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSelfHealScenario(t, chaos.New(chaos.Config{
+				Jitter:   2 * time.Millisecond,
+				DropRate: 0.01,
+				Seed:     seed,
+			}))
+		})
+	}
+}
+
+func runSelfHealScenario(t *testing.T, nw *chaos.Network) {
+	t.Helper()
+	const (
+		ttl       = 250 * time.Millisecond
+		heartbeat = 50 * time.Millisecond
+		npages    = 8           // replicated on both servers
+		solo      = uint64(100) // held only by the primary
+	)
+	dir, err := ListenDirectoryWith("127.0.0.1:0", DirectoryConfig{LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+
+	startServer := func(addr string, withSolo bool) (*Server, error) {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if nw != nil {
+			ln = nw.WrapListener(ln)
+		}
+		s := ListenServerOn(ln)
+		s.SetHeartbeatInterval(heartbeat)
+		for p := 0; p < npages; p++ {
+			s.Store(uint64(p), pagePattern(uint64(p)))
+		}
+		if withSolo {
+			s.Store(solo, pagePattern(solo))
+		}
+		if err := s.RegisterWith(dir.Addr()); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	primary, err := startServer("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	replica, err := startServer("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	addrA := primary.Addr()
+
+	c := testClient(t, dir, fastRetry(ClientConfig{
+		CachePages:       2, // smaller than the working set, so reads refault
+		SubpageSize:      1024,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	}))
+	readPage := func(p uint64) error {
+		buf := make([]byte, 64)
+		if err := c.Read(buf, p*units.PageSize); err != nil {
+			return err
+		}
+		want := pagePattern(p)[:64]
+		for i := range buf {
+			if buf[i] != want[i] {
+				return fmt.Errorf("page %d: data mismatch at byte %d", p, i)
+			}
+		}
+		return nil
+	}
+
+	// readPageEventually retries a read until deadline: under injected
+	// faults a single retry budget can lose to the fault schedule, but no
+	// fault may ever be permanently stuck.
+	readPageEventually := func(p uint64, deadline time.Time) error {
+		for {
+			err := readPage(p)
+			if err == nil || time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Phase 0: healthy — everything reads.
+	for p := uint64(0); p < npages; p++ {
+		if err := readPageEventually(p, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatalf("healthy read of page %d: %v", p, err)
+		}
+	}
+	if err := readPageEventually(solo, time.Now().Add(5*time.Second)); err != nil {
+		t.Fatalf("healthy read of solo page: %v", err)
+	}
+	epochBefore, ok := dir.ServerEpoch(addrA)
+	if !ok {
+		t.Fatalf("directory has no epoch for %s", addrA)
+	}
+
+	// Phase 1: kill the primary mid-workload. Replicated reads must keep
+	// succeeding via failover, and the breaker must open on the dead addr.
+	killedAt := time.Now()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < npages; p++ {
+		if err := readPageEventually(p, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatalf("post-kill read of replicated page %d never recovered: %v", p, err)
+		}
+	}
+	st := c.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("replicated reads after the kill should have failed over")
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatal("breaker should have opened on the dead primary")
+	}
+
+	// Phase 2: the lease lapses. Within one TTL (plus scheduling slack) no
+	// lookup may return the dead address.
+	deadline := killedAt.Add(ttl + 500*time.Millisecond)
+	for {
+		stale := false
+		for p := uint64(0); p < npages; p++ {
+			for _, a := range dir.Replicas(p) {
+				if a == addrA {
+					stale = true
+				}
+			}
+		}
+		if _, found := dir.Lookup(solo); found {
+			stale = true
+		}
+		if !stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead server %s still listed %v after its kill (TTL %v)",
+				addrA, time.Since(killedAt), ttl)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The solo page is now gone from network memory: the read must fail
+	// with the typed error a pager would turn into a disk fallback.
+	if err := readPage(solo); !errors.Is(err, ErrPageUnavailable) {
+		t.Fatalf("solo page after lease expiry: err = %v, want ErrPageUnavailable", err)
+	}
+
+	// Phase 3: restart on the same address. The new incarnation registers
+	// with a higher epoch and the lost pages serve again; the client's
+	// half-open probe closes the breaker.
+	var restarted *Server
+	for attempt := 0; attempt < 50; attempt++ {
+		restarted, err = startServer(addrA, true)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Skipf("could not rebind %s to restart the server: %v", addrA, err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+	epochAfter, ok := dir.ServerEpoch(addrA)
+	if !ok || epochAfter <= epochBefore {
+		t.Fatalf("restart epoch = %d (ok=%v), want > %d", epochAfter, ok, epochBefore)
+	}
+
+	recoverBy := time.Now().Add(5 * time.Second)
+	for {
+		if err := readPage(solo); err == nil {
+			break
+		} else if time.Now().After(recoverBy) {
+			t.Fatalf("solo page still unavailable after restart: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for p := uint64(0); p < npages; p++ {
+		if err := readPageEventually(p, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatalf("post-restart read of page %d: %v", p, err)
+		}
+	}
+	// Read unblocks on the faulted subpage; the breaker records success
+	// when the whole transfer completes, a moment later. Poll.
+	waitBreakerClosed(t, c, 2*time.Second)
+	if st = c.Stats(); st.BreakerProbes == 0 {
+		t.Fatal("recovery should have gone through a half-open probe")
+	}
+}

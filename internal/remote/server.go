@@ -18,6 +18,11 @@ import (
 // answers GetPage requests by streaming the faulted subpage first and the
 // remainder according to the requested policy, and accepts PutPage traffic
 // from evicting clients.
+// DefaultHeartbeatInterval is the lease-renewal period used unless
+// SetHeartbeatInterval overrides it. It must stay well under the
+// directory's lease TTL so a healthy server never expires.
+const DefaultHeartbeatInterval = 5 * time.Second
+
 type Server struct {
 	ln net.Listener
 
@@ -25,6 +30,17 @@ type Server struct {
 	pages map[uint64][]byte
 	conns map[net.Conn]struct{}
 	done  bool
+
+	// Control-plane state. dirAddr is remembered from the last RegisterWith
+	// so lease renewal and post-restart re-registration reuse it. epoch is
+	// the registration epoch: drawn from the wall clock at first
+	// registration (so a restarted incarnation always registers higher) or
+	// pinned by SetEpoch in tests. hbOn records that the heartbeat loop is
+	// running.
+	dirAddr string
+	epoch   uint64
+	hbEvery time.Duration
+	hbOn    bool
 
 	// wireNsPerByte emulates a slower link: the server delays each data
 	// fragment by its serialization time at the configured rate. Loopback
@@ -37,7 +53,10 @@ type Server struct {
 	Gets int64
 	Puts int64
 
-	wg sync.WaitGroup
+	hbStop    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
 }
 
 // SetWireMbps emulates a link of the given megabits per second (0 disables
@@ -76,9 +95,11 @@ func ListenServer(addr string) (*Server, error) {
 // for serving through a chaos injector or a custom transport.
 func ListenServerOn(ln net.Listener) *Server {
 	s := &Server{
-		ln:    ln,
-		pages: make(map[uint64][]byte),
-		conns: make(map[net.Conn]struct{}),
+		ln:      ln,
+		pages:   make(map[uint64][]byte),
+		conns:   make(map[net.Conn]struct{}),
+		hbEvery: DefaultHeartbeatInterval,
+		hbStop:  make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -88,17 +109,51 @@ func ListenServerOn(ln net.Listener) *Server {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server, severing active connections.
+// Close stops the server, severing active connections and stopping the
+// lease-renewal heartbeat. Idempotent.
 func (s *Server) Close() error {
-	err := s.ln.Close()
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		close(s.hbStop)
+		s.mu.Lock()
+		s.done = true
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// SetEpoch pins the server's registration epoch; call before RegisterWith.
+// Tests use it to model server incarnations deterministically. By default
+// the epoch is drawn from the wall clock at first registration, so a
+// restarted server always registers with a higher epoch than its
+// predecessor and fences out that incarnation's directory entries.
+func (s *Server) SetEpoch(e uint64) {
 	s.mu.Lock()
-	s.done = true
-	for conn := range s.conns {
-		_ = conn.Close()
-	}
+	s.epoch = e
 	s.mu.Unlock()
-	s.wg.Wait()
-	return err
+}
+
+// Epoch reports the server's registration epoch (zero before the first
+// RegisterWith if SetEpoch was never called).
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SetHeartbeatInterval overrides the lease-renewal period. It takes effect
+// from the next heartbeat; keep it well under the directory's lease TTL.
+func (s *Server) SetHeartbeatInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultHeartbeatInterval
+	}
+	s.mu.Lock()
+	s.hbEvery = d
+	s.mu.Unlock()
 }
 
 // Store makes the server hold a page. The data is copied; short data is
@@ -118,42 +173,114 @@ func (s *Server) Pages() int {
 	return len(s.pages)
 }
 
-// RegisterWith announces every stored page to the directory at dirAddr.
+// RegisterWith announces every stored page to the directory at dirAddr and
+// takes out a lease there, which the server then renews on a heartbeat
+// ticker until Close. The directory address is remembered so renewal and
+// post-restart re-registration reuse it. An unreachable directory yields a
+// typed error matching ErrDirectoryUnreachable.
 func (s *Server) RegisterWith(dirAddr string) error {
 	s.mu.Lock()
+	if s.epoch == 0 {
+		s.epoch = uint64(time.Now().UnixNano())
+	}
+	epoch := s.epoch
+	s.dirAddr = dirAddr
+	startHB := !s.hbOn && !s.done
+	if startHB {
+		s.hbOn = true
+	}
 	ids := make([]uint64, 0, len(s.pages))
 	for p := range s.pages {
 		ids = append(ids, p)
 	}
 	s.mu.Unlock()
+	if startHB {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 
 	conn, err := net.Dial("tcp", dirAddr)
 	if err != nil {
-		return fmt.Errorf("remote: dial directory: %w", err)
+		return fmt.Errorf("%w: %s: %v", ErrDirectoryUnreachable, dirAddr, err)
 	}
 	defer conn.Close()
 	w := proto.NewWriter(conn)
 	r := proto.NewReader(conn)
-	// Register in batches bounded by the frame size.
+	// Register in batches bounded by the frame size. An empty server still
+	// sends one registration so it holds a lease.
 	const batch = (proto.MaxPayload - 256) / 8
-	for len(ids) > 0 {
+	for first := true; first || len(ids) > 0; first = false {
 		n := len(ids)
 		if n > batch {
 			n = batch
 		}
-		if err := w.SendRegister(proto.Register{Addr: s.Addr(), Pages: ids[:n]}); err != nil {
+		if err := w.SendRegister(proto.Register{Addr: s.Addr(), Epoch: epoch, Pages: ids[:n]}); err != nil {
 			return err
 		}
 		f, err := r.Next()
 		if err != nil {
 			return err
 		}
-		if f.Type != proto.TAck {
+		switch f.Type {
+		case proto.TAck:
+		case proto.TError:
+			return fmt.Errorf("remote: register: %s", proto.DecodeError(f.Payload).Text)
+		default:
 			return fmt.Errorf("remote: register: unexpected %v", f.Type)
 		}
 		ids = ids[n:]
 	}
 	return nil
+}
+
+// heartbeatLoop renews the directory lease until Close. A lost lease
+// (directory restarted, or renewals delayed past the TTL) triggers a full
+// re-registration; an unreachable directory is retried next tick.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		every := s.hbEvery
+		s.mu.Unlock()
+		t := time.NewTimer(every)
+		select {
+		case <-s.hbStop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		s.heartbeat()
+	}
+}
+
+// heartbeat sends one lease renewal. Errors are deliberately swallowed:
+// the loop's only obligation is to try again next tick, and a directory
+// that answers "no lease" is healed by re-registering.
+func (s *Server) heartbeat() {
+	s.mu.Lock()
+	dir, epoch := s.dirAddr, s.epoch
+	s.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	conn, err := net.DialTimeout("tcp", dir, time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	if err := w.SendHeartbeat(proto.Heartbeat{Addr: s.Addr(), Epoch: epoch}); err != nil {
+		return
+	}
+	f, err := r.Next()
+	if err != nil {
+		return
+	}
+	if f.Type != proto.TAck {
+		_ = s.RegisterWith(dir)
+	}
 }
 
 func (s *Server) acceptLoop() {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/gms"
@@ -9,6 +10,19 @@ import (
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
 )
+
+// FailureEvent schedules the failure of one idle (donor) node in a
+// simulated cluster: node Node dies at simulated time At — its donated
+// pages vanish, so refaults on them fall through to disk — and, when
+// RejoinAt > At, rejoins with empty memory at RejoinAt. RejoinAt <= At
+// means the node never comes back. The schedule is part of the simulation
+// input, so runs are deterministic: same config, same failures, same
+// output, at any worker-pool width.
+type FailureEvent struct {
+	Node     int
+	At       units.Ticks
+	RejoinAt units.Ticks
+}
 
 // ClusterConfig describes a multi-node run: several active workstations,
 // each running its own workload in reduced local memory, sharing the idle
@@ -41,6 +55,14 @@ type ClusterConfig struct {
 	// ColdStart leaves the global cache empty.
 	ColdStart bool
 
+	// NodeFailures schedules idle-node deaths (and optional rejoins)
+	// against the simulated clock. Events at time 0 apply after warm-up
+	// but before the first reference, so failing every node at 0 is
+	// exactly the all-disk baseline. Requires IdleNodes > 0. Events are
+	// applied at batch boundaries (the interleaving granularity), which is
+	// also what keeps them deterministic.
+	NodeFailures []FailureEvent
+
 	// BatchRefs is the interleaving granularity in references
 	// (default 4096).
 	BatchRefs int
@@ -56,6 +78,9 @@ type ClusterResult struct {
 	Stores       int64
 	Discards     int64
 	Epochs       int64
+	// DroppedPages counts donated pages lost to scheduled node failures
+	// (distinct from Discards: a crash is not a replacement decision).
+	DroppedPages int64
 }
 
 // TotalRuntime returns the slowest node's runtime (the cluster makespan).
@@ -91,6 +116,14 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 	}
 	if cfg.BatchRefs <= 0 {
 		cfg.BatchRefs = 4096
+	}
+	if len(cfg.NodeFailures) > 0 && cfg.IdleNodes <= 0 {
+		panic("sim: NodeFailures needs idle nodes to fail")
+	}
+	for _, ev := range cfg.NodeFailures {
+		if ev.Node < 0 || ev.Node >= cfg.IdleNodes {
+			panic(fmt.Sprintf("sim: FailureEvent node %d out of range [0,%d)", ev.Node, cfg.IdleNodes))
+		}
 	}
 	gcfg := gms.Config{Nodes: cfg.IdleNodes, GlobalPagesPerNode: cfg.GlobalPagesPerIdle}
 	var shared GlobalCache
@@ -163,6 +196,33 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 		}
 	}
 
+	// Expand the failure schedule into a time-ordered action list. Ties
+	// break fail-before-rejoin, then by node index, so the application
+	// order is fully determined by the config.
+	type liveAction struct {
+		at     units.Ticks
+		rejoin bool
+		node   int
+	}
+	var actions []liveAction
+	for _, ev := range cfg.NodeFailures {
+		actions = append(actions, liveAction{at: ev.At, node: ev.Node})
+		if ev.RejoinAt > ev.At {
+			actions = append(actions, liveAction{at: ev.RejoinAt, rejoin: true, node: ev.Node})
+		}
+	}
+	sort.Slice(actions, func(i, j int) bool {
+		a, b := actions[i], actions[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.rejoin != b.rejoin {
+			return !a.rejoin
+		}
+		return a.node < b.node
+	})
+	nextAction := 0
+
 	// Interleave: always advance the node with the smallest clock.
 	for {
 		var next *node
@@ -176,6 +236,18 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 		}
 		if next == nil {
 			break
+		}
+		// Apply every failure/rejoin due by the global clock (= the
+		// chosen node's time, the minimum over runners). Actions beyond
+		// the makespan never fire.
+		for nextAction < len(actions) && actions[nextAction].at <= next.r.now {
+			act := actions[nextAction]
+			nextAction++
+			if act.rejoin {
+				base.ReviveNode(gms.NodeID(act.node))
+			} else {
+				base.FailNode(gms.NodeID(act.node))
+			}
 		}
 		// Run one batch of references on the chosen node.
 		if next.pos >= next.filled {
@@ -202,6 +274,7 @@ func RunCluster(cfg ClusterConfig) *ClusterResult {
 		res.GlobalMisses = base.Misses
 		res.Stores = base.Stores
 		res.Discards = base.Discards
+		res.DroppedPages = base.DroppedPages
 	} else {
 		res.GlobalMisses = nog.misses
 	}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func failureBaseConfig() ClusterConfig {
+	return ClusterConfig{
+		Apps:        []*trace.App{trace.Gdb(0.25), trace.Gdb(0.25)},
+		MemFraction: 0.5,
+		Policy:      core.Eager{},
+		SubpageSize: 1024,
+		IdleNodes:   2,
+		UseEpoch:    true,
+	}
+}
+
+func TestAllFailuresAtZeroMatchAllDiskBaseline(t *testing.T) {
+	// Killing every idle node at t=0 (after warm-up, before the first
+	// reference) must reproduce the no-idle-nodes baseline exactly: every
+	// refault goes to disk, no stores, no hits, identical runtimes.
+	failed := failureBaseConfig()
+	failed.NodeFailures = []FailureEvent{{Node: 0, At: 0}, {Node: 1, At: 0}}
+	withFailures := RunCluster(failed)
+
+	baseline := failureBaseConfig()
+	baseline.IdleNodes = 0 // all-disk: no global cache at all
+	allDisk := RunCluster(baseline)
+
+	if withFailures.DroppedPages == 0 {
+		t.Fatal("t=0 failures should drop the warmed pages")
+	}
+	if withFailures.GlobalHits != 0 || withFailures.Stores != 0 || withFailures.Discards != 0 {
+		t.Fatalf("dead cluster saw traffic: hits=%d stores=%d discards=%d",
+			withFailures.GlobalHits, withFailures.Stores, withFailures.Discards)
+	}
+	if withFailures.GlobalMisses != allDisk.GlobalMisses {
+		t.Fatalf("GlobalMisses = %d, all-disk baseline = %d",
+			withFailures.GlobalMisses, allDisk.GlobalMisses)
+	}
+	if withFailures.TotalRuntime() != allDisk.TotalRuntime() {
+		t.Fatalf("makespan = %d, all-disk baseline = %d",
+			withFailures.TotalRuntime(), allDisk.TotalRuntime())
+	}
+	for i := range withFailures.Nodes {
+		got, want := withFailures.Nodes[i], allDisk.Nodes[i]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("node %d: %+v differs from all-disk baseline %+v", i, got, want)
+		}
+	}
+}
+
+func TestMidRunFailureDegradesToDisk(t *testing.T) {
+	healthy := RunCluster(failureBaseConfig())
+	if healthy.DiskFaults() != 0 {
+		t.Fatalf("healthy run hit disk %d times; pick a bigger donor pool", healthy.DiskFaults())
+	}
+
+	// Kill one of the two donors halfway through the healthy makespan:
+	// its pages vanish, so a share of the refaults now costs a disk read.
+	cfg := failureBaseConfig()
+	cfg.NodeFailures = []FailureEvent{{Node: 0, At: healthy.TotalRuntime() / 2}}
+	degraded := RunCluster(cfg)
+
+	if degraded.DroppedPages == 0 {
+		t.Fatal("mid-run failure should drop pages")
+	}
+	if degraded.DiskFaults() == 0 {
+		t.Fatal("losing a donor mid-run should push refaults to disk")
+	}
+	if degraded.TotalRuntime() <= healthy.TotalRuntime() {
+		t.Fatalf("degraded makespan %d should exceed healthy %d",
+			degraded.TotalRuntime(), healthy.TotalRuntime())
+	}
+	// The surviving donor keeps serving: not everything goes to disk.
+	if degraded.GlobalHits == 0 {
+		t.Fatal("survivor should still serve hits")
+	}
+}
+
+func TestRejoinRestoresCapacity(t *testing.T) {
+	healthy := RunCluster(failureBaseConfig())
+	mid := healthy.TotalRuntime() / 2
+
+	gone := failureBaseConfig()
+	gone.NodeFailures = []FailureEvent{{Node: 0, At: mid / 2}}
+	forever := RunCluster(gone)
+
+	back := failureBaseConfig()
+	back.NodeFailures = []FailureEvent{{Node: 0, At: mid / 2, RejoinAt: mid}}
+	rejoined := RunCluster(back)
+
+	if rejoined.DroppedPages == 0 {
+		t.Fatal("the failure still drops pages before the rejoin")
+	}
+	// A rejoined donor absorbs later evictions, so the cluster ends no
+	// worse — and normally better — than losing it for good.
+	if rejoined.TotalRuntime() > forever.TotalRuntime() {
+		t.Fatalf("rejoin makespan %d worse than permanent-failure makespan %d",
+			rejoined.TotalRuntime(), forever.TotalRuntime())
+	}
+}
+
+func TestFailureScheduleIsDeterministic(t *testing.T) {
+	run := func() *ClusterResult {
+		cfg := failureBaseConfig()
+		cfg.NodeFailures = []FailureEvent{
+			{Node: 0, At: units.FromMs(50).ToTicks(), RejoinAt: units.FromMs(400).ToTicks()},
+			{Node: 1, At: units.FromMs(200).ToTicks()},
+		}
+		return RunCluster(cfg)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed reruns differ:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestNodeFailuresValidation(t *testing.T) {
+	expectPanic := func(name string, cfg ClusterConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RunCluster should panic", name)
+			}
+		}()
+		RunCluster(cfg)
+	}
+	noIdle := failureBaseConfig()
+	noIdle.IdleNodes = 0
+	noIdle.NodeFailures = []FailureEvent{{Node: 0}}
+	expectPanic("failures without idle nodes", noIdle)
+
+	outOfRange := failureBaseConfig()
+	outOfRange.NodeFailures = []FailureEvent{{Node: 2}}
+	expectPanic("node out of range", outOfRange)
+}

@@ -16,9 +16,16 @@ import (
 type Directory struct{ d *remote.Directory }
 
 // StartDirectory starts a directory on addr (use "127.0.0.1:0" for an
-// ephemeral port).
+// ephemeral port) with the default lease TTL.
 func StartDirectory(addr string) (*Directory, error) {
-	d, err := remote.ListenDirectory(addr)
+	return StartDirectoryTTL(addr, 0)
+}
+
+// StartDirectoryTTL starts a directory whose server registrations expire
+// after leaseTTL without a heartbeat (0 selects the default, 30s). A dead
+// page server stops being returned by lookups within one TTL.
+func StartDirectoryTTL(addr string, leaseTTL time.Duration) (*Directory, error) {
+	d, err := remote.ListenDirectoryWith(addr, remote.DirectoryConfig{LeaseTTL: leaseTTL})
 	if err != nil {
 		return nil, err
 	}
@@ -61,8 +68,16 @@ func (s *PageServer) StoreRange(first uint64, count int) {
 	}
 }
 
-// Register announces every stored page to the directory.
+// Register announces every stored page to the directory and takes out a
+// lease there, renewed by a background heartbeat until Close. The directory
+// address is remembered, so a lost lease (expiry, directory restart) heals
+// by automatic re-registration. An unreachable directory yields an error
+// matching ErrDirectoryUnreachable.
 func (s *PageServer) Register(dirAddr string) error { return s.s.RegisterWith(dirAddr) }
+
+// SetHeartbeatInterval overrides the lease-renewal period (default 5s);
+// keep it well under the directory's lease TTL.
+func (s *PageServer) SetHeartbeatInterval(d time.Duration) { s.s.SetHeartbeatInterval(d) }
 
 // Pages returns the number of stored pages.
 func (s *PageServer) Pages() int { return s.s.Pages() }
@@ -103,11 +118,24 @@ type ClientOptions struct {
 	// faulted subpage has not arrived after this delay, trading
 	// bandwidth for tail latency.
 	Hedge time.Duration
+	// BreakerThreshold opens a per-server circuit breaker after this many
+	// consecutive failed fetch attempts on one server (default 3; negative
+	// disables). A tripped server is shunned until a half-open probe
+	// succeeds after BreakerCooldown, so a dead node costs one timeout
+	// rather than one per fault.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker shuns its server
+	// before probing it again (default 1s).
+	BreakerCooldown time.Duration
 }
 
 // ErrPageUnavailable is matched (via errors.Is) by read and write errors
 // when a page cannot be fetched from any replica within the retry budget.
 var ErrPageUnavailable = remote.ErrPageUnavailable
+
+// ErrDirectoryUnreachable is matched (via errors.Is) by Register errors
+// when the directory cannot be dialed.
+var ErrDirectoryUnreachable = remote.ErrDirectoryUnreachable
 
 // Client is a faulting node using remote memory through the directory.
 type Client struct{ c *remote.Client }
@@ -119,15 +147,17 @@ func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	c, err := remote.Dial(remote.ClientConfig{
-		Directory:      dirAddr,
-		CachePages:     opts.CachePages,
-		SubpageSize:    opts.SubpageSize,
-		Policy:         wire,
-		Readahead:      opts.Readahead,
-		DialTimeout:    opts.DialTimeout,
-		RequestTimeout: opts.RequestTimeout,
-		MaxRetries:     opts.MaxRetries,
-		Hedge:          opts.Hedge,
+		Directory:        dirAddr,
+		CachePages:       opts.CachePages,
+		SubpageSize:      opts.SubpageSize,
+		Policy:           wire,
+		Readahead:        opts.Readahead,
+		DialTimeout:      opts.DialTimeout,
+		RequestTimeout:   opts.RequestTimeout,
+		MaxRetries:       opts.MaxRetries,
+		Hedge:            opts.Hedge,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +185,11 @@ type ClientStats struct {
 	Retries   int64
 	Failovers int64
 	Hedges    int64
+	// Circuit-breaker state: trips (closed->open), half-open probes
+	// granted, and servers currently shunned.
+	BreakerOpens  int64
+	BreakerProbes int64
+	OpenBreakers  int
 	// Median fault-to-subpage-arrival and fault-to-complete-page times.
 	SubpageLatencyUs float64
 	FullLatencyUs    float64
@@ -172,6 +207,9 @@ func (c *Client) Stats() ClientStats {
 		Retries:          st.Retries,
 		Failovers:        st.Failovers,
 		Hedges:           st.Hedges,
+		BreakerOpens:     st.BreakerOpens,
+		BreakerProbes:    st.BreakerProbes,
+		OpenBreakers:     st.OpenBreakers,
 		SubpageLatencyUs: st.SubpageLat.Median(),
 		FullLatencyUs:    st.FullLat.Median(),
 	}
