@@ -4,12 +4,12 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint build test race bench chaos chaos-demo
+.PHONY: ci fmt vet lint build test race bench trace-smoke chaos chaos-demo
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
-# over every package, and the benchmark snapshot.
-ci: fmt vet lint build test race bench
+# over every package, the trace-export smoke, and the benchmark snapshot.
+ci: fmt vet lint build test race trace-smoke bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -49,6 +49,21 @@ bench:
 	$(GO) test -bench . -benchtime 200x -run xxx -timeout 30m ./...
 	$(GO) run ./cmd/subpagesim -run all -scale $(BENCH_SCALE) -j $(BENCH_J) \
 		-benchout BENCH_experiments.json > /dev/null
+
+# trace-smoke drives the fault tracer end to end through the CLI: one
+# small traced simulation exporting both formats, run twice, and the
+# exports must be byte-identical (the tracer's determinism contract,
+# DESIGN.md §8) and non-empty.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	for run in a b; do \
+		$(GO) run ./cmd/subpagesim -app modula3 -scale 0.05 -mem 0.5 -policy lazy \
+			-traceout "$$tmp/$$run.chrome.json" -tracejsonl "$$tmp/$$run.jsonl" > /dev/null || exit 1; \
+	done && \
+	test -s "$$tmp/a.chrome.json" && test -s "$$tmp/a.jsonl" && \
+	cmp -s "$$tmp/a.chrome.json" "$$tmp/b.chrome.json" && \
+	cmp -s "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
+	echo "trace-smoke: exports non-empty and byte-identical across reruns"
 
 # chaos runs the kill/restart self-heal soak: the control-plane recovery
 # scenario (lease expiry, epoch-fenced re-registration, breaker probe) on a

@@ -10,6 +10,7 @@ import (
 
 	gmsubpage "github.com/gms-sim/gmsubpage"
 	"github.com/gms-sim/gmsubpage/internal/chaos"
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/remote"
 )
 
@@ -33,25 +34,43 @@ func runChaos(args []string) {
 	reqTO := fs.Duration("timeout", 2*time.Second, "per-fetch-attempt timeout")
 	retries := fs.Int("retries", 4, "retries beyond the first attempt")
 	hedge := fs.Duration("hedge", 0, "duplicate a fetch to the replica after this delay (0 = off)")
+	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
+
+	// The chaos demo runs the whole cluster in-process against internal
+	// types, so the debug registry is wired directly: injector, directory
+	// and both page servers all report into one /metrics page.
+	var reg *obs.Registry
+	if *debug != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.StartDebugServer(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Printf("debug listener on http://%s (/metrics, /healthz, /debug/pprof)\n", ds.Addr())
+	}
 
 	dir, err := remote.ListenDirectory("127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
 	defer dir.Close()
+	dir.SetMetrics(reg)
 	nw := chaos.New(chaos.Config{
 		Latency:  *latency,
 		Jitter:   *jitter,
 		DropRate: *drop,
 		Seed:     *seed,
 	})
+	nw.SetMetrics(reg)
 	startServer := func() (*remote.Server, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
 		s := remote.ListenServerOn(nw.WrapListener(ln))
+		s.SetMetrics(reg)
 		for p := 0; p < *pages; p++ {
 			s.Store(uint64(p), chaosPattern(uint64(p)))
 		}

@@ -69,15 +69,44 @@ func waitForInterrupt() {
 	<-ch
 }
 
+// startDebug starts the opt-in observability listener on addr and returns
+// it with the registry the node's components report into.
+func startDebug(addr string) (*gmsubpage.DebugServer, *gmsubpage.Metrics, error) {
+	m := gmsubpage.NewMetrics()
+	d, err := gmsubpage.StartDebug(addr, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("debug listener on http://%s (/metrics, /healthz, /debug/pprof)\n", d.Addr())
+	return d, m, nil
+}
+
+// debugMetrics handles the per-command -debug flag: empty addr disables
+// observability (nil metrics), anything else starts the listener or dies.
+func debugMetrics(addr string) *gmsubpage.Metrics {
+	if addr == "" {
+		return nil
+	}
+	_, m, err := startDebug(addr)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
 func runDir(args []string) {
 	fs := flag.NewFlagSet("dir", flag.ExitOnError)
 	addr := fs.String("addr", ":7000", "listen address")
+	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
 	d, err := gmsubpage.StartDirectory(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer d.Close()
+	if m := debugMetrics(*debug); m != nil {
+		d.SetMetrics(m)
+	}
 	fmt.Println("directory listening on", d.Addr())
 	waitForInterrupt()
 }
@@ -89,12 +118,16 @@ func runServer(args []string) {
 	pages := fs.Int("pages", 4096, "pages of memory to donate (8 KB each)")
 	first := fs.Uint64("first", 0, "first page number to serve")
 	wire := fs.Float64("wire", 0, "emulate a link of this many Mb/s (0 = none; 155 = the paper's AN2)")
+	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
 	s, err := gmsubpage.StartServer(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
+	if m := debugMetrics(*debug); m != nil {
+		s.SetMetrics(m)
+	}
 	s.SetWireMbps(*wire)
 	s.StoreRange(*first, *pages)
 	if err := s.Register(*dir); err != nil {
@@ -119,6 +152,7 @@ func runClient(args []string) {
 	reqTO := fs.Duration("timeout", 0, "per-lookup / per-fetch-attempt timeout (0 = default 2s)")
 	retries := fs.Int("retries", 0, "retries beyond the first attempt (0 = default 3, negative = none)")
 	hedge := fs.Duration("hedge", 0, "duplicate a fetch to a replica after this delay (0 = off)")
+	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
 
 	c, err := gmsubpage.DialClient(*dir, gmsubpage.ClientOptions{
@@ -130,6 +164,7 @@ func runClient(args []string) {
 		RequestTimeout: *reqTO,
 		MaxRetries:     *retries,
 		Hedge:          *hedge,
+		Metrics:        debugMetrics(*debug),
 	})
 	if err != nil {
 		fatal(err)

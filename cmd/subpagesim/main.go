@@ -33,7 +33,8 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 // allFlags lists every flag name in display order, so conflict errors
 // name the offending flags deterministically.
 var allFlags = []string{"list", "run", "scale", "j", "benchout",
-	"app", "trace", "mem", "policy", "subpage", "disk", "pal", "json"}
+	"app", "trace", "mem", "policy", "subpage", "disk", "pal", "json",
+	"traceout", "tracejsonl"}
 
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("subpagesim", flag.ContinueOnError)
@@ -52,6 +53,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		disk     = fs.Bool("disk", false, "serve faults from disk instead of network memory")
 		pal      = fs.Bool("pal", false, "charge PALcode software valid-bit emulation costs")
 		asJSON   = fs.Bool("json", false, "emit -app/-trace results as JSON")
+		traceOut = fs.String("traceout", "", "write the run's fault timeline as a Chrome trace_event file (-app/-trace)")
+		traceJL  = fs.String("tracejsonl", "", "write the run's fault timeline as JSONL, one span per line (-app/-trace)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -115,6 +118,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			DiskBacking:    *disk,
 			PALEmulation:   *pal,
 		}
+		if *traceOut != "" || *traceJL != "" {
+			node := *app
+			if node == "" {
+				node = *traceIn
+			}
+			cfg.FaultTrace = gmsubpage.NewFaultTrace(node)
+		}
 		var rep *gmsubpage.Report
 		var err error
 		if *traceIn != "" {
@@ -123,6 +133,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			rep, err = gmsubpage.Simulate(cfg)
 		}
 		if err != nil {
+			return fail(err)
+		}
+		if err := exportTrace(cfg.FaultTrace, *traceOut, *traceJL); err != nil {
 			return fail(err)
 		}
 		if *asJSON {
@@ -148,6 +161,32 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// exportTrace writes the recorded fault timeline to the requested files.
+// tr is nil when neither export flag was given.
+func exportTrace(tr *gmsubpage.FaultTrace, chromePath, jsonlPath string) error {
+	if tr == nil {
+		return nil
+	}
+	write := func(path string, render func(io.Writer, ...*gmsubpage.FaultTrace) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f, tr); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, gmsubpage.WriteTraceChrome); err != nil {
+		return err
+	}
+	return write(jsonlPath, gmsubpage.WriteTraceJSONL)
 }
 
 // conflictErr rejects flag combinations that the command would otherwise
@@ -179,11 +218,11 @@ func conflictErr(set map[string]bool) error {
 	case set["app"] && set["trace"]:
 		return fmt.Errorf("-app and -trace both name a reference stream; give exactly one")
 	case set["app"]:
-		if bad := others("app", "scale", "mem", "policy", "subpage", "disk", "pal", "json"); len(bad) > 0 {
+		if bad := others("app", "scale", "mem", "policy", "subpage", "disk", "pal", "json", "traceout", "tracejsonl"); len(bad) > 0 {
 			return fmt.Errorf("%s only applies to -run; drop it or use -run", strings.Join(bad, " "))
 		}
 	case set["trace"]:
-		if bad := others("trace", "mem", "policy", "subpage", "disk", "pal", "json"); len(bad) > 0 {
+		if bad := others("trace", "mem", "policy", "subpage", "disk", "pal", "json", "traceout", "tracejsonl"); len(bad) > 0 {
 			if set["scale"] {
 				return fmt.Errorf("-scale does not apply to -trace: the file fixes the reference stream")
 			}

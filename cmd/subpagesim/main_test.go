@@ -32,6 +32,8 @@ func TestConflictingFlagsRejected(t *testing.T) {
 		{"app+j", []string{"-app", "render", "-j", "4"}},
 		{"app+benchout", []string{"-app", "render", "-benchout", "b.json"}},
 		{"trace+scale", []string{"-trace", "x.trc", "-scale", "0.5"}},
+		{"run+traceout", []string{"-run", "fig1", "-traceout", "t.json"}},
+		{"traceout alone", []string{"-traceout", "t.json"}},
 		{"j alone", []string{"-j", "4"}},
 		{"benchout alone", []string{"-benchout", "b.json"}},
 		{"json alone", []string{"-json"}},
@@ -105,6 +107,63 @@ func TestRunWithBenchout(t *testing.T) {
 	}
 	if snap.TotalMs <= 0 {
 		t.Errorf("total_ms = %v, want > 0", snap.TotalMs)
+	}
+}
+
+// TestAppModeTraceExport runs one small simulation with both trace export
+// flags and checks the files: the Chrome file is valid trace_event JSON,
+// the JSONL file has one parseable object per line, and a rerun produces
+// byte-identical files (the tracer's determinism contract at the CLI).
+func TestAppModeTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	export := func(tag string) (string, string) {
+		chrome := filepath.Join(dir, tag+".chrome.json")
+		jsonl := filepath.Join(dir, tag+".jsonl")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-app", "modula3", "-scale", "0.05", "-mem", "0.5",
+			"-policy", "lazy", "-traceout", chrome, "-tracejsonl", jsonl},
+			&stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+		}
+		cb, err := os.ReadFile(chrome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(cb), string(jb)
+	}
+	chrome, jsonl := export("a")
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chrome), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 4 {
+		t.Fatalf("suspiciously few trace events: %d", len(doc.TraceEvents))
+	}
+	lines := strings.Split(strings.TrimRight(jsonl, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("suspiciously few JSONL spans: %d", len(lines))
+	}
+	for i, ln := range lines {
+		var span map[string]any
+		if err := json.Unmarshal([]byte(ln), &span); err != nil {
+			t.Fatalf("JSONL line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		if span["node"] != "modula3" {
+			t.Fatalf("line %d node = %v, want modula3", i+1, span["node"])
+		}
+	}
+
+	chrome2, jsonl2 := export("b")
+	if chrome != chrome2 || jsonl != jsonl2 {
+		t.Error("trace export differs across identical reruns")
 	}
 }
 

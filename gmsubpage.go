@@ -101,6 +101,10 @@ type Config struct {
 	PALEmulation bool
 	// TrackPerFault retains per-fault arrays (Figures 5-7) in the report.
 	TrackPerFault bool
+	// FaultTrace, when non-nil, records every fault's anatomy during the
+	// run for export with WriteTraceChrome / WriteTraceJSONL. Tracing
+	// never changes the simulated result.
+	FaultTrace *FaultTrace
 }
 
 // Report is the outcome of a simulation run.
@@ -181,6 +185,7 @@ func Simulate(cfg Config) (*Report, error) {
 		Backing:       backing,
 		PALEmulation:  cfg.PALEmulation,
 		TrackPerFault: cfg.TrackPerFault,
+		Trace:         cfg.FaultTrace,
 	})
 	return reportFrom(r, cfg.TrackPerFault), nil
 }
@@ -300,6 +305,7 @@ func SimulateTraceFile(path string, cfg Config) (*Report, error) {
 		Backing:       backing,
 		PALEmulation:  cfg.PALEmulation,
 		TrackPerFault: cfg.TrackPerFault,
+		Trace:         cfg.FaultTrace,
 	})
 	return reportFrom(r, cfg.TrackPerFault), nil
 }

@@ -20,6 +20,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/obs"
 )
 
 // Errors surfaced by injected faults.
@@ -72,6 +74,10 @@ type Network struct {
 	// Counters for assertions and reports.
 	Drops  int64
 	Resets int64
+
+	// Metric handles (nil-safe no-ops until SetMetrics).
+	dropsM  *obs.Counter
+	resetsM *obs.Counter
 }
 
 // New returns a Network injecting cfg.
@@ -85,6 +91,15 @@ func New(cfg Config) *Network {
 		rng:   rand.New(rand.NewSource(seed)),
 		conns: make(map[*Conn]struct{}),
 	}
+}
+
+// SetMetrics registers the injector's gms_chaos_* metrics on r (nil
+// disables them).
+func (n *Network) SetMetrics(r *obs.Registry) {
+	n.mu.Lock()
+	n.dropsM = r.Counter("gms_chaos_drops_total", "writes blackholed by the injector")
+	n.resetsM = r.Counter("gms_chaos_resets_total", "connection resets injected")
+	n.mu.Unlock()
 }
 
 // SetConfig replaces the fault configuration; existing connections pick it
@@ -210,10 +225,12 @@ func (nw *Network) plan(n int) (writePlan, error) {
 	if nw.cfg.DropRate > 0 && nw.rng.Float64() < nw.cfg.DropRate {
 		p.drop = true
 		nw.Drops++
+		nw.dropsM.Inc()
 	}
 	if nw.cfg.ResetRate > 0 && nw.rng.Float64() < nw.cfg.ResetRate {
 		p.reset = true
 		nw.Resets++
+		nw.resetsM.Inc()
 	}
 	return p, nil
 }

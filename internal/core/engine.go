@@ -5,6 +5,7 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
 	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/units"
 )
 
@@ -26,8 +27,13 @@ type Transfer struct {
 
 	covers   []memmodel.Bitmap
 	arrivals []units.Ticks
-	pending  int // messages not yet applied to the frame
+	pending  int   // messages not yet applied to the frame
+	traceID  int64 // span id in the engine's tracer; 0 when untraced
 }
+
+// TraceID returns the transfer's span id in the engine's tracer (0 when
+// tracing is disabled). The runner uses it to reclassify or cancel spans.
+func (t *Transfer) TraceID() int64 { return t.traceID }
 
 // ArrivalCovering returns when the byte at offset off becomes valid, and
 // false if no planned message covers it (lazy fetch).
@@ -97,6 +103,10 @@ type Engine struct {
 	CompOverlap units.Ticks
 	Faults      int64
 	BytesMoved  int64
+
+	// trace, when non-nil, records every fault's anatomy (transfer plan,
+	// stall re-entries, close-out attribution) on the event clock.
+	trace *obs.SimTrace
 }
 
 // NewEngine returns an engine for the given network, policy and subpage
@@ -113,6 +123,10 @@ func (e *Engine) SubpageSize() int { return e.subpage }
 
 // Policy returns the configured policy.
 func (e *Engine) Policy() Policy { return e.policy }
+
+// SetTrace attaches a fault tracer. A nil tracer (the default) disables
+// tracing; the only residual cost is one nil check per hook.
+func (e *Engine) SetTrace(t *obs.SimTrace) { e.trace = t }
 
 // StartFault plans and schedules the transfer for a fault at byte offset
 // faultOff of page, issued at time now. The returned transfer's
@@ -148,6 +162,13 @@ func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int)
 	t.FirstArrival = t.arrivals[0]
 	if debugEnabled {
 		e.checkTransferInvariants(t, plan, now, faultOff)
+	}
+	if e.trace != nil {
+		tmsgs := make([]obs.TraceMsg, len(plan))
+		for i := range plan {
+			tmsgs[i] = obs.TraceMsg{At: t.arrivals[i], Bytes: msgs[i].Bytes, Deliver: msgs[i].Deliver}
+		}
+		t.traceID = e.trace.BeginTransfer(uint64(page), t.FaultIdx, now, t.FirstArrival, t.CompleteAt, tmsgs)
 	}
 	e.Faults++
 	return t
@@ -198,6 +219,9 @@ func (e *Engine) NoteStall(from, to units.Ticks, tr *Transfer, initial bool) {
 	if !initial && tr != nil {
 		tr.PageWait += d
 	}
+	if e.trace != nil && tr != nil {
+		e.trace.Stall(tr.traceID, from, to, initial)
+	}
 }
 
 // stallBetween returns the exact stall time within [a, b]. Stalls are
@@ -236,6 +260,9 @@ func (e *Engine) FinishTransfer(tr *Transfer, now units.Ticks) {
 		b = now
 	}
 	if b <= a {
+		if e.trace != nil {
+			e.trace.EndTransfer(tr.traceID, now, 0, 0)
+		}
 		return
 	}
 	window := b - a
@@ -249,6 +276,9 @@ func (e *Engine) FinishTransfer(tr *Transfer, now units.Ticks) {
 	}
 	e.IOOverlap += other
 	e.CompOverlap += window - stalled
+	if e.trace != nil {
+		e.trace.EndTransfer(tr.traceID, now, stalled, window-stalled)
+	}
 }
 
 // IOOverlapShare returns the fraction of overlap benefit attributable to

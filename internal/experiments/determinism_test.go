@@ -16,8 +16,9 @@ func TestSameSeedSameOutput(t *testing.T) {
 	cfg := Config{Scale: 0.05}
 	// fig7 exercises the synthetic trace generator and the fault engine;
 	// cluster exercises the multi-node path; table2 the analytic model;
-	// reliability exercises the node-failure schedule.
-	for _, id := range []string{"fig7", "cluster", "table2", "reliability"} {
+	// reliability exercises the node-failure schedule; timeline exercises
+	// the fault tracer.
+	for _, id := range []string{"fig7", "cluster", "table2", "reliability", "timeline"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)
@@ -67,5 +68,39 @@ func TestParallelOutputMatchesSequential(t *testing.T) {
 	}
 	if len(seq) < 1000 {
 		t.Fatalf("suspiciously short RunAll output (%d bytes)", len(seq))
+	}
+}
+
+// TestTraceArtifactsByteIdentical pins the tracer's determinism contract
+// end to end: the exported Chrome trace and JSONL dump must be
+// byte-identical across pool widths and across same-seed reruns. Each
+// cell owns its SimTrace and exports render in fixed cell order with
+// integer tick values, so any diff means wall-clock, randomness, or
+// cross-cell state leaked into the tracer.
+func TestTraceArtifactsByteIdentical(t *testing.T) {
+	export := func(pool *par.Pool) (string, string) {
+		chrome, jsonl, err := TraceArtifacts(Config{Scale: 0.05, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(chrome), string(jsonl)
+	}
+	c1, j1 := export(par.New(1))
+	c8, j8 := export(par.New(8))
+	if c1 != c8 {
+		t.Error("Chrome trace differs between pool widths 1 and 8")
+	}
+	if j1 != j8 {
+		t.Error("JSONL trace differs between pool widths 1 and 8")
+	}
+	c1b, j1b := export(par.New(1))
+	if c1 != c1b || j1 != j1b {
+		t.Error("trace export differs across same-seed reruns")
+	}
+	if len(j1) < 100 || !strings.Contains(j1, `"node":"lazy_1024"`) {
+		t.Fatalf("suspiciously thin JSONL export:\n%.400s", j1)
+	}
+	if !strings.Contains(c1, `"traceEvents"`) {
+		t.Fatalf("Chrome export missing traceEvents:\n%.400s", c1)
 	}
 }

@@ -93,6 +93,7 @@ var registry = []Experiment{
 	{"eventtime", "Methodology: average time per simulation event (§3.2)", EventTime},
 	{"cluster", "Extension: multi-node global memory under load", Cluster},
 	{"reliability", "Extension: graceful degradation under donor-node failures", Reliability},
+	{"timeline", "Observability: per-fault timeline traces", Timeline},
 	{"bounds", "Validation: simulator vs. closed-form bounds", Bounds},
 	{"future", "Extension: faster networks shrink the optimal subpage", Future},
 	{"tlbcover", "Motivation: TLB coverage vs. page size (§1)", TLBCoverage},

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/obs"
+	"github.com/gms-sim/gmsubpage/internal/par"
+	"github.com/gms-sim/gmsubpage/internal/sim"
+	"github.com/gms-sim/gmsubpage/internal/stats"
+	"github.com/gms-sim/gmsubpage/internal/trace"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// The timeline experiment traces the 1/2-memory Modula-3 run under the
+// paper's main policy points and summarizes the recorded fault anatomy:
+// how many spans of each kind, how much of each fault's asynchronous
+// window the program spent stalled versus overlapped with execution. The
+// same cells back TraceArtifacts, which exports the raw spans for
+// chrome://tracing.
+
+// timelineCell is one traced configuration.
+type timelineCell struct {
+	name    string
+	policy  core.Policy
+	subpage int
+	disk    bool
+}
+
+var timelineCells = []timelineCell{
+	{"disk_8192", core.FullPage{}, units.PageSize, true},
+	{"p_8192", core.FullPage{}, units.PageSize, false},
+	{"eager_1024", core.Eager{}, 1024, false},
+	{"lazy_1024", core.Lazy{}, 1024, false},
+}
+
+// runTimelineCells simulates every cell with a tracer attached, fanning
+// the independent cells out to cfg.Pool. Each cell owns its SimTrace, so
+// results and traces are byte-identical at any pool width.
+func runTimelineCells(cfg Config) ([]*sim.Result, []*obs.SimTrace) {
+	app := trace.Modula3(cfg.Scale)
+	type cellOut struct {
+		res *sim.Result
+		tr  *obs.SimTrace
+	}
+	out := par.Map(cfg.Pool, len(timelineCells), func(i int) cellOut {
+		c := timelineCells[i]
+		tr := &obs.SimTrace{Node: c.name}
+		sc := sim.Config{
+			App:         app,
+			MemFraction: 0.5,
+			Policy:      c.policy,
+			SubpageSize: c.subpage,
+			Trace:       tr,
+		}
+		if c.disk {
+			sc.Backing = sim.Disk
+		}
+		return cellOut{sim.Run(sc), tr}
+	})
+	results := make([]*sim.Result, len(out))
+	traces := make([]*obs.SimTrace, len(out))
+	for i, o := range out {
+		results[i], traces[i] = o.res, o.tr
+	}
+	return results, traces
+}
+
+// Timeline summarizes the traced fault anatomy of the timeline cells.
+func Timeline(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	results, traces := runTimelineCells(cfg)
+	t := &stats.Table{
+		Title: "Traced fault anatomy, Modula-3 at 1/2-mem",
+		Header: []string{"config", "spans", "page", "subpage", "disk",
+			"canceled", "stalls", "stall_ms", "overlap"},
+	}
+	var notes []string
+	for i, tr := range traces {
+		var page, subpage, diskN, canceled, nstalls int64
+		var stallTicks, stalled, overlapped units.Ticks
+		for _, f := range tr.Faults() {
+			switch f.Kind {
+			case obs.FaultPage:
+				page++
+			case obs.FaultSubpage:
+				subpage++
+			case obs.FaultDisk:
+				diskN++
+			}
+			if f.Canceled {
+				canceled++
+			}
+			nstalls += int64(len(f.Stalls))
+			for _, s := range f.Stalls {
+				stallTicks += s.To - s.From
+			}
+			stalled += f.Stalled
+			overlapped += f.Overlapped
+		}
+		overlap := 0.0
+		if stalled+overlapped > 0 {
+			overlap = float64(overlapped) / float64(stalled+overlapped)
+		}
+		t.AddRow(timelineCells[i].name,
+			fmt.Sprint(len(tr.Faults())),
+			fmt.Sprint(page), fmt.Sprint(subpage), fmt.Sprint(diskN),
+			fmt.Sprint(canceled), fmt.Sprint(nstalls),
+			stats.F(stallTicks.Ms(), 1), stats.Pct(overlap))
+
+		// Cross-check: the tracer is passive, so its span counts must
+		// reproduce the simulator's own fault counters exactly.
+		r := results[i]
+		if want := r.RemoteFaults + r.SubpageFaults + r.DiskFaults; int64(len(tr.Faults())) != want {
+			notes = append(notes, fmt.Sprintf(
+				"%s: tracer recorded %d spans but the simulator counted %d faults",
+				timelineCells[i].name, len(tr.Faults()), want))
+		}
+	}
+	if len(notes) == 0 {
+		notes = append(notes, "tracer span counts match the simulator's fault counters in every cell")
+	}
+	notes = append(notes,
+		"export raw spans with `subpagesim -app modula3 -mem 0.5 -policy lazy -traceout trace.json`")
+	return &Result{ID: "timeline",
+		Title:  "Observability: per-fault timeline traces",
+		Tables: []*stats.Table{t}, Notes: notes}
+}
+
+// TraceArtifacts runs the timeline cells and exports the recorded spans:
+// a Chrome trace_event file (load in chrome://tracing or Perfetto) and a
+// JSONL dump, one object per fault span. Same-seed calls return
+// byte-identical buffers at any cfg.Pool width.
+func TraceArtifacts(cfg Config) (chrome, jsonl []byte, err error) {
+	cfg = cfg.withDefaults()
+	_, traces := runTimelineCells(cfg)
+	var cb, jb bytes.Buffer
+	if err := obs.WriteChromeTrace(&cb, traces...); err != nil {
+		return nil, nil, err
+	}
+	if err := obs.WriteJSONL(&jb, traces...); err != nil {
+		return nil, nil, err
+	}
+	return cb.Bytes(), jb.Bytes(), nil
+}

@@ -26,8 +26,10 @@ var Lockio = &Analyzer{
 }
 
 // cmd/gmsnode rides along so the heartbeat/breaker-era demo code keeps the
-// same discipline as the library it drives.
-var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode"}
+// same discipline as the library it drives; internal/obs because its
+// registry lock sits on the prototype's fault hot path and must never be
+// held across the /metrics render or any blocking call.
+var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode", "internal/obs"}
 
 func runLockio(pass *Pass) {
 	inScope := false

@@ -15,10 +15,11 @@ import (
 // randomized map iteration order in its output. Three rules at two scopes:
 //
 //   - In the model packages (internal/sim, internal/core,
-//     internal/experiments, internal/analytic): no wall clock at all
-//     (time.Now/Since/Sleep/After/...), no math/rand import (internal/rng
-//     is the seeded, version-stable source), and no printing from inside a
-//     range over a map.
+//     internal/experiments, internal/analytic, and internal/obs, whose
+//     tracer and exposition must be byte-reproducible): no wall clock at
+//     all (time.Now/Since/Sleep/After/...), no math/rand import
+//     (internal/rng is the seeded, version-stable source), and no printing
+//     from inside a range over a map.
 //   - Everywhere: no global math/rand top-level functions (shared,
 //     unseeded process state; constructing a seeded *rand.Rand via
 //     rand.New(rand.NewSource(seed)) is fine), and no time.Now/time.Since
@@ -31,7 +32,7 @@ var Simpurity = &Analyzer{
 	Run:  runSimpurity,
 }
 
-var modelSegments = []string{"internal/sim", "internal/core", "internal/experiments", "internal/analytic"}
+var modelSegments = []string{"internal/sim", "internal/core", "internal/experiments", "internal/analytic", "internal/obs"}
 
 func isModelPkg(path string) bool {
 	for _, seg := range modelSegments {

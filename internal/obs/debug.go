@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the opt-in HTTP debug listener surfaced by gmsnode: it
+// serves the metrics exposition on /metrics, a liveness probe on /healthz,
+// and the stdlib profiler under /debug/pprof/. It is never started unless
+// explicitly requested, so the prototype's default attack and overhead
+// surface is unchanged.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// StartDebugServer listens on addr (use "127.0.0.1:0" for an ephemeral
+// port) and serves the debug endpoints for reg. A nil registry still
+// serves /healthz and pprof; /metrics is simply empty.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// net/http/pprof registers on DefaultServeMux at import; route the
+	// same handlers on our private mux so nothing else leaks onto the
+	// debug port.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and severs open connections. Idempotent.
+func (s *DebugServer) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}

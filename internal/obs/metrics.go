@@ -1,0 +1,281 @@
+// Package obs is the repository's observability layer: a dependency-free
+// metrics registry for the live prototype (counters, gauges, histograms
+// with atomic hot paths and a stable text exposition) and a deterministic,
+// tick-based event tracer for the simulator (simtrace.go).
+//
+// Both halves share one design rule: observation must never perturb the
+// thing observed. Metric handles are nil-safe — a component built without
+// a registry holds nil handles, and every mutator on a nil handle is a
+// branch-predicted no-op with zero allocations — so the disabled path
+// costs one pointer compare on the fault hot path. The tracer reads only
+// the simulator's event clock, never the wall clock, so enabling it
+// cannot change a single simulated tick.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter is a valid
+// no-op: components hold nil handles when metrics are disabled.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only go
+// up, and a no-op beats a panic on a hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge is a valid
+// no-op.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reports the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed buckets (cumulative
+// counts, Prometheus-style) plus a running sum and count. The nil
+// Histogram is a valid no-op.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefaultLatencyBuckets cover microsecond-scale prototype latencies:
+// 1 µs .. ~16 ms in powers of four.
+var DefaultLatencyBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry holds named metrics and renders them as text. The nil Registry
+// is valid: every constructor on it returns a nil handle, so "metrics
+// disabled" needs no branches at the call sites that record.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]any
+	names  []string // insertion order; exposition sorts its own copy
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it when
+// needed. A nil registry returns a nil (no-op) handle. Re-registering a
+// name as a different metric kind panics: that is a wiring bug, not a
+// runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it when needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds (nil selects
+// DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	r.register(name, h)
+	return h
+}
+
+// register records a new metric. Called with r.mu held.
+func (r *Registry) register(name string, m any) {
+	r.byName[name] = m
+	r.names = append(r.names, name)
+}
+
+// WriteText renders every registered metric in a stable, name-sorted text
+// exposition (Prometheus-compatible). Values are read atomically but the
+// exposition as a whole is not a consistent cut; it is a monitoring
+// surface, not a transactional snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the metric set under the lock, render outside it: rendering
+	// writes to a caller-supplied (possibly network) writer, which must
+	// not stall registration.
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+
+	var b strings.Builder
+	for _, i := range order {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			writeHeader(&b, m.name, m.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.Value())
+		case *Gauge:
+			writeHeader(&b, m.name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.Value())
+		case *Histogram:
+			writeHeader(&b, m.name, m.help, "histogram")
+			cum := int64(0)
+			for j, bound := range m.bounds {
+				cum += m.counts[j].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

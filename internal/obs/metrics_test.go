@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "other"); again != c {
+		t.Fatalf("re-registering a counter returned a different handle")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "help", []float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 250} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 272 {
+		t.Fatalf("sum = %g, want 272", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_us_bucket{le="10"} 2`,
+		`lat_us_bucket{le="100"} 3`,
+		`lat_us_bucket{le="+Inf"} 4`,
+		"lat_us_sum 272",
+		"lat_us_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteTextGolden pins the full exposition format: sorted names, HELP
+// and TYPE headers, stable value formatting.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_gauge", "last registered, first sorted check").Set(-3)
+	r.Counter("aa_total", "a counter").Add(42)
+	h := r.Histogram("mm_hist", "a histogram", []float64{0.5, 2})
+	h.Observe(1)
+	h.Observe(3)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP aa_total a counter",
+		"# TYPE aa_total counter",
+		"aa_total 42",
+		"# HELP mm_hist a histogram",
+		"# TYPE mm_hist histogram",
+		`mm_hist_bucket{le="0.5"} 0`,
+		`mm_hist_bucket{le="2"} 1`,
+		`mm_hist_bucket{le="+Inf"} 2`,
+		"mm_hist_sum 4",
+		"mm_hist_count 2",
+		"# HELP zz_gauge last registered, first sorted check",
+		"# TYPE zz_gauge gauge",
+		"zz_gauge -3",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestRegistryConcurrency hammers registration, recording and exposition
+// from many goroutines; run under -race this is the registry's thread-
+// safety pin.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_hist", "", nil)
+			ga := r.Gauge("shared_gauge", "")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+				ga.Set(int64(i))
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestDisabledMetricsNoAlloc pins the disabled path: nil handles from a
+// nil registry must record nothing and allocate nothing, so components can
+// call them unconditionally on hot paths.
+func TestDisabledMetricsNoAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_hist", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil handles")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4)
+		g.Add(-1)
+		h.Observe(2.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics path allocates %.1f per op, want 0", allocs)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry exposition = (%q, %v), want empty", b.String(), err)
+	}
+}
+
+// BenchmarkDisabledCounter is the disabled-path cost on the client fault
+// hot path: one nil compare.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledCounter is the enabled-path cost: one atomic add.
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 5000))
+	}
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// This file is the simulator-side tracer: it records the anatomy of every
+// fault — the initial transfer, the program restart, each follow-on
+// subpage arrival, and every stall re-entry — on the simulator's tick
+// clock, and exports the result as JSONL or as a Chrome trace_event file
+// loadable in chrome://tracing / Perfetto.
+//
+// Determinism rules (DESIGN.md §8): a SimTrace reads no wall clock and no
+// randomness; every recorded value comes from the simulator's event clock
+// or the transfer plan, both of which are seed-deterministic. Export
+// renders records in recording order with fixed field order and integer
+// tick values, so a same-seed rerun — at any experiment pool width —
+// produces byte-identical files.
+
+// FaultKind classifies a traced fault.
+type FaultKind uint8
+
+// The fault kinds.
+const (
+	// FaultPage is a page fault served from network memory.
+	FaultPage FaultKind = iota
+	// FaultSubpage is a lazy refetch on an already-resident page.
+	FaultSubpage
+	// FaultDisk is a fault served synchronously from local disk.
+	FaultDisk
+)
+
+// String names the kind for export.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPage:
+		return "page"
+	case FaultSubpage:
+		return "subpage"
+	case FaultDisk:
+		return "disk"
+	}
+	return "unknown"
+}
+
+// TraceMsg is one planned message of a transfer: when it lands, how many
+// bytes it carries, and whether it is CPU-delivered (Deliver) or deposited
+// by the controller's DMA engine.
+type TraceMsg struct {
+	At      units.Ticks
+	Bytes   int
+	Deliver bool
+}
+
+// StallSpan is one interval the program spent stalled on a fault's page:
+// the initial resume-from-fault stall, or a later re-entry waiting for a
+// not-yet-arrived subpage.
+type StallSpan struct {
+	From    units.Ticks
+	To      units.Ticks
+	Initial bool
+}
+
+// FaultSpan is the full recorded anatomy of one fault.
+type FaultSpan struct {
+	ID       int64
+	Kind     FaultKind
+	Page     uint64
+	FaultIdx int // subpage index of the faulted word
+
+	Start        units.Ticks // fault issue
+	FirstArrival units.Ticks // faulted subpage usable; program restarts
+	Complete     units.Ticks // last planned message lands
+
+	Msgs   []TraceMsg
+	Stalls []StallSpan
+
+	// Close-out attribution (recorded by EndTransfer): within the
+	// asynchronous window [FirstArrival, min(Complete, now)], how much was
+	// spent stalled (on any page) and how much overlapped with execution.
+	FinishedAt units.Ticks
+	Stalled    units.Ticks
+	Overlapped units.Ticks
+	Finished   bool
+	Canceled   bool // transfer aborted by eviction
+}
+
+// SimTrace collects fault spans for one simulation run. It is not
+// goroutine-safe: one runner owns one SimTrace, exactly as one runner owns
+// one engine. The zero value is ready to use.
+type SimTrace struct {
+	// Node labels the run in exports when several traces are merged
+	// (multi-node or multi-cell runs).
+	Node string
+
+	// faults holds every span in recording order; a span's id is its
+	// index + 1, so ids are dense, deterministic, and 0 means untraced.
+	faults []FaultSpan
+}
+
+// BeginTransfer records a planned transfer and returns its fault id (ids
+// are dense, starting at 1; 0 means untraced). The engine calls it from
+// StartFault; msgs is retained, not copied.
+func (t *SimTrace) BeginTransfer(page uint64, faultIdx int, start, firstArrival, complete units.Ticks, msgs []TraceMsg) int64 {
+	id := int64(len(t.faults) + 1)
+	t.faults = append(t.faults, FaultSpan{
+		ID:           id,
+		Kind:         FaultPage,
+		Page:         page,
+		FaultIdx:     faultIdx,
+		Start:        start,
+		FirstArrival: firstArrival,
+		Complete:     complete,
+		Msgs:         msgs,
+	})
+	return id
+}
+
+// span returns the fault with the given id, or nil.
+func (t *SimTrace) span(id int64) *FaultSpan {
+	if id < 1 || int(id) > len(t.faults) {
+		return nil
+	}
+	return &t.faults[id-1]
+}
+
+// SetKind reclassifies a fault (the runner knows whether a transfer was a
+// page fault or a lazy subpage refetch; the engine does not).
+func (t *SimTrace) SetKind(id int64, kind FaultKind) {
+	if f := t.span(id); f != nil {
+		f.Kind = kind
+	}
+}
+
+// Stall records a stall interval attributed to fault id.
+func (t *SimTrace) Stall(id int64, from, to units.Ticks, initial bool) {
+	if f := t.span(id); f != nil {
+		f.Stalls = append(f.Stalls, StallSpan{From: from, To: to, Initial: initial})
+	}
+}
+
+// EndTransfer closes a fault with its asynchronous-window attribution.
+func (t *SimTrace) EndTransfer(id int64, now, stalled, overlapped units.Ticks) {
+	if f := t.span(id); f != nil {
+		f.FinishedAt = now
+		f.Stalled = stalled
+		f.Overlapped = overlapped
+		f.Finished = true
+	}
+}
+
+// Cancel marks a fault's transfer as aborted by eviction.
+func (t *SimTrace) Cancel(id int64) {
+	if f := t.span(id); f != nil {
+		f.Canceled = true
+	}
+}
+
+// DiskFault records a synchronous disk-served fault as a degenerate span:
+// no messages, no restart before completion.
+func (t *SimTrace) DiskFault(page uint64, start, end units.Ticks) {
+	id := int64(len(t.faults) + 1)
+	t.faults = append(t.faults, FaultSpan{
+		ID:           id,
+		Kind:         FaultDisk,
+		Page:         page,
+		Start:        start,
+		FirstArrival: end,
+		Complete:     end,
+		FinishedAt:   end,
+		Finished:     true,
+	})
+}
+
+// Faults returns the recorded spans in recording (fault-issue) order.
+func (t *SimTrace) Faults() []FaultSpan { return t.faults }
+
+// WriteJSONL renders the traces as one JSON object per fault span, in
+// recording order, trace by trace. Fields are emitted in a fixed order
+// with integer tick values, so output is byte-stable.
+func WriteJSONL(w io.Writer, traces ...*SimTrace) error {
+	var b strings.Builder
+	for ti, t := range traces {
+		if t == nil {
+			continue
+		}
+		node := t.Node
+		if node == "" {
+			node = fmt.Sprintf("run%d", ti)
+		}
+		for i := range t.faults {
+			f := &t.faults[i]
+			fmt.Fprintf(&b, `{"node":%q,"id":%d,"kind":%q,"page":%d,"fault_subpage":%d,"start":%d,"restart":%d,"complete":%d`,
+				node, f.ID, f.Kind, f.Page, f.FaultIdx, f.Start, f.FirstArrival, f.Complete)
+			b.WriteString(`,"msgs":[`)
+			for j, m := range f.Msgs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"at":%d,"bytes":%d,"deliver":%t}`, m.At, m.Bytes, m.Deliver)
+			}
+			b.WriteString(`],"stalls":[`)
+			for j, s := range f.Stalls {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"from":%d,"to":%d,"initial":%t}`, s.From, s.To, s.Initial)
+			}
+			fmt.Fprintf(&b, `],"finished":%t,"finished_at":%d,"stalled":%d,"overlapped":%d,"canceled":%t}`,
+				f.Finished, f.FinishedAt, f.Stalled, f.Overlapped, f.Canceled)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteChromeTrace renders the traces in Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto). One trace becomes one process; each gets
+// a "stalls" thread (the CPU's view: every stall span) and a "transfers"
+// thread (one complete-event per fault spanning issue→completion, with
+// instant events for each follow-on message arrival after the restart).
+//
+// Timestamps are the simulator's tick values presented as microseconds:
+// one viewer microsecond is one memory-reference event (12 ns of model
+// time). Integer ticks keep the bytes stable; args carry the real values.
+func WriteChromeTrace(w io.Writer, traces ...*SimTrace) error {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	ev := func(s string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(s)
+	}
+	for ti, t := range traces {
+		if t == nil {
+			continue
+		}
+		node := t.Node
+		if node == "" {
+			node = fmt.Sprintf("run%d", ti)
+		}
+		pid := ti
+		ev(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`, pid, node))
+		ev(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"stalls (cpu)"}}`, pid))
+		ev(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":1,"name":"thread_name","args":{"name":"transfers"}}`, pid))
+		for i := range t.faults {
+			f := &t.faults[i]
+			ev(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":1,"ts":%d,"dur":%d,"name":"fault %d %s p%d","args":{"kind":%q,"page":%d,"fault_subpage":%d,"msgs":%d,"restart_ticks":%d,"stalled_ticks":%d,"overlapped_ticks":%d,"canceled":%t}}`,
+				pid, f.Start, max64(int64(f.Complete-f.Start), 1), f.ID, f.Kind, f.Page,
+				f.Kind, f.Page, f.FaultIdx, len(f.Msgs),
+				int64(f.FirstArrival-f.Start), int64(f.Stalled), int64(f.Overlapped), f.Canceled))
+			for j, m := range f.Msgs {
+				if j == 0 {
+					continue // the initial transfer is the restart edge, not a follow-on
+				}
+				class := "dma"
+				if m.Deliver {
+					class = "cpu"
+				}
+				ev(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":1,"ts":%d,"s":"t","name":"arrival %d.%d","args":{"bytes":%d,"class":%q}}`,
+					pid, m.At, f.ID, j, m.Bytes, class))
+			}
+			for j, s := range f.Stalls {
+				name := "stall"
+				if s.Initial {
+					name = "fault stall"
+				}
+				ev(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":0,"ts":%d,"dur":%d,"name":"%s %d.%d","args":{"fault":%d,"initial":%t}}`,
+					pid, s.From, max64(int64(s.To-s.From), 1), name, f.ID, j, f.ID, s.Initial))
+			}
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fill records the same small fault history into t; used to check that
+// export is a pure function of the recorded spans.
+func fill(t *SimTrace) {
+	id := t.BeginTransfer(7, 2, 100, 140, 300, []TraceMsg{
+		{At: 140, Bytes: 1024, Deliver: true},
+		{At: 220, Bytes: 1024, Deliver: false},
+		{At: 300, Bytes: 2048, Deliver: true},
+	})
+	t.Stall(id, 100, 140, true)
+	t.Stall(id, 180, 220, false)
+	t.EndTransfer(id, 300, 40, 120)
+
+	sid := t.BeginTransfer(7, 5, 400, 430, 430, []TraceMsg{{At: 430, Bytes: 1024, Deliver: true}})
+	t.SetKind(sid, FaultSubpage)
+	t.Stall(sid, 400, 430, true)
+	t.EndTransfer(sid, 430, 0, 0)
+
+	t.DiskFault(9, 500, 1700)
+
+	cid := t.BeginTransfer(11, 0, 2000, 2050, 2600, []TraceMsg{{At: 2050, Bytes: 4096, Deliver: true}})
+	t.Stall(cid, 2000, 2050, true)
+	t.Cancel(cid)
+	t.EndTransfer(cid, 2100, 0, 50)
+}
+
+func TestSimTraceRecords(t *testing.T) {
+	tr := &SimTrace{}
+	fill(tr)
+	fs := tr.Faults()
+	if len(fs) != 4 {
+		t.Fatalf("recorded %d faults, want 4", len(fs))
+	}
+	if fs[0].Kind != FaultPage || fs[1].Kind != FaultSubpage || fs[2].Kind != FaultDisk {
+		t.Fatalf("kinds = %v %v %v", fs[0].Kind, fs[1].Kind, fs[2].Kind)
+	}
+	if fs[0].ID != 1 || fs[3].ID != 4 {
+		t.Fatalf("ids not dense: %d..%d", fs[0].ID, fs[3].ID)
+	}
+	if len(fs[0].Stalls) != 2 || !fs[0].Stalls[0].Initial || fs[0].Stalls[1].Initial {
+		t.Fatalf("fault 1 stalls = %+v", fs[0].Stalls)
+	}
+	if fs[0].Stalled != 40 || fs[0].Overlapped != 120 || !fs[0].Finished {
+		t.Fatalf("fault 1 close-out = %+v", fs[0])
+	}
+	if !fs[3].Canceled {
+		t.Fatalf("fault 4 not marked canceled")
+	}
+	if fs[2].Start != 500 || fs[2].Complete != 1700 || !fs[2].Finished {
+		t.Fatalf("disk fault span = %+v", fs[2])
+	}
+}
+
+// TestExportByteStable pins the determinism contract: identical recorded
+// histories export byte-identically, in both formats.
+func TestExportByteStable(t *testing.T) {
+	render := func() (jsonl, chrome []byte) {
+		a, b := &SimTrace{Node: "n0"}, &SimTrace{Node: "n1"}
+		fill(a)
+		fill(b)
+		var j, c bytes.Buffer
+		if err := WriteJSONL(&j, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteChromeTrace(&c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("JSONL export not byte-stable")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("Chrome export not byte-stable")
+	}
+}
+
+func TestWriteJSONLShape(t *testing.T) {
+	tr := &SimTrace{}
+	fill(tr)
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], `"kind":"page"`) ||
+		!strings.Contains(lines[0], `"restart":140`) ||
+		!strings.Contains(lines[0], `"stalls":[{"from":100,"to":140,"initial":true},{"from":180,"to":220,"initial":false}]`) {
+		t.Fatalf("line 1 = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"subpage"`) {
+		t.Fatalf("line 2 = %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"kind":"disk"`) || !strings.Contains(lines[2], `"msgs":[]`) {
+		t.Fatalf("line 3 = %s", lines[2])
+	}
+	if !strings.Contains(lines[3], `"canceled":true`) {
+		t.Fatalf("line 4 = %s", lines[3])
+	}
+	// Default node label when unset.
+	if !strings.HasPrefix(lines[0], `{"node":"run0"`) {
+		t.Fatalf("line 1 node label = %s", lines[0])
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := &SimTrace{Node: "cell-0"}
+	fill(tr)
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`"displayTimeUnit":"ms"`,
+		`"name":"process_name","args":{"name":"cell-0"}`,
+		`"name":"thread_name","args":{"name":"stalls (cpu)"}`,
+		`"name":"thread_name","args":{"name":"transfers"}`,
+		`"ph":"X"`,
+		`"name":"fault 1 page p7"`,
+		`"name":"arrival 1.1"`, // first follow-on msg, not the restart edge
+		`"name":"fault stall 1.0"`,
+		`"name":"stall 1.1"`,
+		`"canceled":true`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"arrival 1.0"`) {
+		t.Fatalf("restart edge exported as a follow-on arrival:\n%s", out)
+	}
+}
+
+// TestUntracedIDsAreNoOps: id 0 (untraced) and out-of-range ids must be
+// ignored — the engine passes 0 when no tracer is attached to a transfer.
+func TestUntracedIDsAreNoOps(t *testing.T) {
+	tr := &SimTrace{}
+	tr.Stall(0, 1, 2, true)
+	tr.EndTransfer(0, 3, 0, 0)
+	tr.Cancel(99)
+	tr.SetKind(-1, FaultDisk)
+	if n := len(tr.Faults()); n != 0 {
+		t.Fatalf("no-op ids recorded %d spans", n)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	cases := map[FaultKind]string{FaultPage: "page", FaultSubpage: "subpage", FaultDisk: "disk", FaultKind(9): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("FaultKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -28,14 +28,17 @@ type breakerEntry struct {
 // failed repeatedly is shunned until a probe proves it healthy again,
 // instead of burning a timeout on every fault. It never blocks progress:
 // when every replica is denied the caller force-picks one anyway.
+//
+// The breaker holds no counters of its own: state transitions are reported
+// to the caller through return values (allow's probe, failure's opened,
+// success's wasOpen) so the client can account for them in its one Stats
+// structure under its one lock — a Stats snapshot is a single coherent cut.
 type breaker struct {
 	threshold int // consecutive failures before opening; 0 disables
 	cooldown  time.Duration
 
 	mu      sync.Mutex
 	servers map[string]*breakerEntry
-	opens   int64 // closed→open transitions
-	probes  int64 // half-open probes granted
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -48,24 +51,24 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 
 // allow reports whether an attempt on addr should proceed, granting the
 // half-open probe when an open breaker's cooldown has elapsed. At most one
-// probe is outstanding per server.
-func (b *breaker) allow(addr string, now time.Time) bool {
+// probe is outstanding per server. probe is true when this call granted
+// one.
+func (b *breaker) allow(addr string, now time.Time) (ok, probe bool) {
 	if b.threshold <= 0 {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.servers[addr]
 	if e == nil || e.state == brClosed {
-		return true
+		return true, false
 	}
 	if e.state == brOpen && !e.probing && now.Sub(e.openedAt) >= b.cooldown {
 		e.state = brHalfOpen
 		e.probing = true
-		b.probes++
-		return true
+		return true, true
 	}
-	return false
+	return false, false
 }
 
 // wouldAllow is allow without side effects: it never grants a probe. Used
@@ -81,22 +84,29 @@ func (b *breaker) wouldAllow(addr string) bool {
 }
 
 // success records a completed attempt on addr, closing its breaker.
-func (b *breaker) success(addr string) {
+// wasOpen reports whether the server was shunned (open or half-open) until
+// this call.
+func (b *breaker) success(addr string) (wasOpen bool) {
 	if b.threshold <= 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
-	delete(b.servers, addr)
-	b.mu.Unlock()
+	defer b.mu.Unlock()
+	if e, ok := b.servers[addr]; ok {
+		wasOpen = e.state != brClosed
+		delete(b.servers, addr)
+	}
+	return wasOpen
 }
 
-// failure records a failed attempt on addr. A closed breaker opens at the
+// failure records a failed attempt on addr, reporting whether it tripped
+// the breaker (a closed→open transition). A closed breaker opens at the
 // threshold; a failed half-open probe re-opens for another cooldown; an
 // already-open breaker (forced pick) keeps its opening time so forced
 // traffic cannot postpone the next probe.
-func (b *breaker) failure(addr string, now time.Time) {
+func (b *breaker) failure(addr string, now time.Time) (opened bool) {
 	if b.threshold <= 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -111,24 +121,12 @@ func (b *breaker) failure(addr string, now time.Time) {
 		if e.fails >= b.threshold {
 			e.state = brOpen
 			e.openedAt = now
-			b.opens++
+			return true
 		}
 	case brHalfOpen:
 		e.state = brOpen
 		e.openedAt = now
 		e.probing = false
 	}
-}
-
-// snapshot reports (closed→open trips, probes granted, servers currently
-// open or half-open).
-func (b *breaker) snapshot() (opens, probes int64, openNow int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, e := range b.servers {
-		if e.state != brClosed {
-			openNow++
-		}
-	}
-	return b.opens, b.probes, openNow
+	return false
 }

@@ -13,49 +13,51 @@ func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
 	const addr = "srv:1"
 
 	for i := 0; i < 2; i++ {
-		if !b.allow(addr, now) {
+		if ok, _ := b.allow(addr, now); !ok {
 			t.Fatalf("closed breaker denied attempt %d", i)
 		}
-		b.failure(addr, now)
+		if b.failure(addr, now) {
+			t.Fatalf("breaker tripped below threshold at failure %d", i)
+		}
 	}
-	opens, _, openNow := b.snapshot()
-	if opens != 0 || openNow != 0 {
-		t.Fatalf("breaker tripped below threshold: opens=%d openNow=%d", opens, openNow)
+	if !b.failure(addr, now) { // third consecutive failure: trips
+		t.Fatal("threshold failure did not report a closed->open trip")
 	}
-	b.failure(addr, now) // third consecutive failure: trips
-	if opens, _, openNow = b.snapshot(); opens != 1 || openNow != 1 {
-		t.Fatalf("after threshold: opens=%d openNow=%d, want 1,1", opens, openNow)
+	if b.wouldAllow(addr) {
+		t.Fatal("tripped breaker still allows traffic")
 	}
-	if b.allow(addr, now.Add(50*time.Millisecond)) {
+	if ok, _ := b.allow(addr, now.Add(50*time.Millisecond)); ok {
 		t.Fatal("open breaker allowed traffic before cooldown")
 	}
 	// Cooldown elapsed: exactly one probe goes through.
 	probeAt := now.Add(150 * time.Millisecond)
-	if !b.allow(addr, probeAt) {
-		t.Fatal("cooldown elapsed but probe denied")
+	if ok, probe := b.allow(addr, probeAt); !ok || !probe {
+		t.Fatalf("cooldown elapsed: allow = (%t, %t), want a granted probe", ok, probe)
 	}
-	if b.allow(addr, probeAt) {
+	if ok, _ := b.allow(addr, probeAt); ok {
 		t.Fatal("second concurrent probe allowed")
 	}
-	if _, probes, _ := b.snapshot(); probes != 1 {
-		t.Fatalf("probes = %d, want 1", probes)
+	// Failed probe re-opens for a fresh cooldown; that is a re-open, not a
+	// new closed->open trip.
+	if b.failure(addr, probeAt) {
+		t.Fatal("failed probe reported as a fresh closed->open trip")
 	}
-	// Failed probe re-opens for a fresh cooldown.
-	b.failure(addr, probeAt)
-	if b.allow(addr, probeAt.Add(50*time.Millisecond)) {
+	if ok, _ := b.allow(addr, probeAt.Add(50*time.Millisecond)); ok {
 		t.Fatal("re-opened breaker allowed traffic before its new cooldown")
 	}
 	// A successful probe closes the breaker.
 	again := probeAt.Add(150 * time.Millisecond)
-	if !b.allow(addr, again) {
+	if ok, probe := b.allow(addr, again); !ok || !probe {
 		t.Fatal("second probe denied")
 	}
-	b.success(addr)
-	if !b.allow(addr, again) || !b.wouldAllow(addr) {
+	if !b.success(addr) {
+		t.Fatal("successful probe should report the breaker was open")
+	}
+	if ok, _ := b.allow(addr, again); !ok || !b.wouldAllow(addr) {
 		t.Fatal("breaker should be closed after a successful probe")
 	}
-	if _, _, openNow := b.snapshot(); openNow != 0 {
-		t.Fatalf("openNow = %d after recovery, want 0", openNow)
+	if b.success(addr) {
+		t.Fatal("success on a closed breaker reported wasOpen")
 	}
 }
 
@@ -64,11 +66,11 @@ func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
 	now := time.Unix(0, 0)
 	b.failure("s", now)
 	b.failure("s", now)
-	b.success("s") // streak broken: the counter must reset
-	b.failure("s", now)
-	b.failure("s", now)
-	if opens, _, _ := b.snapshot(); opens != 0 {
-		t.Fatalf("non-consecutive failures tripped the breaker: opens=%d", opens)
+	if b.success("s") { // streak broken: the counter must reset
+		t.Fatal("success below the threshold reported wasOpen")
+	}
+	if b.failure("s", now) || b.failure("s", now) {
+		t.Fatal("non-consecutive failures tripped the breaker")
 	}
 }
 
@@ -76,12 +78,15 @@ func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(0, time.Second)
 	now := time.Unix(0, 0)
 	for i := 0; i < 10; i++ {
-		b.failure("s", now)
+		if b.failure("s", now) {
+			t.Fatal("disabled breaker reported a trip")
+		}
 	}
-	if !b.allow("s", now) || !b.wouldAllow("s") {
-		t.Fatal("disabled breaker must always allow")
+	ok, probe := b.allow("s", now)
+	if !ok || probe || !b.wouldAllow("s") {
+		t.Fatal("disabled breaker must always allow, without probes")
 	}
-	if opens, probes, openNow := b.snapshot(); opens != 0 || probes != 0 || openNow != 0 {
+	if b.success("s") {
 		t.Fatal("disabled breaker must record nothing")
 	}
 }

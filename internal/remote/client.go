@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -64,6 +65,10 @@ type ClientConfig struct {
 	BreakerCooldown time.Duration
 	// Dial overrides the network dialer (chaos injection, tests).
 	Dial func(network, addr string) (net.Conn, error)
+
+	// Metrics, when non-nil, registers the client's gms_client_* metrics
+	// there. Nil (the default) disables metrics at zero hot-path cost.
+	Metrics *obs.Registry
 }
 
 const maxBackoff = 500 * time.Millisecond
@@ -114,6 +119,9 @@ type Stats struct {
 	FullLat    stats.Summary // fault -> complete page arrival
 
 	// Circuit-breaker observability (see ClientConfig.BreakerThreshold).
+	// These are maintained under the same lock as every other field, so a
+	// Stats() snapshot is one coherent cut: BreakerOpens can never run
+	// ahead of the Retries/Failovers that implied it.
 	BreakerOpens  int64 // breakers tripped (closed -> open transitions)
 	BreakerProbes int64 // half-open probes granted after a cooldown
 	OpenBreakers  int   // servers currently shunned (open or half-open)
@@ -177,7 +185,13 @@ type Client struct {
 
 	// br is the per-server circuit breaker consulted by replica picking
 	// and hedging; it has its own lock and is never touched under c.mu.
+	// Its transitions are reported back through return values and counted
+	// into c.stats under c.mu (see breaker).
 	br *breaker
+
+	// met holds the gms_client_* metric handles (all nil-safe no-ops when
+	// ClientConfig.Metrics is nil).
+	met clientMetrics
 
 	// jmu guards jrand, the client's own seeded jitter source: backoff
 	// jitter must not contend on (or correlate through) the process-wide
@@ -205,6 +219,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		// reproducibility.
 		jrand: rand.New(rand.NewSource(time.Now().UnixNano())), //lint:allow simpurity jitter seed wants real-time entropy, not determinism
 		br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		met:   newClientMetrics(cfg.Metrics),
 	}
 	dc, err := c.dial(cfg.Directory)
 	if err != nil {
@@ -253,13 +268,13 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of the client's counters.
+// Stats returns a snapshot of the client's counters. The snapshot is one
+// critical section on c.mu, so it is internally consistent: every counter
+// in it reflects the same prefix of the client's history.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
-	s := c.stats
-	c.mu.Unlock()
-	s.BreakerOpens, s.BreakerProbes, s.OpenBreakers = c.br.snapshot()
-	return s
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Read copies len(buf) bytes at the global address addr into buf, faulting
@@ -350,6 +365,7 @@ func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
 		if !p.inflight && !p.faulting {
 			p.faulting = true
 			c.stats.Faults++
+			c.met.faults.Inc()
 			c.wg.Add(1)
 			go c.faultLoop(p, page, off, false)
 			if c.cfg.Readahead {
@@ -380,6 +396,7 @@ func (c *Client) maybePrefetch(page uint64) {
 	p.lastUse = c.tick
 	p.faulting = true
 	c.stats.Prefetches++
+	c.met.prefetches.Inc()
 	c.wg.Add(1)
 	go c.faultLoop(p, next, 0, true)
 }
@@ -423,6 +440,7 @@ func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
+			c.met.retries.Inc()
 		}
 		addrs, err := c.locate(page, attempt > 0)
 		if err != nil {
@@ -441,16 +459,29 @@ func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
 			c.mu.Lock()
 			c.stats.Failovers++
 			c.mu.Unlock()
+			c.met.failovers.Inc()
 		}
 		if err := c.attempt(p, page, off, addr, c.hedgeAddr(addrs, addr)); err != nil {
-			c.br.failure(addr, time.Now())
+			if c.br.failure(addr, time.Now()) {
+				c.mu.Lock()
+				c.stats.BreakerOpens++
+				c.stats.OpenBreakers++
+				c.mu.Unlock()
+				c.met.breakerOpens.Inc()
+				c.met.openBreakers.Add(1)
+			}
 			lastErr = err
 			// Force a fresh directory answer next time round: the
 			// failure may mean our cached placement is stale.
 			c.forget(page)
 			continue
 		}
-		c.br.success(addr)
+		if c.br.success(addr) {
+			c.mu.Lock()
+			c.stats.OpenBreakers--
+			c.mu.Unlock()
+			c.met.openBreakers.Add(-1)
+		}
 		return nil
 	}
 	return &PageError{Page: page, Attempts: c.cfg.MaxRetries + 1, Err: lastErr}
@@ -471,9 +502,17 @@ func (c *Client) pickAddr(addrs []string, tried map[string]bool, attempt int) st
 	candidates = append(candidates, addrs[attempt%len(addrs)])
 	now := time.Now()
 	for _, a := range candidates {
-		if c.br.allow(a, now) {
-			return a
+		ok, probe := c.br.allow(a, now)
+		if !ok {
+			continue
 		}
+		if probe {
+			c.mu.Lock()
+			c.stats.BreakerProbes++
+			c.mu.Unlock()
+			c.met.breakerProbes.Inc()
+		}
+		return a
 	}
 	return candidates[0]
 }
@@ -532,6 +571,7 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 			if fire {
 				p.sources[hedge] = struct{}{}
 				c.stats.Hedges++
+				c.met.hedges.Inc()
 			}
 			c.mu.Unlock()
 			if fire {
@@ -652,8 +692,10 @@ func (c *Client) evictIfFull() {
 		}
 		delete(c.cache, victimID)
 		c.stats.Evictions++
+		c.met.evictions.Inc()
 		if victim.dirty && victim.valid.Full() {
 			c.stats.PutPages++
+			c.met.putPages.Inc()
 			data := victim.data
 			addrs := c.located[victimID]
 			c.mu.Unlock()
@@ -714,6 +756,7 @@ func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
+			c.met.retries.Inc()
 		}
 		select {
 		case <-c.closeCh:
@@ -923,9 +966,12 @@ func (c *Client) applyFragment(addr string, pd proto.PageData) {
 		copy(p.data[off:], pd.Data)
 		p.valid = p.valid.Set(neededMask(off, len(pd.Data)))
 		c.stats.BytesIn += int64(len(pd.Data))
+		c.met.bytesIn.Add(int64(len(pd.Data)))
 		if pd.Flags&proto.FlagFirst != 0 && !p.firstOK && !p.start.IsZero() {
 			p.firstOK = true
-			c.stats.SubpageLat.Add(float64(time.Since(p.start).Microseconds()))
+			lat := float64(time.Since(p.start).Microseconds())
+			c.stats.SubpageLat.Add(lat)
+			c.met.subpageLat.Observe(lat)
 		}
 	}
 	if pd.Flags&proto.FlagLast != 0 && p.waitCh != nil {
@@ -934,7 +980,9 @@ func (c *Client) applyFragment(addr string, pd proto.PageData) {
 		p.inflight = false
 		p.sources = nil
 		if !p.start.IsZero() {
-			c.stats.FullLat.Add(float64(time.Since(p.start).Microseconds()))
+			lat := float64(time.Since(p.start).Microseconds())
+			c.stats.FullLat.Add(lat)
+			c.met.fullLat.Observe(lat)
 			p.start = time.Time{}
 		}
 		ch <- nil //lint:allow lockio waitCh has capacity 1 and is nilled in this critical section, so the send never blocks

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 )
 
@@ -61,6 +62,7 @@ type Directory struct {
 	seq     uint64            // registration seniority counter
 	conns   map[net.Conn]struct{}
 	done    bool
+	met     directoryMetrics // gms_dir_* handles; nil-safe no-ops by default
 
 	closeOnce sync.Once
 	closeErr  error
@@ -125,6 +127,15 @@ func (d *Directory) Addr() string { return d.ln.Addr().String() }
 
 // LeaseTTL reports the configured lease duration.
 func (d *Directory) LeaseTTL() time.Duration { return d.ttl }
+
+// SetMetrics registers the directory's gms_dir_* metrics on r (nil
+// disables them).
+func (d *Directory) SetMetrics(r *obs.Registry) {
+	d.mu.Lock()
+	d.met = newDirectoryMetrics(r)
+	d.met.pages.Set(int64(len(d.pages)))
+	d.mu.Unlock()
+}
 
 // Close stops the directory, severing active connections. It is idempotent:
 // concurrent and repeated calls all return the first call's error.
@@ -229,6 +240,7 @@ func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
 	}
 	cur := d.epochs[reg.Addr]
 	if reg.Epoch < cur {
+		d.met.staleRejects.Inc()
 		return false
 	}
 	if reg.Epoch > cur {
@@ -252,6 +264,8 @@ func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
 		}
 		holders[reg.Addr] = struct{}{}
 	}
+	d.met.registers.Inc()
+	d.met.pages.Set(int64(len(d.pages)))
 	return true
 }
 
@@ -269,6 +283,7 @@ func (d *Directory) renewLease(hb proto.Heartbeat, now time.Time) bool {
 		return false
 	}
 	s.expires = now.Add(d.ttl)
+	d.met.heartbeats.Inc()
 	return true
 }
 
@@ -316,8 +331,10 @@ func (d *Directory) sweep(now time.Time) {
 	for addr, s := range d.servers {
 		if now.After(s.expires) {
 			d.expungeLocked(addr)
+			d.met.expiries.Inc()
 		}
 	}
+	d.met.pages.Set(int64(len(d.pages)))
 }
 
 func (d *Directory) acceptLoop() {
@@ -397,6 +414,7 @@ func (d *Directory) serve(conn net.Conn) {
 			now := time.Now()
 			d.mu.Lock()
 			addrs := d.replicasLocked(lk.Page, now)
+			d.met.lookups.Inc()
 			d.mu.Unlock()
 			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addrs: addrs}); err != nil {
 				return

@@ -1,0 +1,89 @@
+package remote
+
+import "github.com/gms-sim/gmsubpage/internal/obs"
+
+// This file declares the prototype's metric handles. Every handle is
+// nil-safe: a component built without a registry records into nil handles,
+// which cost one pointer compare per event — the fault hot path pays
+// nothing measurable when metrics are off (pinned by
+// BenchmarkDisabledCounter in internal/obs).
+//
+// Metric names are part of the observability surface and documented in the
+// README's Observability section; rename them there too.
+
+// clientMetrics are the faulting client's handles.
+type clientMetrics struct {
+	faults        *obs.Counter
+	prefetches    *obs.Counter
+	evictions     *obs.Counter
+	putPages      *obs.Counter
+	bytesIn       *obs.Counter
+	retries       *obs.Counter
+	failovers     *obs.Counter
+	hedges        *obs.Counter
+	breakerOpens  *obs.Counter
+	breakerProbes *obs.Counter
+	openBreakers  *obs.Gauge
+	subpageLat    *obs.Histogram
+	fullLat       *obs.Histogram
+}
+
+func newClientMetrics(r *obs.Registry) clientMetrics {
+	return clientMetrics{
+		faults:        r.Counter("gms_client_faults_total", "page faults issued to remote memory"),
+		prefetches:    r.Counter("gms_client_prefetches_total", "read-ahead faults issued"),
+		evictions:     r.Counter("gms_client_evictions_total", "pages evicted from the local cache"),
+		putPages:      r.Counter("gms_client_putpages_total", "dirty pages written back on eviction"),
+		bytesIn:       r.Counter("gms_client_bytes_in_total", "page data bytes received"),
+		retries:       r.Counter("gms_client_retries_total", "fault or lookup attempts beyond the first"),
+		failovers:     r.Counter("gms_client_failovers_total", "retries redirected to a different replica"),
+		hedges:        r.Counter("gms_client_hedges_total", "duplicate GetPages sent to mask a slow primary"),
+		breakerOpens:  r.Counter("gms_client_breaker_opens_total", "circuit breakers tripped (closed to open)"),
+		breakerProbes: r.Counter("gms_client_breaker_probes_total", "half-open probes granted after a cooldown"),
+		openBreakers:  r.Gauge("gms_client_open_breakers", "servers currently shunned by their breaker"),
+		subpageLat:    r.Histogram("gms_client_subpage_latency_us", "fault to faulted-subpage arrival, microseconds", nil),
+		fullLat:       r.Histogram("gms_client_full_latency_us", "fault to complete page arrival, microseconds", nil),
+	}
+}
+
+// serverMetrics are a page server's handles.
+type serverMetrics struct {
+	gets       *obs.Counter
+	puts       *obs.Counter
+	bytesOut   *obs.Counter
+	heartbeats *obs.Counter
+	reregs     *obs.Counter
+	pages      *obs.Gauge
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		gets:       r.Counter("gms_server_gets_total", "GetPage requests served"),
+		puts:       r.Counter("gms_server_puts_total", "PutPage requests accepted"),
+		bytesOut:   r.Counter("gms_server_bytes_out_total", "page data bytes sent"),
+		heartbeats: r.Counter("gms_server_heartbeats_total", "lease-renewal heartbeats sent to the directory"),
+		reregs:     r.Counter("gms_server_reregistrations_total", "full re-registrations after a lost lease"),
+		pages:      r.Gauge("gms_server_pages", "pages currently hosted"),
+	}
+}
+
+// directoryMetrics are the directory's handles.
+type directoryMetrics struct {
+	lookups      *obs.Counter
+	registers    *obs.Counter
+	heartbeats   *obs.Counter
+	staleRejects *obs.Counter
+	expiries     *obs.Counter
+	pages        *obs.Gauge
+}
+
+func newDirectoryMetrics(r *obs.Registry) directoryMetrics {
+	return directoryMetrics{
+		lookups:      r.Counter("gms_dir_lookups_total", "lookup RPCs answered"),
+		registers:    r.Counter("gms_dir_registers_total", "server registrations applied"),
+		heartbeats:   r.Counter("gms_dir_heartbeats_total", "lease renewals applied"),
+		staleRejects: r.Counter("gms_dir_stale_rejects_total", "registrations rejected for a stale epoch"),
+		expiries:     r.Counter("gms_dir_lease_expiries_total", "server leases expired by the janitor"),
+		pages:        r.Gauge("gms_dir_pages", "pages currently mapped to at least one server"),
+	}
+}

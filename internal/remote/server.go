@@ -10,6 +10,7 @@ import (
 
 	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/units"
 )
@@ -52,6 +53,10 @@ type Server struct {
 	// Stats.
 	Gets int64
 	Puts int64
+
+	// met holds the gms_server_* metric handles (nil-safe no-ops until
+	// SetMetrics is called).
+	met serverMetrics
 
 	hbStop    chan struct{}
 	closeOnce sync.Once
@@ -109,6 +114,16 @@ func ListenServerOn(ln net.Listener) *Server {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// SetMetrics registers the server's gms_server_* metrics on r (nil
+// disables them). Call before serving traffic; the handles themselves are
+// nil-safe, so an unset registry costs one pointer compare per event.
+func (s *Server) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	s.met = newServerMetrics(r)
+	s.met.pages.Set(int64(len(s.pages)))
+	s.mu.Unlock()
+}
+
 // Close stops the server, severing active connections and stopping the
 // lease-renewal heartbeat. Idempotent.
 func (s *Server) Close() error {
@@ -163,6 +178,7 @@ func (s *Server) Store(page uint64, data []byte) {
 	copy(buf, data)
 	s.mu.Lock()
 	s.pages[page] = buf
+	s.met.pages.Set(int64(len(s.pages)))
 	s.mu.Unlock()
 }
 
@@ -258,7 +274,7 @@ func (s *Server) heartbeatLoop() {
 // that answers "no lease" is healed by re-registering.
 func (s *Server) heartbeat() {
 	s.mu.Lock()
-	dir, epoch := s.dirAddr, s.epoch
+	dir, epoch, met := s.dirAddr, s.epoch, s.met
 	s.mu.Unlock()
 	if dir == "" {
 		return
@@ -278,7 +294,9 @@ func (s *Server) heartbeat() {
 	if err != nil {
 		return
 	}
+	met.heartbeats.Inc()
 	if f.Type != proto.TAck {
+		met.reregs.Inc()
 		_ = s.RegisterWith(dir)
 	}
 }
@@ -345,7 +363,9 @@ func (s *Server) serve(conn net.Conn) {
 			s.Store(put.Page, put.Data)
 			s.mu.Lock()
 			s.Puts++
+			met := s.met
 			s.mu.Unlock()
+			met.puts.Inc()
 		default:
 			_ = w.SendError(fmt.Sprintf("server: unexpected %v", f.Type))
 			return
@@ -371,7 +391,9 @@ func (s *Server) sendPage(w *proto.Writer, req proto.GetPage, slp *sleeper) erro
 	s.mu.Lock()
 	data := s.pages[req.Page]
 	s.Gets++
+	met := s.met
 	s.mu.Unlock()
+	met.gets.Inc()
 	if data == nil {
 		return w.SendError(fmt.Sprintf("server: page %d not stored", req.Page))
 	}
@@ -404,6 +426,7 @@ func (s *Server) sendPage(w *proto.Writer, req proto.GetPage, slp *sleeper) erro
 			}); err != nil {
 				return err
 			}
+			met.bytesOut.Add(int64(run.end - run.start))
 		}
 	}
 	// A zero-length terminator marks the reply complete.

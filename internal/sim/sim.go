@@ -22,6 +22,7 @@ import (
 	"github.com/gms-sim/gmsubpage/internal/gms"
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
 	"github.com/gms-sim/gmsubpage/internal/netmodel"
+	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/stats"
 	"github.com/gms-sim/gmsubpage/internal/trace"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -110,6 +111,12 @@ type Config struct {
 	// TrackPerFault collects the per-fault arrays behind Figures 5 and 6
 	// and the distance histogram behind Figure 7.
 	TrackPerFault bool
+
+	// Trace, when non-nil, records every fault's anatomy (transfer plan,
+	// restart, follow-on arrivals, stall re-entries) into the given tracer
+	// for JSONL / Chrome trace-event export. Tracing never advances the
+	// clock; a traced run and an untraced run produce identical Results.
+	Trace *obs.SimTrace
 }
 
 func (c *Config) withDefaults() Config {
@@ -286,6 +293,9 @@ func newRunner(cfg Config) *runner {
 			Subpage:  cfg.SubpageSize,
 			MemPages: cfg.memPages(),
 		},
+	}
+	if cfg.Trace != nil {
+		r.engine.SetTrace(cfg.Trace)
 	}
 	if r.cluster == nil {
 		own := gms.NewCluster(cfg.Cluster)
@@ -489,6 +499,9 @@ func (r *runner) diskFault(page memmodel.PageID) *memmodel.Frame {
 	r.res.DiskFaults++
 	lat := r.diskTr.Access(int64(page), units.PageSize).ToTicks()
 	r.res.DiskWait += lat
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.DiskFault(uint64(page), r.now, r.now+lat)
+	}
 	r.now += lat
 	if r.cfg.TrackPerFault {
 		r.res.PerFaultWait = append(r.res.PerFaultWait, lat)
@@ -500,6 +513,9 @@ func (r *runner) diskFault(page memmodel.PageID) *memmodel.Frame {
 func (r *runner) subpageFault(f *memmodel.Frame, off int) {
 	r.res.SubpageFaults++
 	tr := r.engine.StartFault(r.now, f.Page, off)
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.SetKind(tr.TraceID(), obs.FaultSubpage)
+	}
 	f.Xfer = tr
 	r.open = append(r.open, openTransfer{tr: tr, frame: f})
 
@@ -522,6 +538,9 @@ func (r *runner) insert(page memmodel.PageID, valid memmodel.Bitmap) *memmodel.F
 		if evicted.Xfer != nil {
 			tr := evicted.Xfer.(*core.Transfer)
 			r.res.Canceled++
+			if r.cfg.Trace != nil {
+				r.cfg.Trace.Cancel(tr.TraceID())
+			}
 			r.finish(tr, evicted)
 		}
 		if r.cfg.Backing == GlobalMemory {

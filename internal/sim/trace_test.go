@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/gms-sim/gmsubpage/internal/core"
+	"github.com/gms-sim/gmsubpage/internal/obs"
+)
+
+// traceCfg is a small run that exercises every traced path: remote page
+// faults with follow-on arrivals, lazy subpage refetches, stalls, and
+// eviction cancellation (memory at half the footprint forces eviction).
+func traceCfg(tr *obs.SimTrace) Config {
+	return Config{
+		App:         seqApp(12, 48, 1024),
+		MemFraction: 0.5,
+		Policy:      core.Lazy{},
+		SubpageSize: 1024,
+		Trace:       tr,
+	}
+}
+
+// TestTraceDoesNotPerturbRun: a traced run must produce the exact Result of
+// an untraced run — observation cannot move the clock.
+func TestTraceDoesNotPerturbRun(t *testing.T) {
+	base := runCfg(t, traceCfg(nil))
+	tr := &obs.SimTrace{}
+	traced := runCfg(t, traceCfg(tr))
+	if !reflect.DeepEqual(base, traced) {
+		t.Fatalf("tracing changed the result:\nuntraced: %+v\ntraced:   %+v", base, traced)
+	}
+	if len(tr.Faults()) == 0 {
+		t.Fatalf("traced run recorded no fault spans")
+	}
+}
+
+// TestTraceCoversFaultAnatomy checks the recorded spans line up with the
+// run's counters: every remote fault, subpage refetch and cancellation is a
+// span, and initial stalls are marked.
+func TestTraceCoversFaultAnatomy(t *testing.T) {
+	tr := &obs.SimTrace{}
+	res := runCfg(t, traceCfg(tr))
+
+	var pages, subs, disks, canceled int64
+	initialStalls := 0
+	for _, f := range tr.Faults() {
+		switch f.Kind {
+		case obs.FaultPage:
+			pages++
+		case obs.FaultSubpage:
+			subs++
+		case obs.FaultDisk:
+			disks++
+		}
+		if f.Canceled {
+			canceled++
+		}
+		for _, s := range f.Stalls {
+			if s.Initial {
+				initialStalls++
+			}
+			if s.To <= s.From {
+				t.Fatalf("empty stall span recorded: %+v", s)
+			}
+		}
+		if f.Kind != obs.FaultDisk && !f.Finished {
+			t.Fatalf("span %d never closed: %+v", f.ID, f)
+		}
+	}
+	if pages != res.RemoteFaults {
+		t.Fatalf("page spans = %d, RemoteFaults = %d", pages, res.RemoteFaults)
+	}
+	if subs != res.SubpageFaults {
+		t.Fatalf("subpage spans = %d, SubpageFaults = %d", subs, res.SubpageFaults)
+	}
+	if disks != res.DiskFaults {
+		t.Fatalf("disk spans = %d, DiskFaults = %d", disks, res.DiskFaults)
+	}
+	if canceled != res.Canceled {
+		t.Fatalf("canceled spans = %d, Canceled = %d", canceled, res.Canceled)
+	}
+	// Every network fault stalls at least once: the resume-from-fault wait.
+	if want := res.RemoteFaults + res.SubpageFaults; int64(initialStalls) != want {
+		t.Fatalf("initial stalls = %d, want %d", initialStalls, want)
+	}
+}
+
+// TestTraceExportDeterministic: same-seed reruns export byte-identical
+// files in both formats.
+func TestTraceExportDeterministic(t *testing.T) {
+	render := func() ([]byte, []byte) {
+		tr := &obs.SimTrace{Node: "seq"}
+		runCfg(t, traceCfg(tr))
+		var j, c bytes.Buffer
+		if err := obs.WriteJSONL(&j, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(&c, tr); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("JSONL export differs across same-seed reruns")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("Chrome export differs across same-seed reruns")
+	}
+}

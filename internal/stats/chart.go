@@ -45,7 +45,10 @@ func (b *BarChart) String() string {
 		if len(bar.Label) > labelW {
 			labelW = len(bar.Label)
 		}
-		if bar.Value > maxV {
+		// Only finite values participate in scaling: one NaN or +Inf bar
+		// must not flatten (or, through int(NaN)'s undefined conversion,
+		// corrupt) every other bar.
+		if isFinite(bar.Value) && bar.Value > maxV {
 			maxV = bar.Value
 		}
 	}
@@ -53,18 +56,30 @@ func (b *BarChart) String() string {
 		maxV = 1
 	}
 	for _, bar := range b.Bars {
-		n := int(math.Round(bar.Value / maxV * float64(width)))
-		if n < 0 {
-			n = 0
-		}
-		if bar.Value > 0 && n == 0 {
-			n = 1
+		n := 0
+		switch {
+		case math.IsInf(bar.Value, 1):
+			n = width
+		case isFinite(bar.Value):
+			n = int(math.Round(bar.Value / maxV * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			if bar.Value > 0 && n == 0 {
+				n = 1
+			}
 		}
 		fmt.Fprintf(&sb, "%-*s |%s %.4g%s\n", labelW, bar.Label,
 			strings.Repeat("#", n), bar.Value, b.Unit)
 	}
 	return sb.String()
 }
+
+// isFinite reports whether v is an ordinary number (not NaN, not ±Inf).
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // LinePlot renders one or more series as an ASCII scatter/line grid with
 // the origin at the lower left. Series are drawn with distinct glyphs.
@@ -93,6 +108,12 @@ func (p *LinePlot) String() string {
 	any := false
 	for _, s := range p.Series {
 		for _, pt := range s.Points {
+			// Non-finite points are unplottable and must not enter the
+			// ranges: math.Min/Max propagate NaN, and a NaN range turns
+			// every point's grid index into int(NaN) — a panic.
+			if !isFinite(pt.X) || !isFinite(pt.Y) {
+				continue
+			}
 			any = true
 			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
 			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
@@ -114,8 +135,11 @@ func (p *LinePlot) String() string {
 	for si, s := range p.Series {
 		glyph := plotGlyphs[si%len(plotGlyphs)]
 		for _, pt := range s.Points {
-			col := int((pt.X - minX) / (maxX - minX) * float64(w-1))
-			row := int((pt.Y - minY) / (maxY - minY) * float64(h-1))
+			if !isFinite(pt.X) || !isFinite(pt.Y) {
+				continue
+			}
+			col := clampInt(int((pt.X-minX)/(maxX-minX)*float64(w-1)), 0, w-1)
+			row := clampInt(int((pt.Y-minY)/(maxY-minY)*float64(h-1)), 0, h-1)
 			grid[h-1-row][col] = glyph
 		}
 	}
@@ -151,4 +175,14 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

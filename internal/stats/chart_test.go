@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -51,6 +52,43 @@ func TestBarChartEmpty(t *testing.T) {
 	}
 }
 
+// TestBarChartDegenerateInputs: charts render experiment output, where a
+// division by a zero denominator upstream can hand them NaN or ±Inf. The
+// renderer must never panic (int(NaN) is an implementation-defined
+// conversion, and a negative count panics strings.Repeat) and must not
+// let one bad bar distort the others' scaling.
+func TestBarChartDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		bars []Bar
+		// substrings that must appear / bar widths per line (after title)
+		wantBars []int
+	}{
+		{"nan value", []Bar{{"ok", 10}, {"bad", math.NaN()}}, []int{10, 0}},
+		{"nan only", []Bar{{"bad", math.NaN()}}, []int{0}},
+		{"pos inf fills", []Bar{{"ok", 10}, {"inf", math.Inf(1)}}, []int{10, 10}},
+		{"neg inf empty", []Bar{{"ok", 10}, {"ninf", math.Inf(-1)}}, []int{10, 0}},
+		{"negative value", []Bar{{"ok", 10}, {"neg", -5}}, []int{10, 0}},
+		{"all zero", []Bar{{"a", 0}, {"b", 0}}, []int{0, 0}},
+		{"single bar", []Bar{{"only", 3}}, []int{10}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			chart := &BarChart{Bars: c.bars, Width: 10}
+			out := chart.String() // must not panic
+			lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+			if len(lines) != len(c.wantBars) {
+				t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(c.wantBars), out)
+			}
+			for i, want := range c.wantBars {
+				if got := strings.Count(lines[i], "#"); got != want {
+					t.Errorf("bar %d width = %d, want %d: %q", i, got, want, lines[i])
+				}
+			}
+		})
+	}
+}
+
 func TestLinePlotRendering(t *testing.T) {
 	up := &Series{Name: "rising"}
 	down := &Series{Name: "falling"}
@@ -88,5 +126,59 @@ func TestLinePlotSinglePoint(t *testing.T) {
 	out := p.String()
 	if !strings.Contains(out, "*") {
 		t.Fatalf("single point should render:\n%s", out)
+	}
+}
+
+func TestLinePlotAllEqualY(t *testing.T) {
+	s := &Series{} // unnamed: no legend line to confuse the glyph count
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i), 7)
+	}
+	p := &LinePlot{Series: []*Series{s}, Width: 20, Height: 5}
+	out := p.String() // must not divide by a zero y-range
+	if strings.Count(out, "*") != 5 {
+		t.Fatalf("flat series should render all points:\n%s", out)
+	}
+}
+
+// TestLinePlotNonFinitePoints pins the fix for the NaN/Inf panic: a
+// non-finite point used to enter the min/max range (math.Min/Max
+// propagate NaN), which turned every point's grid index into int(NaN)
+// and panicked with index out of range. Non-finite points are now
+// skipped from both the ranges and the grid; the finite points still
+// plot against their own range.
+func TestLinePlotNonFinitePoints(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []Point
+		glyphs int
+	}{
+		{"nan y", []Point{{0, 1}, {1, math.NaN()}, {2, 3}}, 2},
+		{"nan x", []Point{{math.NaN(), 1}, {1, 2}, {2, 3}}, 2},
+		{"pos inf y", []Point{{0, 1}, {1, math.Inf(1)}, {2, 3}}, 2},
+		{"neg inf x", []Point{{math.Inf(-1), 1}, {1, 2}}, 1},
+		{"all non-finite", []Point{{math.NaN(), math.NaN()}, {0, math.Inf(1)}}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Unnamed series: no legend line to confuse the glyph count.
+			p := &LinePlot{
+				Series: []*Series{{Points: c.points}},
+				Width:  20, Height: 5,
+			}
+			out := p.String() // must not panic
+			if c.glyphs == 0 {
+				if !strings.Contains(out, "no data") {
+					t.Fatalf("plot with no finite points should say no data:\n%s", out)
+				}
+				return
+			}
+			if got := strings.Count(out, "*"); got != c.glyphs {
+				t.Errorf("plotted %d points, want %d:\n%s", got, c.glyphs, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Errorf("axis labels leaked a non-finite range:\n%s", out)
+			}
+		})
 	}
 }

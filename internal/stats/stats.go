@@ -12,8 +12,17 @@ import (
 
 // Summary accumulates scalar observations and reports simple aggregates.
 // The zero value is ready to use.
+//
+// NaN contract: NaN observations are isolated, not absorbed. A NaN fails
+// every ordered comparison, so admitting one would silently poison min/max
+// (it sticks as the first value and never updates), mean (NaN is
+// absorbing) and percentiles (NaN sorts unpredictably). Add instead tallies
+// NaNs in a separate counter, readable via NaNs(), and keeps every
+// aggregate — N, Sum, Mean, Min, Max, Percentile — defined over the
+// non-NaN observations only.
 type Summary struct {
 	n      int
+	nans   int
 	sum    float64
 	min    float64
 	max    float64
@@ -21,8 +30,13 @@ type Summary struct {
 	sorted []float64 // cached sorted copy of vals; nil when stale
 }
 
-// Add records one observation.
+// Add records one observation. NaN is counted in NaNs() and excluded from
+// every aggregate (see the type comment for the contract).
 func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		s.nans++
+		return
+	}
 	if s.n == 0 || v < s.min {
 		s.min = v
 	}
@@ -35,8 +49,11 @@ func (s *Summary) Add(v float64) {
 	s.sorted = nil
 }
 
-// N reports the number of observations.
+// N reports the number of non-NaN observations.
 func (s *Summary) N() int { return s.n }
+
+// NaNs reports how many NaN observations were rejected by Add.
+func (s *Summary) NaNs() int { return s.nans }
 
 // Sum reports the total of all observations.
 func (s *Summary) Sum() float64 { return s.sum }

@@ -34,6 +34,56 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+// TestSummaryNaNContract pins the NaN policy: Add(NaN) is tallied in
+// NaNs() and excluded from every aggregate. The former behaviour let a
+// single NaN poison the accumulator — as the first observation it stuck
+// in min/max forever (NaN fails every ordered comparison, so no later
+// value could displace it), and in any position it turned sum/mean into
+// NaN and made percentiles depend on where sort.Float64s happened to
+// place it.
+func TestSummaryNaNContract(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		vals []float64
+		n    int
+		nans int
+		min  float64
+		max  float64
+		mean float64
+		p50  float64
+	}{
+		{"nan first", []float64{nan, 2, 4}, 2, 1, 2, 4, 3, 2},
+		{"nan mid-stream", []float64{1, nan, 3}, 2, 1, 1, 3, 2, 1},
+		{"nan last", []float64{5, 10, nan}, 2, 1, 5, 10, 7.5, 5},
+		{"all nan", []float64{nan, nan}, 0, 2, 0, 0, 0, 0},
+		{"no nan", []float64{1, 2, 3}, 3, 0, 1, 3, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var s Summary
+			for _, v := range c.vals {
+				s.Add(v)
+			}
+			if s.N() != c.n || s.NaNs() != c.nans {
+				t.Fatalf("N/NaNs = %d/%d, want %d/%d", s.N(), s.NaNs(), c.n, c.nans)
+			}
+			if s.Min() != c.min || s.Max() != c.max {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", s.Min(), s.Max(), c.min, c.max)
+			}
+			if got := s.Mean(); got != c.mean {
+				t.Errorf("Mean = %v, want %v", got, c.mean)
+			}
+			if got := s.Percentile(50); got != c.p50 {
+				t.Errorf("Percentile(50) = %v, want %v", got, c.p50)
+			}
+			if math.IsNaN(s.Sum()) {
+				t.Error("Sum is NaN")
+			}
+		})
+	}
+}
+
 func TestSummaryPercentileProperties(t *testing.T) {
 	f := func(raw []float64) bool {
 		var s Summary

@@ -1,0 +1,85 @@
+package gmsubpage
+
+import (
+	"io"
+
+	"github.com/gms-sim/gmsubpage/internal/obs"
+)
+
+// This file exposes the observability layer: a metrics registry the
+// prototype components report into (exposed in Prometheus text format,
+// optionally over an HTTP debug listener), and the simulator's
+// deterministic per-fault tracer.
+
+// Metrics is a registry of counters, gauges and histograms the prototype
+// components (client, page server, directory) report into. A nil *Metrics
+// disables collection at zero cost.
+type Metrics struct{ r *obs.Registry }
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{r: obs.NewRegistry()} }
+
+// WriteText renders every registered metric in Prometheus text exposition
+// format, names sorted, so output is stable for diffing and scraping.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	return m.r.WriteText(w)
+}
+
+// registry unwraps m for the internal packages; nil-safe.
+func (m *Metrics) registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.r
+}
+
+// SetMetrics points the directory's gms_dir_* metrics at m.
+func (d *Directory) SetMetrics(m *Metrics) { d.d.SetMetrics(m.registry()) }
+
+// SetMetrics points the server's gms_server_* metrics at m.
+func (s *PageServer) SetMetrics(m *Metrics) { s.s.SetMetrics(m.registry()) }
+
+// DebugServer is an HTTP listener serving /metrics (Prometheus text),
+// /healthz, and the stdlib /debug/pprof endpoints.
+type DebugServer struct{ s *obs.DebugServer }
+
+// StartDebug starts a debug listener on addr (use "127.0.0.1:0" for an
+// ephemeral port). m may be nil: /metrics then serves an empty exposition.
+func StartDebug(addr string, m *Metrics) (*DebugServer, error) {
+	s, err := obs.StartDebugServer(addr, m.registry())
+	if err != nil {
+		return nil, err
+	}
+	return &DebugServer{s: s}, nil
+}
+
+// Addr returns the listener's address.
+func (d *DebugServer) Addr() string { return d.s.Addr() }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.s.Close() }
+
+// FaultTrace records the anatomy of every fault of a simulation run —
+// issue, restart, follow-on subpage arrivals, stall re-entries — on the
+// simulator's deterministic tick clock. The zero value is ready to use;
+// attach one via Config.FaultTrace. Tracing never perturbs the simulated
+// run, and same-seed runs record byte-identical exports.
+type FaultTrace = obs.SimTrace
+
+// NewFaultTrace returns a tracer whose spans are labelled with node in
+// multi-trace exports.
+func NewFaultTrace(node string) *FaultTrace { return &FaultTrace{Node: node} }
+
+// WriteTraceChrome renders traces as a Chrome trace_event file, loadable
+// in chrome://tracing or Perfetto.
+func WriteTraceChrome(w io.Writer, traces ...*FaultTrace) error {
+	return obs.WriteChromeTrace(w, traces...)
+}
+
+// WriteTraceJSONL renders traces as one JSON object per fault span.
+func WriteTraceJSONL(w io.Writer, traces ...*FaultTrace) error {
+	return obs.WriteJSONL(w, traces...)
+}

@@ -127,6 +127,11 @@ type ClientOptions struct {
 	// BreakerCooldown is how long a tripped breaker shuns its server
 	// before probing it again (default 1s).
 	BreakerCooldown time.Duration
+
+	// Metrics, when non-nil, receives the client's gms_client_* metrics
+	// (see the README's Observability section). nil disables collection
+	// at zero cost on the fault path.
+	Metrics *Metrics
 }
 
 // ErrPageUnavailable is matched (via errors.Is) by read and write errors
@@ -158,6 +163,7 @@ func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
 		Hedge:            opts.Hedge,
 		BreakerThreshold: opts.BreakerThreshold,
 		BreakerCooldown:  opts.BreakerCooldown,
+		Metrics:          opts.Metrics.registry(),
 	})
 	if err != nil {
 		return nil, err
