@@ -4,12 +4,13 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint build test race bench trace-smoke chaos chaos-demo
+.PHONY: ci fmt vet lint build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
-# over every package, the trace-export smoke, and the benchmark snapshot.
-ci: fmt vet lint build test race trace-smoke bench
+# over every package, the trace-export smoke, the bounded scale-out load
+# smoke, and the benchmark snapshot.
+ci: fmt vet lint build test race trace-smoke loadtest-smoke bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -64,6 +65,25 @@ trace-smoke:
 	cmp -s "$$tmp/a.chrome.json" "$$tmp/b.chrome.json" && \
 	cmp -s "$$tmp/a.jsonl" "$$tmp/b.jsonl" && \
 	echo "trace-smoke: exports non-empty and byte-identical across reruns"
+
+# loadtest is the scale-out experiment (EXPERIMENTS.md "Sharded directory
+# loadtest"): a 1-shard vs 4-shard directory comparison under a lookup
+# storm and a fleet of closed-loop faulting clients, with each shard's
+# lookup capacity service-emulated (-dirservice) so the scaling is visible
+# on any host. It fails unless 4 shards deliver >= 3x the 1-shard lookup
+# throughput, and writes the SLO table (experiments_loadtest.txt) plus the
+# "loadtest" section of BENCH_experiments.json — both committed artifacts.
+loadtest:
+	$(GO) run ./cmd/gmsload -shards 1,4 -minx 3 -j 16 -duration 2s \
+		-clients 100 -requests 100 -dirservice 500us \
+		-out experiments_loadtest.txt -benchout BENCH_experiments.json
+
+# loadtest-smoke is the bounded CI variant: same shape, ~1s of wall clock,
+# a looser 2x scaling gate, and no artifacts written (the tree stays
+# clean; the table goes to stdout).
+loadtest-smoke:
+	$(GO) run ./cmd/gmsload -shards 1,4 -minx 2 -j 8 -duration 250ms \
+		-clients 8 -requests 20 -dirservice 500us
 
 # chaos runs the kill/restart self-heal soak: the control-plane recovery
 # scenario (lease expiry, epoch-fenced re-registration, breaker probe) on a

@@ -15,6 +15,13 @@
 // The client measures what the paper's prototype measured: the time from
 // fault to faulted-subpage arrival versus the time to the complete page.
 //
+// Run one shard of a sharded directory deployment (start one process per
+// entry in -shards, with -self naming this process's entry; clients and
+// servers point at any shard and discover the rest):
+//
+//	gmsnode dirshard -addr :7000 -shards host0:7000,host1:7000 -self 0
+//	gmsnode dirshard -addr :7000 -shards host0:7000,host1:7000 -self 1
+//
 // Run the self-contained resilience demo — a directory, two replica page
 // servers behind a fault injector, and a client workload during which the
 // primary server is killed (and optionally restarted):
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	gmsubpage "github.com/gms-sim/gmsubpage"
@@ -42,6 +50,8 @@ func main() {
 	switch os.Args[1] {
 	case "dir":
 		runDir(os.Args[2:])
+	case "dirshard":
+		runDirShard(os.Args[2:])
 	case "server":
 		runServer(os.Args[2:])
 	case "client":
@@ -54,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|server|client|chaos [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|dirshard|server|client|chaos [flags]")
 	os.Exit(2)
 }
 
@@ -108,6 +118,37 @@ func runDir(args []string) {
 		d.SetMetrics(m)
 	}
 	fmt.Println("directory listening on", d.Addr())
+	waitForInterrupt()
+}
+
+func runDirShard(args []string) {
+	fs := flag.NewFlagSet("dirshard", flag.ExitOnError)
+	addr := fs.String("addr", ":7000", "listen address")
+	shards := fs.String("shards", "", "comma-separated addresses of every shard, in map order (required)")
+	self := fs.Int("self", 0, "this process's index into -shards")
+	version := fs.Uint64("version", 1, "shard map version")
+	ttl := fs.Duration("ttl", 0, "lease TTL for server registrations (0 = default 30s)")
+	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
+	_ = fs.Parse(args)
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("dirshard: -shards must list every shard address"))
+	}
+	d, err := gmsubpage.StartDirectoryShard(*addr, addrs, *self, *version, *ttl)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+	if m := debugMetrics(*debug); m != nil {
+		d.SetMetrics(m)
+	}
+	fmt.Printf("directory shard %d/%d (map v%d) listening on %s\n",
+		*self, len(addrs), *version, d.Addr())
 	waitForInterrupt()
 }
 

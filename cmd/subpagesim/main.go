@@ -253,18 +253,25 @@ type benchExperiment struct {
 	Ms float64 `json:"ms"`
 }
 
+// writeBench is a read-modify-write: other tools share the snapshot file
+// (gmsload merges a "loadtest" section), so keys this tool does not own
+// must survive a bench refresh. A missing or unparsable file starts fresh.
 func writeBench(path string, scale float64, workers int, ids []string, dursMs []float64, totalMs float64) error {
-	snap := benchSnapshot{
-		Schema:     "gmsubpage-bench-experiments/v1",
-		Scale:      scale,
-		Workers:    workers,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		TotalMs:    round1(totalMs),
+	top := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &top)
 	}
+	exps := make([]benchExperiment, 0, len(ids))
 	for i, id := range ids {
-		snap.Experiments = append(snap.Experiments, benchExperiment{ID: id, Ms: round1(dursMs[i])})
+		exps = append(exps, benchExperiment{ID: id, Ms: round1(dursMs[i])})
 	}
-	out, err := json.MarshalIndent(&snap, "", "  ")
+	top["schema"] = "gmsubpage-bench-experiments/v1"
+	top["scale"] = scale
+	top["workers"] = workers
+	top["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	top["total_ms"] = round1(totalMs)
+	top["experiments"] = exps
+	out, err := json.MarshalIndent(top, "", "  ")
 	if err != nil {
 		return err
 	}

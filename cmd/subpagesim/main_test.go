@@ -110,6 +110,38 @@ func TestRunWithBenchout(t *testing.T) {
 	}
 }
 
+// TestBenchoutPreservesForeignKeys pins that -benchout is a
+// read-modify-write: sections other tools merge into the snapshot (gmsload
+// writes "loadtest") survive a bench refresh.
+func TestBenchoutPreservesForeignKeys(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	seed := `{"schema":"gmsubpage-bench-experiments/v1","loadtest":{"scaling_x":3.4}}` + "\n"
+	if err := os.WriteFile(benchPath, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "eventtime", "-scale", "0.05", "-j", "1", "-benchout", benchPath},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatalf("bad bench JSON: %v\n%s", err, raw)
+	}
+	lt, ok := top["loadtest"].(map[string]any)
+	if !ok || lt["scaling_x"] != 3.4 {
+		t.Fatalf("bench refresh clobbered the loadtest section: %v", top)
+	}
+	if _, ok := top["experiments"]; !ok {
+		t.Fatalf("refresh did not write its own keys: %v", top)
+	}
+}
+
 // TestAppModeTraceExport runs one small simulation with both trace export
 // flags and checks the files: the Chrome file is valid trace_event JSON,
 // the JSONL file has one parseable object per line, and a rerun produces

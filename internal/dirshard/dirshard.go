@@ -1,0 +1,132 @@
+// Package dirshard runs the sharded directory service: N independent
+// directory processes, each owning a deterministic slice of the page-ID
+// space under a versioned consistent-hash shard map (internal/proto's
+// Ring). Each shard is a full remote.Directory — leases, epoch fencing,
+// heartbeats, and the janitor all work per shard exactly as they do for
+// the classic single directory — plus shard-mode behavior: lookups for
+// pages another shard owns answer TWrongShard carrying the current map,
+// so a stale client re-routes in one extra round trip.
+//
+// The package offers two entry points: StartShard brings up one shard
+// process (what `gmsnode dirshard` runs, one per node), and StartCluster
+// brings up a whole map's worth of shards in-process on ephemeral ports
+// (what tests and the gmsload harness use).
+package dirshard
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/obs"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/remote"
+)
+
+// Config tunes every shard a constructor starts.
+type Config struct {
+	// LeaseTTL is each shard's lease duration (zero selects the
+	// directory's default). Shards track server liveness independently:
+	// a page server leases itself to every shard and a dead one expires
+	// from each within one TTL.
+	LeaseTTL time.Duration
+
+	// LookupService, when positive, emulates each shard's bounded
+	// per-lookup service capacity (see remote.DirectoryConfig). Scale
+	// experiments on one machine set this so N shards exhibit N service
+	// slots, the way N real directory nodes would.
+	LookupService time.Duration
+}
+
+// StartShard starts one directory shard on addr serving shard index self
+// of map m. The listen address must match m.Shards[self] in a real
+// deployment — clients and servers will route page traffic there — but
+// this is not enforced, so tests can stand up a shard behind a proxy.
+func StartShard(addr string, m proto.ShardMap, self int, cfg Config) (*remote.Directory, error) {
+	if !m.Sharded() {
+		return nil, fmt.Errorf("dirshard: shard map is empty")
+	}
+	if self < 0 || self >= len(m.Shards) {
+		return nil, fmt.Errorf("dirshard: self index %d outside map of %d shards", self, len(m.Shards))
+	}
+	return remote.ListenDirectoryWith(addr, remote.DirectoryConfig{
+		LeaseTTL:      cfg.LeaseTTL,
+		LookupService: cfg.LookupService,
+		Shard:         &remote.ShardConfig{Map: m, Self: self},
+	})
+}
+
+// Cluster is a full sharded directory deployment running in-process: one
+// remote.Directory per shard map entry, all serving the same map.
+type Cluster struct {
+	m      proto.ShardMap
+	shards []*remote.Directory
+}
+
+// StartCluster starts n directory shards on ephemeral loopback ports and
+// builds the version-1 shard map from their real addresses. n = 1 yields
+// a single-shard map, which still exercises the shard-mode protocol
+// (useful as the baseline arm of scale experiments); use the plain
+// directory constructors for a truly unsharded deployment.
+func StartCluster(n int, cfg Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dirshard: cluster needs at least 1 shard, got %d", n)
+	}
+	lns := make([]net.Listener, 0, n)
+	closeAll := func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}
+	m := proto.ShardMap{Version: 1}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dirshard: shard %d listen: %w", i, err)
+		}
+		lns = append(lns, ln)
+		m.Shards = append(m.Shards, ln.Addr().String())
+	}
+	c := &Cluster{m: m}
+	for i, ln := range lns {
+		c.shards = append(c.shards, remote.ListenDirectoryOnWith(ln, remote.DirectoryConfig{
+			LeaseTTL:      cfg.LeaseTTL,
+			LookupService: cfg.LookupService,
+			Shard:         &remote.ShardConfig{Map: m, Self: i},
+		}))
+	}
+	return c, nil
+}
+
+// N reports the number of shards.
+func (c *Cluster) N() int { return len(c.shards) }
+
+// Map returns the shard map the cluster serves.
+func (c *Cluster) Map() proto.ShardMap { return c.m }
+
+// Bootstrap returns the address clients and servers should be pointed at:
+// shard 0. Any shard works — each serves the full map — but a fixed
+// choice keeps experiments deterministic.
+func (c *Cluster) Bootstrap() string { return c.m.Shards[0] }
+
+// Shard returns shard i's directory, for tests that kill, interrogate, or
+// instrument an individual shard.
+func (c *Cluster) Shard(i int) *remote.Directory { return c.shards[i] }
+
+// SetMetrics registers shard i's gms_dir_* and gms_dirshard_* metrics on
+// r (nil disables them). Each shard gets its own registry in a real
+// deployment; passing distinct registries here models that.
+func (c *Cluster) SetMetrics(i int, r *obs.Registry) { c.shards[i].SetMetrics(r) }
+
+// Close shuts every shard down. Idempotent per shard; the first error
+// wins.
+func (c *Cluster) Close() error {
+	var first error
+	for _, d := range c.shards {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

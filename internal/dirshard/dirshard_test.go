@@ -1,0 +1,230 @@
+package dirshard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/obs"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/remote"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+func pagePattern(page uint64) []byte {
+	data := make([]byte, units.PageSize)
+	for i := range data {
+		data[i] = byte(page*131 + uint64(i)*7)
+	}
+	return data
+}
+
+// fetchMap asks the shard at addr for its map over a raw protocol
+// connection, the way an external node would.
+func fetchMap(t *testing.T, addr string) proto.ShardMap {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.NewWriter(conn).SendGetShardMap(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := proto.NewReader(conn).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != proto.TShardMap {
+		t.Fatalf("shard answered %v, want TShardMap", f.Type)
+	}
+	m, err := proto.DecodeShardMap(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStartClusterServesOneMap verifies every shard of a cluster serves
+// the same version-1 map built from the shards' real listen addresses.
+func TestStartClusterServesOneMap(t *testing.T) {
+	c, err := StartCluster(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.Map()
+	if m.Version != 1 || len(m.Shards) != 4 {
+		t.Fatalf("cluster map = %+v, want version 1 with 4 shards", m)
+	}
+	if c.Bootstrap() != m.Shards[0] {
+		t.Fatalf("Bootstrap = %q, want shard 0 %q", c.Bootstrap(), m.Shards[0])
+	}
+	for i := 0; i < c.N(); i++ {
+		got := fetchMap(t, m.Shards[i])
+		if got.Version != m.Version || len(got.Shards) != len(m.Shards) {
+			t.Fatalf("shard %d serves map %+v, want %+v", i, got, m)
+		}
+		for j := range m.Shards {
+			if got.Shards[j] != m.Shards[j] {
+				t.Fatalf("shard %d map entry %d = %q, want %q", i, j, got.Shards[j], m.Shards[j])
+			}
+		}
+	}
+}
+
+// TestClusterEndToEnd runs the full data path against a 4-shard cluster:
+// a server registers through the bootstrap, a client faults every page.
+// Per-shard metrics must show the lookups landing on every shard.
+func TestClusterEndToEnd(t *testing.T) {
+	const npages = 48
+	c, err := StartCluster(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	regs := make([]*obs.Registry, c.N())
+	for i := range regs {
+		regs[i] = obs.NewRegistry()
+		c.SetMetrics(i, regs[i])
+	}
+
+	srv, err := remote.ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for p := uint64(0); p < npages; p++ {
+		srv.Store(p, pagePattern(p))
+	}
+	if err := srv.RegisterWith(c.Bootstrap()); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := remote.Dial(remote.ClientConfig{
+		Directory:  c.Bootstrap(),
+		Policy:     proto.PolicyEager,
+		CachePages: npages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	buf := make([]byte, 128)
+	for p := uint64(0); p < npages; p++ {
+		if err := cl.Read(buf, p*uint64(units.PageSize)); err != nil {
+			t.Fatalf("read page %d: %v", p, err)
+		}
+		if !bytes.Equal(buf, pagePattern(p)[:128]) {
+			t.Fatalf("page %d data mismatch", p)
+		}
+	}
+	for i, r := range regs {
+		var text bytes.Buffer
+		if err := r.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		served := false
+		for _, line := range strings.Split(text.String(), "\n") {
+			var v int64
+			if n, _ := fmt.Sscanf(line, "gms_dir_lookups_total %d", &v); n == 1 && v > 0 {
+				served = true
+			}
+		}
+		if !served {
+			t.Fatalf("shard %d served no lookups; npages=%d should spread across 4 shards", i, npages)
+		}
+	}
+}
+
+// TestShardFailureIsScoped kills one shard and verifies the blast radius:
+// pages owned by the dead shard become unavailable, pages owned by the
+// survivors keep working.
+func TestShardFailureIsScoped(t *testing.T) {
+	const npages = 48
+	c, err := StartCluster(3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv, err := remote.ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for p := uint64(0); p < npages; p++ {
+		srv.Store(p, pagePattern(p))
+	}
+	if err := srv.RegisterWith(c.Bootstrap()); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := remote.Dial(remote.ClientConfig{
+		Directory:      c.Bootstrap(),
+		Policy:         proto.PolicyEager,
+		CachePages:     npages,
+		MaxRetries:     1,
+		RetryBackoff:   time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+		RequestTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Kill shard 2 (not the bootstrap — the client dialed it already).
+	ring := proto.NewRing(c.Map())
+	if err := c.Shard(2).Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 16)
+	okPages, deadPages := 0, 0
+	for p := uint64(0); p < npages; p++ {
+		err := cl.Read(buf, p*uint64(units.PageSize))
+		if ring.Owner(p) == 2 {
+			deadPages++
+			if err == nil {
+				t.Fatalf("page %d owned by dead shard 2 read successfully", p)
+			}
+			if !errors.Is(err, remote.ErrPageUnavailable) {
+				t.Fatalf("page %d: error %v, want ErrPageUnavailable", p, err)
+			}
+		} else {
+			okPages++
+			if err != nil {
+				t.Fatalf("page %d owned by live shard %d failed: %v", p, ring.Owner(p), err)
+			}
+		}
+	}
+	if okPages == 0 || deadPages == 0 {
+		t.Fatalf("degenerate split: ok=%d dead=%d — pick more pages", okPages, deadPages)
+	}
+}
+
+// TestStartShardValidation pins the constructor's error cases.
+func TestStartShardValidation(t *testing.T) {
+	if _, err := StartShard("127.0.0.1:0", proto.ShardMap{}, 0, Config{}); err == nil {
+		t.Fatal("empty map accepted")
+	}
+	m := proto.ShardMap{Version: 1, Shards: []string{"127.0.0.1:1", "127.0.0.1:2"}}
+	if _, err := StartShard("127.0.0.1:0", m, 2, Config{}); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+	if _, err := StartCluster(0, Config{}); err == nil {
+		t.Fatal("zero-shard cluster accepted")
+	}
+	d, err := StartShard("127.0.0.1:0", m, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got := d.ShardMap()
+	if got.Version != 1 || len(got.Shards) != 2 {
+		t.Fatalf("shard serves map %+v, want %+v", got, m)
+	}
+}

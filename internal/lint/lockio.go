@@ -28,8 +28,12 @@ var Lockio = &Analyzer{
 // cmd/gmsnode rides along so the heartbeat/breaker-era demo code keeps the
 // same discipline as the library it drives; internal/obs because its
 // registry lock sits on the prototype's fault hot path and must never be
-// held across the /metrics render or any blocking call.
-var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode", "internal/obs"}
+// held across the /metrics render or any blocking call; internal/dirshard
+// and internal/load because the shard cluster and the load harness are
+// exactly the many-goroutines-on-shared-mutexes code this analyzer exists
+// for.
+var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode",
+	"internal/obs", "internal/dirshard", "internal/load"}
 
 func runLockio(pass *Pass) {
 	inScope := false

@@ -23,9 +23,10 @@ import (
 //   - Everywhere: no global math/rand top-level functions (shared,
 //     unseeded process state; constructing a seeded *rand.Rand via
 //     rand.New(rand.NewSource(seed)) is fine), and no time.Now/time.Since
-//     outside internal/remote (the live RPC path, whose deadlines and
-//     latency stats genuinely are wall-clock) — prototype timing paths
-//     carry a justified //lint:allow instead.
+//     outside the live-prototype packages (wallClockExempt: the RPC path's
+//     deadlines and latency stats, and the load harness's throughput and
+//     SLO measurements, genuinely are wall-clock) — prototype timing paths
+//     elsewhere carry a justified //lint:allow instead.
 var Simpurity = &Analyzer{
 	Name: "simpurity",
 	Doc:  "wall clock, unseeded randomness and map-ordered output in deterministic simulator code",
@@ -53,9 +54,24 @@ func isRandPath(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2"
 }
 
+// wallClockExempt lists the live-prototype packages whose use of the wall
+// clock is the point: RPC deadlines and latency stats in internal/remote,
+// real-time service emulation in the sharded directory, and the load
+// harness's wall-clock throughput/latency measurements.
+var wallClockExempt = []string{"internal/remote", "internal/dirshard", "internal/load"}
+
+func isWallClockExempt(path string) bool {
+	for _, seg := range wallClockExempt {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
 func runSimpurity(pass *Pass) {
 	model := isModelPkg(pass.Path)
-	wallClockScope := !pathHasSegment(pass.Path, "internal/remote")
+	wallClockScope := !isWallClockExempt(pass.Path)
 	for _, f := range pass.Files {
 		if model {
 			for _, imp := range f.Imports {

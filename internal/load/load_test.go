@@ -1,0 +1,99 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives one small closed-loop run end to end and checks
+// the result's internal consistency.
+func TestRunSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Shards:   2,
+		Servers:  2,
+		Pages:    64,
+		Workers:  4,
+		Duration: 150 * time.Millisecond,
+		Clients:  4,
+		Requests: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LookupOps == 0 || res.LookupRate <= 0 {
+		t.Fatalf("storm did nothing: %+v", res)
+	}
+	if res.Faults != 4*30 {
+		t.Fatalf("Faults = %d, want %d", res.Faults, 4*30)
+	}
+	if res.FaultRate <= 0 {
+		t.Fatalf("FaultRate = %v, want > 0", res.FaultRate)
+	}
+	if !(res.P50Us <= res.P99Us && res.P99Us <= res.P999Us && res.P999Us <= res.MaxUs) {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v p999=%v max=%v",
+			res.P50Us, res.P99Us, res.P999Us, res.MaxUs)
+	}
+	if res.WrongShard != 0 {
+		t.Fatalf("fresh clients took %d TWrongShard bounces", res.WrongShard)
+	}
+	if res.MapRefreshes != int64(4) {
+		t.Fatalf("MapRefreshes = %d, want one per client", res.MapRefreshes)
+	}
+}
+
+// TestRunOpenLoop exercises the scheduled-start (open loop) path: the
+// measured rate should land near the configured one when the cluster is
+// far from saturation, and never above the schedule.
+func TestRunOpenLoop(t *testing.T) {
+	res, err := Run(Config{
+		Shards:   1,
+		Servers:  1,
+		Pages:    32,
+		Workers:  2,
+		Duration: 50 * time.Millisecond,
+		Clients:  2,
+		Requests: 20,
+		RPS:      400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 2*20 {
+		t.Fatalf("Faults = %d, want %d", res.Faults, 2*20)
+	}
+	// 40 faults at 400/s is a 100ms schedule; allow generous slop for a
+	// loaded CI machine but catch a broken scheduler that runs closed
+	// loop (which would finish in a few ms).
+	if res.FaultSecs < 0.05 {
+		t.Fatalf("open-loop run finished in %.0fms; scheduler not pacing", res.FaultSecs*1000)
+	}
+}
+
+// TestScalingWithServiceEmulation pins the point of the harness: with
+// each shard's lookup capacity bounded by DirService, 4 shards must serve
+// materially more lookups per second than 1. The make-loadtest target
+// asserts the full >=3x criterion with longer runs; this smoke keeps the
+// bar low enough to never flake in CI.
+func TestScalingWithServiceEmulation(t *testing.T) {
+	run := func(shards int) float64 {
+		res, err := Run(Config{
+			Shards:     shards,
+			Servers:    1,
+			Pages:      256,
+			Workers:    8,
+			Duration:   250 * time.Millisecond,
+			Clients:    1,
+			Requests:   1,
+			DirService: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LookupRate
+	}
+	r1 := run(1)
+	r4 := run(4)
+	if r4 < 1.5*r1 {
+		t.Fatalf("4 shards served %.0f lookups/s vs %.0f on 1 shard; want >= 1.5x", r4, r1)
+	}
+}

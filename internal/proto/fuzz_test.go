@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the frame reader and every
+// payload decoder. The contract under test: malformed input must produce
+// an error (or a harmless zero value), never a panic or an out-of-range
+// slice. Run it as a fuzzer with
+//
+//	go test -fuzz FuzzDecode ./internal/proto
+//
+// Under plain `go test` the seeded corpus below runs as regression cases:
+// one well-formed frame of every message type (including the sharding
+// messages TShardMap and TWrongShard) and the truncation/overrun shapes
+// that length-prefixed formats historically get wrong.
+func FuzzDecode(f *testing.F) {
+	seed := func(send func(*Writer) error) {
+		var buf bytes.Buffer
+		if err := send(NewWriter(&buf)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(func(w *Writer) error {
+		return w.SendGetPage(GetPage{Page: 3, FaultOff: 4096, SubpageSize: 1024, Policy: PolicyPipelined})
+	})
+	seed(func(w *Writer) error {
+		return w.SendPageData(PageData{Page: 3, Offset: 512, Flags: FlagFirst | FlagLast, Data: []byte("abc")})
+	})
+	seed(func(w *Writer) error { return w.SendPutPage(PutPage{Page: 9, Data: []byte{1, 2, 3}}) })
+	seed(func(w *Writer) error { return w.SendAck() })
+	seed(func(w *Writer) error { return w.SendLookup(Lookup{Page: 12}) })
+	seed(func(w *Writer) error {
+		return w.SendLookupReply(LookupReply{Page: 12, Addrs: []string{"a:1", "b:2"}})
+	})
+	seed(func(w *Writer) error {
+		return w.SendRegister(Register{Addr: "c:3", Epoch: 44, Pages: []uint64{1, 2, 3}})
+	})
+	seed(func(w *Writer) error { return w.SendHeartbeat(Heartbeat{Addr: "c:3", Epoch: 44}) })
+	seed(func(w *Writer) error { return w.SendError("boom") })
+	seed(func(w *Writer) error { return w.SendGetShardMap() })
+	seed(func(w *Writer) error {
+		return w.SendShardMap(ShardMap{Version: 5, Shards: []string{"s0:1", "s1:1", "s2:1"}})
+	})
+	seed(func(w *Writer) error {
+		return w.SendWrongShard(WrongShard{Page: 77, Map: ShardMap{Version: 6, Shards: []string{"s0:1"}}})
+	})
+
+	// Malformed shapes: truncated headers, payloads shorter than their
+	// frame length promises, length prefixes overrunning the payload,
+	// counts promising more entries than the bytes hold, trailing bytes.
+	f.Add([]byte{})
+	f.Add([]byte{byte(TLookup)})
+	f.Add([]byte{byte(TLookup), 8, 0, 0, 0, 1, 2, 3})                              // promises 8 payload bytes, has 3
+	f.Add([]byte{byte(TLookupReply), 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 200}) // addr len 200 overruns
+	f.Add([]byte{byte(TShardMap), 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 1})      // 3 shards promised, 1 byte left
+	f.Add([]byte{byte(TWrongShard), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})        // map body shorter than version+count
+	f.Add([]byte{byte(TRegister), 12, 0, 0, 0, 3, 'a', ':', '1', 0, 0, 0, 0, 0})   // epoch truncated
+	f.Add([]byte{byte(THeartbeat), 12, 0, 0, 0, 3, 'a', ':', '1', 0, 0, 0, 0, 0})  // epoch truncated
+	f.Add([]byte{byte(TGetPage), 3, 0, 0, 0, 1, 2, 3})                             // shorter than fixed layout
+	f.Add([]byte{byte(TPageData), 2, 0, 0, 0, 1, 2})                               // shorter than fixed layout
+	f.Add([]byte{byte(TShardMap), 11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 'x'}) // count 0 with trailing byte
+	f.Add(append([]byte{byte(TPutPage), 255, 255, 255, 255}, make([]byte, 16)...)) // oversized length prefix
+	f.Add([]byte{byte(TRegister), 10, 0, 0, 0, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0, 1}) // ragged page list
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				return // truncated or oversized frames must error out cleanly
+			}
+			// Decode the payload under every decoder, not just the one the
+			// type byte names: a corrupted type byte must not let a payload
+			// reach a decoder that panics on it.
+			_, _ = DecodeGetPage(fr.Payload)
+			_, _ = DecodePageData(fr.Payload)
+			_, _ = DecodePutPage(fr.Payload)
+			_, _ = DecodeLookup(fr.Payload)
+			if rep, err := DecodeLookupReply(fr.Payload); err == nil {
+				_ = rep.Addrs
+			}
+			if reg, err := DecodeRegister(fr.Payload); err == nil {
+				_ = reg.Pages
+			}
+			_, _ = DecodeHeartbeat(fr.Payload)
+			if m, err := DecodeShardMap(fr.Payload); err == nil {
+				// A decoded map must build a usable ring.
+				_ = NewRing(m).Owner(1)
+			}
+			if ws, err := DecodeWrongShard(fr.Payload); err == nil {
+				_ = NewRing(ws.Map).Owner(ws.Page)
+			}
+			_ = DecodeError(fr.Payload)
+		}
+	})
+}

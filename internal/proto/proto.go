@@ -45,6 +45,16 @@ const (
 	TError
 	// THeartbeat renews a page server's directory lease.
 	THeartbeat
+	// TGetShardMap asks a directory for the current shard map.
+	TGetShardMap
+	// TShardMap answers a TGetShardMap. An unsharded directory answers
+	// with an empty map (version 0, no shards): "I am the whole
+	// directory, keep using the address you dialed".
+	TShardMap
+	// TWrongShard answers a TLookup or TRegister sent to a shard that
+	// does not own the page: the payload carries the shard's current map
+	// so the sender can re-route in one round trip.
+	TWrongShard
 )
 
 // String names the type for diagnostics.
@@ -68,6 +78,12 @@ func (t Type) String() string {
 		return "Error"
 	case THeartbeat:
 		return "Heartbeat"
+	case TGetShardMap:
+		return "GetShardMap"
+	case TShardMap:
+		return "ShardMap"
+	case TWrongShard:
+		return "WrongShard"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -147,6 +163,33 @@ type Register struct {
 type Heartbeat struct {
 	Addr  string
 	Epoch uint64
+}
+
+// ShardMap is the versioned layout of a sharded directory: Shards lists
+// every directory shard address, and pages map onto shards by consistent
+// hashing (see Ring). Both sides of the wire must agree on the hash, so
+// the mapping is defined here alongside the message. The zero map
+// (version 0, no shards) means "unsharded": a single directory serves
+// every page.
+//
+// Versions order maps: a client or server holding version v replaces it
+// on seeing any map with a higher version, so a stale map converges to
+// the deployment's current one in a single TWrongShard round trip.
+type ShardMap struct {
+	Version uint64
+	Shards  []string
+}
+
+// Sharded reports whether the map describes a sharded deployment.
+func (m ShardMap) Sharded() bool { return len(m.Shards) > 0 }
+
+// WrongShard reports that a lookup or registration reached a shard that
+// does not own the page. Map is the answering shard's current shard map,
+// so one forwarding round trip both corrects the route and refreshes the
+// sender's cache.
+type WrongShard struct {
+	Page uint64
+	Map  ShardMap
 }
 
 // ErrorMsg reports a remote failure.
@@ -265,6 +308,72 @@ func (w *Writer) SendHeartbeat(m Heartbeat) error {
 	p = append(p, m.Addr...)
 	p = binary.LittleEndian.AppendUint64(p, m.Epoch)
 	return w.send(THeartbeat, p)
+}
+
+// appendShardMap appends the shard-map encoding: version, shard count,
+// then length-prefixed addresses.
+func appendShardMap(p []byte, m ShardMap) ([]byte, error) {
+	if len(m.Shards) > 255 {
+		return nil, fmt.Errorf("proto: too many shards: %d", len(m.Shards))
+	}
+	p = binary.LittleEndian.AppendUint64(p, m.Version)
+	p = append(p, byte(len(m.Shards)))
+	for _, a := range m.Shards {
+		if len(a) > 255 {
+			return nil, fmt.Errorf("proto: address too long: %q", a)
+		}
+		p = append(p, byte(len(a)))
+		p = append(p, a...)
+	}
+	return p, nil
+}
+
+// decodeShardMapBody parses a shard-map encoding, requiring it to consume
+// the whole input.
+func decodeShardMapBody(p []byte, t Type) (ShardMap, error) {
+	if len(p) < 9 {
+		return ShardMap{}, short(t)
+	}
+	m := ShardMap{Version: binary.LittleEndian.Uint64(p[0:8])}
+	count := int(p[8])
+	rest := p[9:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return ShardMap{}, short(t)
+		}
+		alen := int(rest[0])
+		if len(rest) < 1+alen {
+			return ShardMap{}, short(t)
+		}
+		m.Shards = append(m.Shards, string(rest[1:1+alen]))
+		rest = rest[1+alen:]
+	}
+	if len(rest) != 0 {
+		return ShardMap{}, fmt.Errorf("proto: trailing bytes in %v", t)
+	}
+	return m, nil
+}
+
+// SendGetShardMap writes a TGetShardMap frame.
+func (w *Writer) SendGetShardMap() error { return w.send(TGetShardMap, nil) }
+
+// SendShardMap writes a TShardMap frame.
+func (w *Writer) SendShardMap(m ShardMap) error {
+	p, err := appendShardMap(make([]byte, 0, 9+16*len(m.Shards)), m)
+	if err != nil {
+		return err
+	}
+	return w.send(TShardMap, p)
+}
+
+// SendWrongShard writes a TWrongShard frame.
+func (w *Writer) SendWrongShard(m WrongShard) error {
+	p := binary.LittleEndian.AppendUint64(make([]byte, 0, 17+16*len(m.Map.Shards)), m.Page)
+	p, err := appendShardMap(p, m.Map)
+	if err != nil {
+		return err
+	}
+	return w.send(TWrongShard, p)
 }
 
 // SendError writes a TError frame.
@@ -415,6 +524,23 @@ func DecodeHeartbeat(p []byte) (Heartbeat, error) {
 		Addr:  string(p[1 : 1+alen]),
 		Epoch: binary.LittleEndian.Uint64(p[1+alen:]),
 	}, nil
+}
+
+// DecodeShardMap parses a TShardMap payload.
+func DecodeShardMap(p []byte) (ShardMap, error) {
+	return decodeShardMapBody(p, TShardMap)
+}
+
+// DecodeWrongShard parses a TWrongShard payload.
+func DecodeWrongShard(p []byte) (WrongShard, error) {
+	if len(p) < 8 {
+		return WrongShard{}, short(TWrongShard)
+	}
+	m, err := decodeShardMapBody(p[8:], TWrongShard)
+	if err != nil {
+		return WrongShard{}, err
+	}
+	return WrongShard{Page: binary.LittleEndian.Uint64(p[0:8]), Map: m}, nil
 }
 
 // DecodeError parses a TError payload.

@@ -1,0 +1,128 @@
+package proto
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring maps page IDs onto the shards of a ShardMap by consistent hashing.
+// Every participant — directory shards deciding ownership, page servers
+// partitioning registrations, clients routing lookups — must compute the
+// same owner for the same page under the same map, so the hash and ring
+// construction are part of the wire protocol and live here, next to the
+// ShardMap message they interpret.
+//
+// Construction: each shard address contributes ringVnodes virtual points,
+// hash64("addr#k"), sorted into a ring; a page owns to the first point at
+// or clockwise after hash64(page). Virtual points keep the page space
+// spread evenly even when shard addresses hash unluckily, and consistent
+// hashing keeps most page ownership stable when a shard is added or
+// removed (only ~1/n of pages move), which bounds the re-registration
+// churn of a resharding.
+//
+// A Ring is immutable after NewRing and safe for concurrent use.
+type Ring struct {
+	m      ShardMap
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ringVnodes is the number of virtual points per shard. 128 keeps the
+// worst shard within a few percent of the mean for the shard counts this
+// prototype targets (2-64) while the ring stays small enough to rebuild
+// on every map refresh without noticing.
+const ringVnodes = 128
+
+// NewRing builds the ring for m. A nil ring is returned for an unsharded
+// (empty) map; Ring methods on nil report "no owner" consistently.
+func NewRing(m ShardMap) *Ring {
+	if !m.Sharded() {
+		return nil
+	}
+	r := &Ring{m: m, points: make([]ringPoint, 0, ringVnodes*len(m.Shards))}
+	var key [8]byte
+	for i, addr := range m.Shards {
+		h := fnv.New64a()
+		for k := 0; k < ringVnodes; k++ {
+			h.Reset()
+			_, _ = h.Write([]byte(addr))
+			key[0] = '#'
+			key[1] = byte(k)
+			key[2] = byte(k >> 8)
+			_, _ = h.Write(key[:3])
+			r.points = append(r.points, ringPoint{hash: fmix64(h.Sum64()), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Colliding points tie-break on shard index so every ring built
+		// from the same map is identical.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// fmix64 is a 64-bit avalanche finalizer (Murmur3's): FNV-1a alone mixes
+// short inputs that differ only in their last bytes — exactly what vnode
+// keys and page IDs are — into correlated hashes, which shows up as badly
+// uneven ring arcs. The finalizer spreads every input bit across the
+// whole output word.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// pageHash spreads page IDs over the ring. Page IDs are often small and
+// sequential, so the raw value would clump; hashing the fixed-width
+// little-endian bytes and finalizing decorrelates neighbours.
+func pageHash(page uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(page >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return fmix64(h.Sum64())
+}
+
+// Owner returns the index (into the map's Shards) of the shard owning
+// page, or -1 on a nil (unsharded) ring.
+func (r *Ring) Owner(page uint64) int {
+	if r == nil || len(r.points) == 0 {
+		return -1
+	}
+	h := pageHash(page)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: clockwise past the top lands on the first point
+	}
+	return r.points[i].shard
+}
+
+// OwnerAddr returns the address of the shard owning page, or "" on a nil
+// ring.
+func (r *Ring) OwnerAddr(page uint64) string {
+	i := r.Owner(page)
+	if i < 0 {
+		return ""
+	}
+	return r.m.Shards[i]
+}
+
+// Map returns the shard map the ring was built from.
+func (r *Ring) Map() ShardMap {
+	if r == nil {
+		return ShardMap{}
+	}
+	return r.m
+}

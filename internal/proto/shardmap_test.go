@@ -1,0 +1,144 @@
+package proto
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestShardMapRoundTrip(t *testing.T) {
+	in := ShardMap{Version: 42, Shards: []string{"10.0.0.1:7100", "10.0.0.2:7100", "10.0.0.3:7100"}}
+	f := roundTrip(t, func(w *Writer) error { return w.SendShardMap(in) })
+	if f.Type != TShardMap {
+		t.Fatalf("type = %v", f.Type)
+	}
+	out, err := DecodeShardMap(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestShardMapEmptyRoundTrip(t *testing.T) {
+	f := roundTrip(t, func(w *Writer) error { return w.SendShardMap(ShardMap{}) })
+	out, err := DecodeShardMap(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sharded() || out.Version != 0 {
+		t.Fatalf("empty map decoded as %+v", out)
+	}
+}
+
+func TestWrongShardRoundTrip(t *testing.T) {
+	in := WrongShard{Page: 0xfeed, Map: ShardMap{Version: 7, Shards: []string{"a:1", "b:2"}}}
+	f := roundTrip(t, func(w *Writer) error { return w.SendWrongShard(in) })
+	if f.Type != TWrongShard {
+		t.Fatalf("type = %v", f.Type)
+	}
+	out, err := DecodeWrongShard(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestGetShardMapRoundTrip(t *testing.T) {
+	f := roundTrip(t, func(w *Writer) error { return w.SendGetShardMap() })
+	if f.Type != TGetShardMap || len(f.Payload) != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestShardMapDecodeMalformed(t *testing.T) {
+	for _, p := range [][]byte{
+		nil,
+		{1, 2, 3},                         // shorter than version+count
+		{0, 0, 0, 0, 0, 0, 0, 0, 2, 1},    // promises 2 shards, truncated addr
+		{0, 0, 0, 0, 0, 0, 0, 0, 1, 5, 0}, // addr length overruns payload
+		append(make([]byte, 9), 'x'),      // count 0 but trailing bytes
+	} {
+		if _, err := DecodeShardMap(p); err == nil {
+			t.Fatalf("DecodeShardMap(%v) accepted malformed payload", p)
+		}
+	}
+	if _, err := DecodeWrongShard([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeWrongShard accepted short payload")
+	}
+}
+
+func testMap(n int) ShardMap {
+	m := ShardMap{Version: 1}
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, fmt.Sprintf("10.0.0.%d:7100", i+1))
+	}
+	return m
+}
+
+func TestRingDeterministic(t *testing.T) {
+	m := testMap(4)
+	a, b := NewRing(m), NewRing(m)
+	for page := uint64(0); page < 10000; page++ {
+		if a.Owner(page) != b.Owner(page) {
+			t.Fatalf("page %d: owners differ across identical rings", page)
+		}
+	}
+}
+
+func TestRingCoversAllShardsEvenly(t *testing.T) {
+	const shards, pages = 4, 40000
+	r := NewRing(testMap(shards))
+	counts := make([]int, shards)
+	for page := uint64(0); page < pages; page++ {
+		o := r.Owner(page)
+		if o < 0 || o >= shards {
+			t.Fatalf("page %d: owner %d out of range", page, o)
+		}
+		counts[o]++
+	}
+	// With 128 vnodes per shard the split should be within a factor of
+	// two of perfectly even; in practice it is far tighter.
+	for i, n := range counts {
+		if n < pages/(2*shards) || n > pages*2/shards {
+			t.Fatalf("shard %d owns %d of %d pages: ring is badly unbalanced (%v)", i, n, pages, counts)
+		}
+	}
+}
+
+func TestRingStableUnderGrowth(t *testing.T) {
+	const pages = 20000
+	small, big := NewRing(testMap(4)), NewRing(testMap(5))
+	moved := 0
+	for page := uint64(0); page < pages; page++ {
+		a, b := small.Owner(page), big.Owner(page)
+		if b == 4 {
+			continue // moved to the new shard: expected
+		}
+		if a != b {
+			moved++
+		}
+	}
+	// Consistent hashing promise: pages not claimed by the new shard
+	// overwhelmingly keep their owner. Allow generous slack over the
+	// theoretical ~0 for vnode boundary shifts.
+	if moved > pages/20 {
+		t.Fatalf("%d of %d pages changed owner between surviving shards", moved, pages)
+	}
+}
+
+func TestRingUnsharded(t *testing.T) {
+	r := NewRing(ShardMap{})
+	if r != nil {
+		t.Fatal("unsharded map should build a nil ring")
+	}
+	if r.Owner(7) != -1 || r.OwnerAddr(7) != "" {
+		t.Fatal("nil ring must report no owner")
+	}
+	if r.Map().Sharded() {
+		t.Fatal("nil ring map must be unsharded")
+	}
+}

@@ -118,6 +118,13 @@ type Stats struct {
 	SubpageLat stats.Summary // fault -> faulted-subpage arrival
 	FullLat    stats.Summary // fault -> complete page arrival
 
+	// Sharded-directory observability: lookups bounced by a shard that
+	// did not own the page (each bounce also delivers the current map),
+	// and shard maps installed (the bootstrap fetch plus every refresh a
+	// bounce carried). See DESIGN.md §9.
+	WrongShard   int64
+	MapRefreshes int64
+
 	// Circuit-breaker observability (see ClientConfig.BreakerThreshold).
 	// These are maintained under the same lock as every other field, so a
 	// Stats() snapshot is one coherent cut: BreakerOpens can never run
@@ -174,11 +181,21 @@ type Client struct {
 
 	closeCh chan struct{} // closed once on Close; unblocks sleeps and waits
 
-	dirMu    sync.Mutex // serializes lookup RPCs on the directory stream
-	dirPtrMu sync.Mutex // guards the connection pointers below
-	dirW     *proto.Writer
-	dirR     *proto.Reader
-	dirC     net.Conn
+	// Control-plane connections, one per directory shard (a single entry,
+	// the bootstrap address, when the deployment is unsharded). Lookups to
+	// different shards proceed concurrently; each shard's stream
+	// serializes its own RPCs.
+	dconnMu sync.Mutex
+	dconns  map[string]*dirConn
+
+	// Shard-map cache. ring is nil while the deployment looks unsharded
+	// (every lookup goes to the bootstrap address); once a sharded map is
+	// installed — by the bootstrap fetch or by a TWrongShard bounce —
+	// lookups route by ring ownership, and any newer map in a bounce
+	// replaces the ring (stale maps converge in one extra round trip).
+	shardMu  sync.Mutex
+	ring     *proto.Ring
+	mapTried bool // the bootstrap shard-map fetch already ran
 
 	srvMu   sync.Mutex
 	servers map[string]*srvConn
@@ -221,13 +238,11 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		met:   newClientMetrics(cfg.Metrics),
 	}
-	dc, err := c.dial(cfg.Directory)
+	conn, err := c.dial(cfg.Directory)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial directory: %w", err)
 	}
-	c.dirC = dc
-	c.dirW = proto.NewWriter(dc)
-	c.dirR = proto.NewReader(dc)
+	c.dconns = map[string]*dirConn{cfg.Directory: newDirConn(cfg.Directory, conn)}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
@@ -253,12 +268,14 @@ func (c *Client) Close() error {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 
-	c.dirPtrMu.Lock()
 	var err error
-	if c.dirC != nil {
-		err = c.dirC.Close()
+	c.dconnMu.Lock()
+	for _, dc := range c.dconns {
+		if e := dc.drop(); e != nil && err == nil {
+			err = e
+		}
 	}
-	c.dirPtrMu.Unlock()
+	c.dconnMu.Unlock()
 	c.srvMu.Lock()
 	for _, sc := range c.servers {
 		_ = sc.conn.Close()
@@ -733,8 +750,11 @@ func (c *Client) forget(page uint64) {
 
 // locate resolves the replica list for page via the directory, with a
 // local cache of past answers. refresh forces a fresh directory query.
-// Lookup RPCs run under the request deadline; a dead directory connection
-// is redialed with backoff up to the retry budget.
+// Lookup RPCs run under the request deadline; a dead shard connection is
+// redialed with backoff up to the retry budget. A TWrongShard bounce
+// (stale shard map) installs the bounced map and re-routes within the
+// same attempt, so a stale client converges in one extra round trip
+// without burning its retry budget.
 func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
 	if !refresh {
 		c.mu.Lock()
@@ -745,8 +765,6 @@ func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
 		c.mu.Unlock()
 	}
 
-	c.dirMu.Lock()
-	defer c.dirMu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -763,13 +781,8 @@ func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
 			return nil, errClientClosed
 		default:
 		}
-		if err := c.ensureDirConn(); err != nil {
-			lastErr = err
-			continue
-		}
-		rep, err := c.lookupOnce(page)
+		rep, err := c.lookupRouted(page)
 		if err != nil {
-			c.dropDirConn()
 			lastErr = err
 			continue
 		}
@@ -784,18 +797,154 @@ func (c *Client) locate(page uint64, refresh bool) ([]string, error) {
 	return nil, fmt.Errorf("remote: directory lookup for page %d: %w", page, lastErr)
 }
 
-// ensureDirConn (re)dials the directory if there is no live connection.
-// Called with dirMu held.
-func (c *Client) ensureDirConn() error {
-	c.dirPtrMu.Lock()
-	have := c.dirC != nil
-	c.dirPtrMu.Unlock()
+// lookupRouted sends one lookup to the shard the current map names,
+// following at most one TWrongShard forward: the bounce carries the
+// authoritative map, so the second hop must land (a second bounce means
+// the shards themselves disagree, which the caller treats as a failed
+// attempt).
+func (c *Client) lookupRouted(page uint64) (proto.LookupReply, error) {
+	addr := c.shardFor(page)
+	rep, err := c.lookupAt(addr, page)
+	var ws *WrongShardError
+	if !errors.As(err, &ws) {
+		return rep, err
+	}
+	c.bounced(ws)
+	next := c.shardFor(page)
+	if next == addr {
+		// The bounced map still routes here: map and shard disagree.
+		return proto.LookupReply{}, err
+	}
+	rep, err = c.lookupAt(next, page)
+	if errors.As(err, &ws) {
+		c.bounced(ws)
+	}
+	return rep, err
+}
+
+// bounced accounts a TWrongShard reply and installs the map it carried.
+func (c *Client) bounced(ws *WrongShardError) {
+	c.mu.Lock()
+	c.stats.WrongShard++
+	c.mu.Unlock()
+	c.met.wrongShard.Inc()
+	c.installMap(ws.Map)
+}
+
+// shardFor names the directory shard owning page: the ring owner once a
+// sharded map is installed, the bootstrap address before then. The first
+// call fetches the map from the bootstrap directory; an unsharded
+// deployment answers with the empty map and the client stays in
+// single-directory mode at zero per-lookup cost.
+func (c *Client) shardFor(page uint64) string {
+	c.shardMu.Lock()
+	ring, tried := c.ring, c.mapTried
+	c.shardMu.Unlock()
+	if ring == nil && !tried {
+		c.fetchShardMap()
+		c.shardMu.Lock()
+		ring = c.ring
+		c.shardMu.Unlock()
+	}
+	if ring == nil {
+		return c.cfg.Directory
+	}
+	return ring.OwnerAddr(page)
+}
+
+// fetchShardMap asks the bootstrap directory for the shard map, once.
+// Failure is not fatal: lookups proceed against the bootstrap address and
+// the fetch re-arms, so a directory that was briefly unreachable still
+// gets to announce its sharding.
+func (c *Client) fetchShardMap() {
+	dc := c.dirConnFor(c.cfg.Directory)
+	m, err := dc.shardMapRPC(c)
+	if err != nil {
+		return
+	}
+	c.shardMu.Lock()
+	c.mapTried = true
+	c.shardMu.Unlock()
+	c.installMap(m)
+}
+
+// installMap adopts m if it is sharded and newer than the map in use.
+func (c *Client) installMap(m proto.ShardMap) {
+	if !m.Sharded() {
+		return
+	}
+	c.shardMu.Lock()
+	if c.ring != nil && m.Version <= c.ring.Map().Version {
+		c.shardMu.Unlock()
+		return
+	}
+	c.ring = proto.NewRing(m)
+	c.shardMu.Unlock()
+	c.mu.Lock()
+	c.stats.MapRefreshes++
+	c.mu.Unlock()
+	c.met.mapRefreshes.Inc()
+}
+
+// dirConnFor returns (creating if needed) the control-plane connection
+// slot for the directory shard at addr. The slot dials lazily.
+func (c *Client) dirConnFor(addr string) *dirConn {
+	c.dconnMu.Lock()
+	defer c.dconnMu.Unlock()
+	dc := c.dconns[addr]
+	if dc == nil {
+		dc = newDirConn(addr, nil)
+		c.dconns[addr] = dc
+	}
+	return dc
+}
+
+// lookupAt performs one lookup RPC against the shard at addr. A transport
+// failure drops the shard connection so the next attempt redials.
+func (c *Client) lookupAt(addr string, page uint64) (proto.LookupReply, error) {
+	dc := c.dirConnFor(addr)
+	rep, err := dc.lookupRPC(c, page)
+	var ws *WrongShardError
+	if err != nil && !errors.As(err, &ws) {
+		_ = dc.drop()
+	}
+	return rep, err
+}
+
+// dirConn is the client's control-plane stream to one directory shard.
+// rpc serializes request/reply exchanges; ptr guards the connection
+// pointers so drop can race an in-flight dial safely.
+type dirConn struct {
+	addr string
+	rpc  sync.Mutex
+	ptr  sync.Mutex
+	conn net.Conn
+	w    *proto.Writer
+	r    *proto.Reader
+}
+
+func newDirConn(addr string, conn net.Conn) *dirConn {
+	dc := &dirConn{addr: addr}
+	if conn != nil {
+		dc.conn = conn
+		dc.w = proto.NewWriter(conn)
+		dc.r = proto.NewReader(conn)
+	}
+	return dc
+}
+
+// ensure (re)dials the shard if there is no live connection. Called with
+// dc.rpc held.
+func (dc *dirConn) ensure(c *Client) error {
+	dc.ptr.Lock()
+	have := dc.conn != nil
+	dc.ptr.Unlock()
 	if have {
 		return nil
 	}
-	conn, err := c.dial(c.cfg.Directory)
+	conn, err := c.dial(dc.addr)
 	if err != nil {
-		return fmt.Errorf("remote: redial directory: %w", err)
+		return fmt.Errorf("remote: dial directory shard %s: %w", dc.addr, err)
 	}
 	c.mu.Lock()
 	closed := c.closed
@@ -804,48 +953,93 @@ func (c *Client) ensureDirConn() error {
 		_ = conn.Close()
 		return errClientClosed
 	}
-	c.dirPtrMu.Lock()
-	c.dirC = conn
-	c.dirW = proto.NewWriter(conn)
-	c.dirR = proto.NewReader(conn)
-	c.dirPtrMu.Unlock()
+	dc.ptr.Lock()
+	dc.conn = conn
+	dc.w = proto.NewWriter(conn)
+	dc.r = proto.NewReader(conn)
+	dc.ptr.Unlock()
 	return nil
 }
 
-// dropDirConn severs the directory connection so the next lookup redials.
-// Called with dirMu held.
-func (c *Client) dropDirConn() {
-	c.dirPtrMu.Lock()
-	if c.dirC != nil {
-		_ = c.dirC.Close()
-		c.dirC = nil
-		c.dirW, c.dirR = nil, nil
+// drop severs the connection so the next RPC redials, returning the
+// close error (nil when there was nothing to close).
+func (dc *dirConn) drop() error {
+	dc.ptr.Lock()
+	defer dc.ptr.Unlock()
+	if dc.conn == nil {
+		return nil
 	}
-	c.dirPtrMu.Unlock()
+	err := dc.conn.Close()
+	dc.conn = nil
+	dc.w, dc.r = nil, nil
+	return err
 }
 
-// lookupOnce performs one lookup RPC under the request deadline. Called
-// with dirMu held.
-func (c *Client) lookupOnce(page uint64) (proto.LookupReply, error) {
-	c.dirPtrMu.Lock()
-	conn, w, r := c.dirC, c.dirW, c.dirR
-	c.dirPtrMu.Unlock()
+// exchange sends one frame and reads one reply under the request
+// deadline. Called with dc.rpc held.
+func (dc *dirConn) exchange(c *Client, send func(*proto.Writer) error) (proto.Frame, error) {
+	dc.ptr.Lock()
+	conn, w, r := dc.conn, dc.w, dc.r
+	dc.ptr.Unlock()
 	if conn == nil {
-		return proto.LookupReply{}, errors.New("remote: no directory connection")
+		return proto.Frame{}, errors.New("remote: no directory connection")
 	}
 	_ = conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	defer conn.SetDeadline(time.Time{})
-	if err := w.SendLookup(proto.Lookup{Page: page}); err != nil {
-		return proto.LookupReply{}, fmt.Errorf("remote: directory lookup: %w", err)
+	if err := send(w); err != nil {
+		return proto.Frame{}, fmt.Errorf("remote: directory %s: %w", dc.addr, err)
 	}
 	f, err := r.Next()
 	if err != nil {
-		return proto.LookupReply{}, fmt.Errorf("remote: directory lookup: %w", err)
+		return proto.Frame{}, fmt.Errorf("remote: directory %s: %w", dc.addr, err)
 	}
-	if f.Type != proto.TLookupReply {
+	return f, nil
+}
+
+// lookupRPC performs one lookup exchange. A TWrongShard answer decodes
+// into *WrongShardError so callers can re-route.
+func (dc *dirConn) lookupRPC(c *Client, page uint64) (proto.LookupReply, error) {
+	dc.rpc.Lock()
+	defer dc.rpc.Unlock()
+	if err := dc.ensure(c); err != nil {
+		return proto.LookupReply{}, err
+	}
+	f, err := dc.exchange(c, func(w *proto.Writer) error {
+		return w.SendLookup(proto.Lookup{Page: page})
+	})
+	if err != nil {
+		return proto.LookupReply{}, err
+	}
+	switch f.Type {
+	case proto.TLookupReply:
+		return proto.DecodeLookupReply(f.Payload)
+	case proto.TWrongShard:
+		ws, err := proto.DecodeWrongShard(f.Payload)
+		if err != nil {
+			return proto.LookupReply{}, err
+		}
+		return proto.LookupReply{}, &WrongShardError{Page: ws.Page, Map: ws.Map}
+	default:
 		return proto.LookupReply{}, fmt.Errorf("remote: directory sent %v", f.Type)
 	}
-	return proto.DecodeLookupReply(f.Payload)
+}
+
+// shardMapRPC fetches the shard map this directory serves.
+func (dc *dirConn) shardMapRPC(c *Client) (proto.ShardMap, error) {
+	dc.rpc.Lock()
+	defer dc.rpc.Unlock()
+	if err := dc.ensure(c); err != nil {
+		return proto.ShardMap{}, err
+	}
+	f, err := dc.exchange(c, (*proto.Writer).SendGetShardMap)
+	if err != nil {
+		_ = dc.drop()
+		return proto.ShardMap{}, err
+	}
+	if f.Type != proto.TShardMap {
+		return proto.ShardMap{}, fmt.Errorf("remote: directory sent %v", f.Type)
+	}
+	return proto.DecodeShardMap(f.Payload)
 }
 
 // server returns (dialing if needed) the connection to a page server.

@@ -29,13 +29,37 @@ import (
 // declared dead only after missing several renewal intervals.
 const DefaultLeaseTTL = 30 * time.Second
 
-// DirectoryConfig tunes the directory's liveness tracking.
+// DirectoryConfig tunes the directory's liveness tracking and, when Shard
+// is set, makes it one shard of a sharded deployment.
 type DirectoryConfig struct {
 	// LeaseTTL is how long a registration stays visible without a renewing
 	// heartbeat. Zero selects DefaultLeaseTTL. Lookups filter expired
 	// servers inline, so a dead address is never returned for longer than
 	// one TTL even between janitor sweeps.
 	LeaseTTL time.Duration
+
+	// Shard, when non-nil, runs the directory as one shard of the given
+	// map: lookups for pages another shard owns answer TWrongShard
+	// (carrying the map, so the sender re-routes in one round trip), and
+	// registrations are filtered to owned pages. Nil runs the classic
+	// single-directory mode.
+	Shard *ShardConfig
+
+	// LookupService, when positive, emulates the bounded service capacity
+	// of one directory node: each lookup holds the directory's single
+	// service slot for this long. Loopback TCP makes a directory look
+	// infinitely fast — the same way it hides the transfer-size effects
+	// Server.SetWireMbps restores — so scale experiments set this to model
+	// "one directory process has one CPU's worth of lookup throughput".
+	// Zero (the default) disables emulation.
+	LookupService time.Duration
+}
+
+// ShardConfig identifies one directory shard: the versioned map of every
+// shard in the deployment and this process's index into it.
+type ShardConfig struct {
+	Map  proto.ShardMap
+	Self int
 }
 
 // Directory is the global cache directory (GCD): it maps pages to the
@@ -55,7 +79,24 @@ type Directory struct {
 	ln  net.Listener
 	ttl time.Duration
 
-	mu      sync.Mutex
+	// Shard identity (immutable after construction). ring is nil in the
+	// classic single-directory mode; when set, this directory owns only
+	// the pages the ring maps to index self.
+	ring *proto.Ring
+	self int
+
+	// Emulated per-lookup service time (see DirectoryConfig.LookupService):
+	// svcGate is a width-1 semaphore serializing the emulated work, svcSlp
+	// the precise sub-millisecond sleeper used while holding it.
+	svc     time.Duration
+	svcGate chan struct{}
+	svcSlp  *sleeper
+
+	// mu is an RWMutex because the directory is read-mostly: every fault
+	// on every client is a Lookup, while Register/Heartbeat traffic is
+	// per-server and periodic. Lookup/Replicas take the read lock and run
+	// concurrently; only lease mutation takes the write lock.
+	mu      sync.RWMutex
 	servers map[string]*dirServer
 	pages   map[uint64]map[string]struct{}
 	epochs  map[string]uint64 // highest epoch per addr; survives lease expiry
@@ -110,11 +151,20 @@ func ListenDirectoryOnWith(ln net.Listener, cfg DirectoryConfig) *Directory {
 	d := &Directory{
 		ln:      ln,
 		ttl:     ttl,
+		svc:     cfg.LookupService,
 		servers: make(map[string]*dirServer),
 		pages:   make(map[uint64]map[string]struct{}),
 		epochs:  make(map[string]uint64),
 		conns:   make(map[net.Conn]struct{}),
 		stop:    make(chan struct{}),
+	}
+	if cfg.Shard != nil {
+		d.ring = proto.NewRing(cfg.Shard.Map)
+		d.self = cfg.Shard.Self
+	}
+	if d.svc > 0 {
+		d.svcGate = make(chan struct{}, 1)
+		d.svcSlp = newSleeper()
 	}
 	d.wg.Add(2)
 	go d.acceptLoop()
@@ -128,13 +178,46 @@ func (d *Directory) Addr() string { return d.ln.Addr().String() }
 // LeaseTTL reports the configured lease duration.
 func (d *Directory) LeaseTTL() time.Duration { return d.ttl }
 
+// ShardMap reports the shard map this directory serves (the zero map in
+// single-directory mode).
+func (d *Directory) ShardMap() proto.ShardMap { return d.ring.Map() }
+
+// Owns reports whether this directory owns page: always true in
+// single-directory mode, ring ownership in shard mode.
+func (d *Directory) Owns(page uint64) bool {
+	return d.ring == nil || d.ring.Owner(page) == d.self
+}
+
 // SetMetrics registers the directory's gms_dir_* metrics on r (nil
-// disables them).
+// disables them). A sharded directory additionally registers its
+// gms_dirshard_* handles.
 func (d *Directory) SetMetrics(r *obs.Registry) {
 	d.mu.Lock()
-	d.met = newDirectoryMetrics(r)
+	d.met = newDirectoryMetrics(r, d.ring != nil)
 	d.met.pages.Set(int64(len(d.pages)))
+	if d.ring != nil {
+		d.met.shardSelf.Set(int64(d.self))
+		d.met.shardMapVersion.Set(int64(d.ring.Map().Version))
+		d.met.shardCount.Set(int64(len(d.ring.Map().Shards)))
+	}
 	d.mu.Unlock()
+}
+
+// serviceDelay emulates the configured per-lookup service time: the
+// caller queues for the directory's single service slot and holds it for
+// the service duration. No directory lock is held while waiting. A
+// no-op when emulation is off.
+func (d *Directory) serviceDelay() {
+	if d.svc <= 0 {
+		return
+	}
+	select {
+	case d.svcGate <- struct{}{}:
+	case <-d.stop:
+		return
+	}
+	d.svcSlp.Sleep(d.svc)
+	<-d.svcGate
 }
 
 // Close stops the directory, severing active connections. It is idempotent:
@@ -150,6 +233,7 @@ func (d *Directory) Close() error {
 		}
 		d.mu.Unlock()
 		d.wg.Wait()
+		d.svcSlp.Close()
 	})
 	return d.closeErr
 }
@@ -157,8 +241,8 @@ func (d *Directory) Close() error {
 // Lookup reports the primary server storing page, for tests and tools.
 func (d *Directory) Lookup(page uint64) (string, bool) {
 	now := time.Now()
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	addrs := d.replicasLocked(page, now)
 	if len(addrs) == 0 {
 		return "", false
@@ -171,8 +255,8 @@ func (d *Directory) Lookup(page uint64) (string, bool) {
 // sorted address order. Expired leases are filtered out inline.
 func (d *Directory) Replicas(page uint64) []string {
 	now := time.Now()
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.replicasLocked(page, now)
 }
 
@@ -204,8 +288,8 @@ func (d *Directory) replicasLocked(page uint64, now time.Time) []string {
 // Len reports the number of pages with at least one live holder.
 func (d *Directory) Len() int {
 	now := time.Now()
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := 0
 	for _, holders := range d.pages {
 		for addr := range holders {
@@ -221,8 +305,8 @@ func (d *Directory) Len() int {
 // ServerEpoch reports the highest registration epoch seen for addr,
 // whether or not its lease is still live. For tests and tools.
 func (d *Directory) ServerEpoch(addr string) (uint64, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	e, ok := d.epochs[addr]
 	return e, ok
 }
@@ -256,6 +340,14 @@ func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
 	}
 	s.expires = now.Add(d.ttl)
 	for _, p := range reg.Pages {
+		if !d.Owns(p) {
+			// A shard records only the pages the ring assigns it. Servers
+			// partition registrations by owner, so foreign pages here mean
+			// the sender holds a stale map; dropping them (and counting)
+			// keeps a misrouted batch from resurrecting moved entries.
+			d.met.foreignPages.Inc()
+			continue
+		}
 		s.pages[p] = struct{}{}
 		holders := d.pages[p]
 		if holders == nil {
@@ -411,12 +503,32 @@ func (d *Directory) serve(conn net.Conn) {
 				_ = w.SendError(err.Error())
 				return
 			}
+			if !d.Owns(lk.Page) {
+				// Misdirected lookup: answer with the current map so the
+				// client both learns the right shard and refreshes its
+				// cache in this one round trip.
+				d.mu.RLock()
+				d.met.wrongShard.Inc()
+				d.mu.RUnlock()
+				if err := w.SendWrongShard(proto.WrongShard{Page: lk.Page, Map: d.ring.Map()}); err != nil {
+					return
+				}
+				continue
+			}
+			d.serviceDelay()
 			now := time.Now()
-			d.mu.Lock()
+			d.mu.RLock()
 			addrs := d.replicasLocked(lk.Page, now)
 			d.met.lookups.Inc()
-			d.mu.Unlock()
+			d.mu.RUnlock()
 			if err := w.SendLookupReply(proto.LookupReply{Page: lk.Page, Addrs: addrs}); err != nil {
+				return
+			}
+		case proto.TGetShardMap:
+			d.mu.RLock()
+			d.met.mapRequests.Inc()
+			d.mu.RUnlock()
+			if err := w.SendShardMap(d.ring.Map()); err != nil {
 				return
 			}
 		default:

@@ -3,6 +3,8 @@ package remote
 import (
 	"errors"
 	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/proto"
 )
 
 // ErrPageUnavailable is the sentinel matched by errors.Is when a page
@@ -21,6 +23,30 @@ var errClientClosed = errors.New("remote: client closed")
 // directory cannot be dialed, so callers can tell a down control plane
 // apart from a protocol failure with errors.Is.
 var ErrDirectoryUnreachable = errors.New("remote: directory unreachable")
+
+// ErrWrongShard is matched (via errors.Is) by lookup errors when a
+// directory shard answered that another shard owns the page. The client
+// heals this internally — the TWrongShard reply carries the current shard
+// map, so the very next lookup goes to the right shard — and the error
+// only escapes if forwarding keeps bouncing, which means the deployment's
+// shards disagree about the map.
+var ErrWrongShard = errors.New("remote: page owned by another directory shard")
+
+// WrongShardError is the typed form of a TWrongShard reply: the shard map
+// the answering shard is serving. It matches ErrWrongShard under
+// errors.Is.
+type WrongShardError struct {
+	Page uint64
+	Map  proto.ShardMap
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("remote: page %d owned by another shard (map v%d, %d shards)",
+		e.Page, e.Map.Version, len(e.Map.Shards))
+}
+
+// Is makes errors.Is(err, ErrWrongShard) match any *WrongShardError.
+func (e *WrongShardError) Is(target error) bool { return target == ErrWrongShard }
 
 // PageError reports a page whose fetch failed permanently: every replica
 // was tried, retries are exhausted, or the directory answered that nobody

@@ -24,6 +24,8 @@ type clientMetrics struct {
 	breakerOpens  *obs.Counter
 	breakerProbes *obs.Counter
 	openBreakers  *obs.Gauge
+	wrongShard    *obs.Counter
+	mapRefreshes  *obs.Counter
 	subpageLat    *obs.Histogram
 	fullLat       *obs.Histogram
 }
@@ -41,6 +43,8 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		breakerOpens:  r.Counter("gms_client_breaker_opens_total", "circuit breakers tripped (closed to open)"),
 		breakerProbes: r.Counter("gms_client_breaker_probes_total", "half-open probes granted after a cooldown"),
 		openBreakers:  r.Gauge("gms_client_open_breakers", "servers currently shunned by their breaker"),
+		wrongShard:    r.Counter("gms_client_wrong_shard_total", "lookups bounced by a shard that did not own the page"),
+		mapRefreshes:  r.Counter("gms_client_shardmap_refreshes_total", "shard-map installs (bootstrap fetches and TWrongShard refreshes)"),
 		subpageLat:    r.Histogram("gms_client_subpage_latency_us", "fault to faulted-subpage arrival, microseconds", nil),
 		fullLat:       r.Histogram("gms_client_full_latency_us", "fault to complete page arrival, microseconds", nil),
 	}
@@ -67,7 +71,10 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	}
 }
 
-// directoryMetrics are the directory's handles.
+// directoryMetrics are the directory's handles. The gms_dirshard_* block
+// is only registered for sharded directories (nil handles otherwise, so
+// single-directory deployments expose exactly the surface they always
+// did).
 type directoryMetrics struct {
 	lookups      *obs.Counter
 	registers    *obs.Counter
@@ -75,10 +82,18 @@ type directoryMetrics struct {
 	staleRejects *obs.Counter
 	expiries     *obs.Counter
 	pages        *obs.Gauge
+
+	// Shard-mode handles (gms_dirshard_*).
+	wrongShard      *obs.Counter
+	mapRequests     *obs.Counter
+	foreignPages    *obs.Counter
+	shardSelf       *obs.Gauge
+	shardMapVersion *obs.Gauge
+	shardCount      *obs.Gauge
 }
 
-func newDirectoryMetrics(r *obs.Registry) directoryMetrics {
-	return directoryMetrics{
+func newDirectoryMetrics(r *obs.Registry, sharded bool) directoryMetrics {
+	m := directoryMetrics{
 		lookups:      r.Counter("gms_dir_lookups_total", "lookup RPCs answered"),
 		registers:    r.Counter("gms_dir_registers_total", "server registrations applied"),
 		heartbeats:   r.Counter("gms_dir_heartbeats_total", "lease renewals applied"),
@@ -86,4 +101,13 @@ func newDirectoryMetrics(r *obs.Registry) directoryMetrics {
 		expiries:     r.Counter("gms_dir_lease_expiries_total", "server leases expired by the janitor"),
 		pages:        r.Gauge("gms_dir_pages", "pages currently mapped to at least one server"),
 	}
+	if sharded {
+		m.wrongShard = r.Counter("gms_dirshard_wrong_shard_total", "lookups answered TWrongShard: the page belongs to another shard")
+		m.mapRequests = r.Counter("gms_dirshard_map_requests_total", "shard-map fetches answered")
+		m.foreignPages = r.Counter("gms_dirshard_foreign_pages_total", "registered pages dropped because another shard owns them")
+		m.shardSelf = r.Gauge("gms_dirshard_self", "this shard's index in the shard map")
+		m.shardMapVersion = r.Gauge("gms_dirshard_map_version", "version of the shard map being served")
+		m.shardCount = r.Gauge("gms_dirshard_shards", "number of shards in the map being served")
+	}
+	return m
 }

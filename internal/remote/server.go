@@ -32,16 +32,20 @@ type Server struct {
 	conns map[net.Conn]struct{}
 	done  bool
 
-	// Control-plane state. dirAddr is remembered from the last RegisterWith
-	// so lease renewal and post-restart re-registration reuse it. epoch is
-	// the registration epoch: drawn from the wall clock at first
+	// Control-plane state. dirAddr is the bootstrap directory remembered
+	// from the last RegisterWith so lease renewal and post-restart
+	// re-registration reuse it; dirAddrs is every directory holding a lease
+	// for this server — just the bootstrap when the deployment is
+	// unsharded, all shards from the bootstrap's shard map when it is.
+	// epoch is the registration epoch: drawn from the wall clock at first
 	// registration (so a restarted incarnation always registers higher) or
 	// pinned by SetEpoch in tests. hbOn records that the heartbeat loop is
 	// running.
-	dirAddr string
-	epoch   uint64
-	hbEvery time.Duration
-	hbOn    bool
+	dirAddr  string
+	dirAddrs []string
+	epoch    uint64
+	hbEvery  time.Duration
+	hbOn     bool
 
 	// wireNsPerByte emulates a slower link: the server delays each data
 	// fragment by its serialization time at the configured rate. Loopback
@@ -191,9 +195,12 @@ func (s *Server) Pages() int {
 
 // RegisterWith announces every stored page to the directory at dirAddr and
 // takes out a lease there, which the server then renews on a heartbeat
-// ticker until Close. The directory address is remembered so renewal and
-// post-restart re-registration reuse it. An unreachable directory yields a
-// typed error matching ErrDirectoryUnreachable.
+// ticker until Close. If the bootstrap directory serves a sharded map, the
+// page list is partitioned by ring owner and the server registers with —
+// and leases itself to — every shard, so each shard's janitor tracks this
+// server's liveness independently. The addresses are remembered so renewal
+// and post-restart re-registration reuse them. An unreachable directory
+// yields a typed error matching ErrDirectoryUnreachable.
 func (s *Server) RegisterWith(dirAddr string) error {
 	s.mu.Lock()
 	if s.epoch == 0 {
@@ -215,6 +222,38 @@ func (s *Server) RegisterWith(dirAddr string) error {
 		go s.heartbeatLoop()
 	}
 
+	m, err := getShardMap(dirAddr)
+	if err != nil {
+		return err
+	}
+	ring := proto.NewRing(m)
+	if ring == nil {
+		s.mu.Lock()
+		s.dirAddrs = []string{dirAddr}
+		s.mu.Unlock()
+		return s.registerAt(dirAddr, epoch, ids)
+	}
+	byShard := make([][]uint64, len(m.Shards))
+	for _, p := range ids {
+		byShard[ring.Owner(p)] = append(byShard[ring.Owner(p)], p)
+	}
+	s.mu.Lock()
+	s.dirAddrs = append([]string(nil), m.Shards...)
+	s.mu.Unlock()
+	for i, addr := range m.Shards {
+		// An empty batch still takes out a lease: the shard tracks this
+		// server even before it owns any of its pages.
+		if err := s.registerAt(addr, epoch, byShard[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerAt streams one registration (in frame-bounded batches) to the
+// directory at dirAddr. An empty server still sends one registration so it
+// holds a lease.
+func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
 	conn, err := net.Dial("tcp", dirAddr)
 	if err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrDirectoryUnreachable, dirAddr, err)
@@ -222,8 +261,6 @@ func (s *Server) RegisterWith(dirAddr string) error {
 	defer conn.Close()
 	w := proto.NewWriter(conn)
 	r := proto.NewReader(conn)
-	// Register in batches bounded by the frame size. An empty server still
-	// sends one registration so it holds a lease.
 	const batch = (proto.MaxPayload - 256) / 8
 	for first := true; first || len(ids) > 0; first = false {
 		n := len(ids)
@@ -249,6 +286,31 @@ func (s *Server) RegisterWith(dirAddr string) error {
 	return nil
 }
 
+// getShardMap asks the directory at addr which shard map it serves. The
+// empty map means the deployment is unsharded. An unreachable directory
+// yields a typed error matching ErrDirectoryUnreachable.
+func getShardMap(addr string) (proto.ShardMap, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return proto.ShardMap{}, fmt.Errorf("%w: %s: %v", ErrDirectoryUnreachable, addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	if err := w.SendGetShardMap(); err != nil {
+		return proto.ShardMap{}, fmt.Errorf("remote: shard map from %s: %w", addr, err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		return proto.ShardMap{}, fmt.Errorf("remote: shard map from %s: %w", addr, err)
+	}
+	if f.Type != proto.TShardMap {
+		return proto.ShardMap{}, fmt.Errorf("remote: shard map from %s: unexpected %v", addr, f.Type)
+	}
+	return proto.DecodeShardMap(f.Payload)
+}
+
 // heartbeatLoop renews the directory lease until Close. A lost lease
 // (directory restarted, or renewals delayed past the TTL) triggers a full
 // re-registration; an unreachable directory is retried next tick.
@@ -269,36 +331,55 @@ func (s *Server) heartbeatLoop() {
 	}
 }
 
-// heartbeat sends one lease renewal. Errors are deliberately swallowed:
-// the loop's only obligation is to try again next tick, and a directory
-// that answers "no lease" is healed by re-registering.
+// heartbeat sends one lease renewal to every directory holding a lease
+// (each shard in a sharded deployment). Errors are deliberately swallowed:
+// the loop's only obligation is to try again next tick. Any directory that
+// answers "no lease" triggers one full re-registration, which refreshes
+// every shard, so the remaining renewals this tick are skipped.
 func (s *Server) heartbeat() {
 	s.mu.Lock()
-	dir, epoch, met := s.dirAddr, s.epoch, s.met
+	boot, epoch, met := s.dirAddr, s.epoch, s.met
+	dirs := append([]string(nil), s.dirAddrs...)
 	s.mu.Unlock()
-	if dir == "" {
-		return
+	if len(dirs) == 0 {
+		if boot == "" {
+			return
+		}
+		dirs = []string{boot}
 	}
+	for _, dir := range dirs {
+		renewed, err := s.renewAt(dir, epoch)
+		if err != nil {
+			continue // unreachable: retried next tick
+		}
+		met.heartbeats.Inc()
+		if !renewed {
+			met.reregs.Inc()
+			_ = s.RegisterWith(boot)
+			return
+		}
+	}
+}
+
+// renewAt sends one lease renewal to the directory at dir, reporting
+// whether the directory still recognized the lease.
+func (s *Server) renewAt(dir string, epoch uint64) (bool, error) {
 	conn, err := net.DialTimeout("tcp", dir, time.Second)
 	if err != nil {
-		return
+		return false, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
 	w := proto.NewWriter(conn)
 	r := proto.NewReader(conn)
 	if err := w.SendHeartbeat(proto.Heartbeat{Addr: s.Addr(), Epoch: epoch}); err != nil {
-		return
+		return false, err
 	}
 	f, err := r.Next()
 	if err != nil {
-		return
+		return false, err
 	}
-	met.heartbeats.Inc()
-	if f.Type != proto.TAck {
-		met.reregs.Inc()
-		_ = s.RegisterWith(dir)
-	}
+	return f.Type == proto.TAck, nil
 }
 
 func (s *Server) acceptLoop() {

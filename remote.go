@@ -3,6 +3,7 @@ package gmsubpage
 import (
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirshard"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/remote"
 	"github.com/gms-sim/gmsubpage/internal/units"
@@ -26,6 +27,21 @@ func StartDirectory(addr string) (*Directory, error) {
 // page server stops being returned by lookups within one TTL.
 func StartDirectoryTTL(addr string, leaseTTL time.Duration) (*Directory, error) {
 	d, err := remote.ListenDirectoryWith(addr, remote.DirectoryConfig{LeaseTTL: leaseTTL})
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{d: d}, nil
+}
+
+// StartDirectoryShard starts one shard of a sharded directory deployment:
+// the process listens on addr and owns the slice of the page-ID space a
+// consistent-hash ring over shardAddrs assigns to index self. Every shard
+// of a deployment must be started with the same shardAddrs (in the same
+// order) and version. Clients and page servers need no special
+// configuration — they bootstrap from any shard, fetch the map, and route
+// per page; see the README's "Scale-out" section.
+func StartDirectoryShard(addr string, shardAddrs []string, self int, version uint64, leaseTTL time.Duration) (*Directory, error) {
+	d, err := dirshard.StartShard(addr, proto.ShardMap{Version: version, Shards: shardAddrs}, self, dirshard.Config{LeaseTTL: leaseTTL})
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +212,11 @@ type ClientStats struct {
 	BreakerOpens  int64
 	BreakerProbes int64
 	OpenBreakers  int
+	// Sharded-directory counters: lookups bounced by a shard that did not
+	// own the page, and shard-map installs (bootstrap fetch plus every
+	// newer map learned from a bounce).
+	WrongShard   int64
+	MapRefreshes int64
 	// Median fault-to-subpage-arrival and fault-to-complete-page times.
 	SubpageLatencyUs float64
 	FullLatencyUs    float64
@@ -216,6 +237,8 @@ func (c *Client) Stats() ClientStats {
 		BreakerOpens:     st.BreakerOpens,
 		BreakerProbes:    st.BreakerProbes,
 		OpenBreakers:     st.OpenBreakers,
+		WrongShard:       st.WrongShard,
+		MapRefreshes:     st.MapRefreshes,
 		SubpageLatencyUs: st.SubpageLat.Median(),
 		FullLatencyUs:    st.FullLat.Median(),
 	}
