@@ -4,7 +4,7 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke
+.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
@@ -22,9 +22,19 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project-specific analyzers (unitsafety, simpurity, lockio,
-# errdrop); see DESIGN.md "Static analysis & invariants".
+# errdrop, deadlinecheck, tagswitch, goloop, lockorder); see DESIGN.md
+# "Static analysis & invariants". The -short test pass is the analyzer
+# suite's own fixture self-tests: it proves the checks still fire on known
+# violations before trusting a clean run over the repository.
 lint:
+	$(GO) test -short ./internal/lint ./cmd/gmslint
 	$(GO) run ./cmd/gmslint ./...
+
+# lint-baseline regenerates lint_baseline.json, the committed findings
+# artifact. It is kept empty — the lint gate admits no findings — so any
+# diff in this file in a change is itself reviewable evidence.
+lint-baseline:
+	$(GO) run ./cmd/gmslint -json ./... > lint_baseline.json
 
 build:
 	$(GO) build ./...

@@ -1,34 +1,76 @@
 // Command gmslint runs the repository's static analyzer suite (see
-// internal/lint): unitsafety, simpurity, lockio and errdrop. It exits
-// nonzero when any finding survives //lint:allow suppression, which is
-// what `make lint` — and so `make ci` — gates on.
+// internal/lint): unitsafety, simpurity, lockio, errdrop, deadlinecheck,
+// tagswitch, goloop and lockorder. It exits nonzero when any finding
+// survives //lint:allow suppression, which is what `make lint` — and so
+// `make ci` — gates on.
 //
 // Usage:
 //
-//	gmslint [-checks unitsafety,simpurity,lockio,errdrop] [packages]
+//	gmslint [-checks deadlinecheck,tagswitch] [-json] [-allows] [packages]
+//	gmslint -list
 //
 // Packages are directories, or directory/... subtrees; the default is
-// ./... from the current directory.
+// ./... from the current directory. -json emits the findings as a JSON
+// array (an empty array when clean) for baselines and tooling; -allows
+// prints every //lint:allow suppression in the tree with its
+// justification instead of running the analyzers. Conflicting flags exit
+// 2, findings exit 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"github.com/gms-sim/gmsubpage/internal/lint"
 )
 
 func main() {
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list the available checks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the stable wire shape of one finding: module-root-relative
+// slash paths so a baseline diffs cleanly across checkouts.
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gmslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	allows := fs.Bool("allows", false, "list every //lint:allow suppression instead of running checks")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	switch {
+	case *list && (*asJSON || *allows || *checks != ""):
+		_, _ = fmt.Fprintln(stderr, "gmslint: -list takes no other flags")
+		return 2
+	case *asJSON && *allows:
+		_, _ = fmt.Fprintln(stderr, "gmslint: -json and -allows conflict; the allow listing is not a findings report")
+		return 2
+	case *allows && *checks != "":
+		_, _ = fmt.Fprintln(stderr, "gmslint: -allows lists every suppression; it does not take -checks")
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			_, _ = fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := lint.All()
@@ -36,34 +78,90 @@ func main() {
 		var err error
 		analyzers, err = lint.ByName(*checks)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gmslint:", err)
-			os.Exit(2)
+			_, _ = fmt.Fprintln(stderr, "gmslint:", err)
+			return 2
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	root, modPath, err := lint.ModuleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gmslint:", err)
-		os.Exit(2)
+		_, _ = fmt.Fprintln(stderr, "gmslint:", err)
+		return 2
 	}
 	loader := lint.NewLoader(root, modPath)
 	pkgs, err := loader.Expand(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gmslint:", err)
-		os.Exit(2)
+		_, _ = fmt.Fprintln(stderr, "gmslint:", err)
+		return 2
+	}
+
+	if *allows {
+		for _, a := range lint.Allows(pkgs) {
+			just := a.Justification
+			if just == "" {
+				just = "(no justification)"
+			}
+			_, _ = fmt.Fprintf(stdout, "%s:%d: %s: %s\n", relPath(root, a.Pos.Filename), a.Pos.Line, a.Check, just)
+		}
+		return 0
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:  relPath(root, d.Pos.Filename),
+				Line:  d.Pos.Line,
+				Col:   d.Pos.Column,
+				Check: d.Check,
+				Msg:   d.Msg,
+			})
+		}
+		// Run already orders by position; pin file/line/check ordering here
+		// anyway so the baseline artifact is byte-stable by construction.
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].File != out[j].File {
+				return out[i].File < out[j].File
+			}
+			if out[i].Line != out[j].Line {
+				return out[i].Line < out[j].Line
+			}
+			return out[i].Check < out[j].Check
+		})
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "gmslint:", err)
+			return 2
+		}
+		_, _ = fmt.Fprintln(stdout, string(enc))
+	} else {
+		for _, d := range diags {
+			_, _ = fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "gmslint: %d finding(s) in %d package(s)\n", n, len(pkgs))
-		os.Exit(1)
+		_, _ = fmt.Fprintf(stderr, "gmslint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// relPath rewrites an absolute position filename to a module-root-relative
+// slash path; paths outside the module (there are none in practice) pass
+// through unchanged.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of a lint testdata fixture relative to this
+// package directory, which is the test's working directory.
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"..", "..", "internal", "lint", "testdata", "src"}, elem...)...)
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"unitsafety", "simpurity", "lockio", "errdrop",
+		"deadlinecheck", "tagswitch", "goloop", "lockorder"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestConflictingFlagsExitTwo(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-list", "-json"},
+		{"-list", "-allows"},
+		{"-list", "-checks", "errdrop"},
+		{"-json", "-allows"},
+		{"-allows", "-checks", "errdrop"},
+		{"-checks", "nosuch"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(argv, &out, &errb); code != 2 {
+			t.Errorf("%v exited %d, want 2 (stderr: %s)", argv, code, errb.String())
+		}
+	}
+}
+
+func TestJSONFindingsOnDirtyFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-checks", "errdrop", fixture("errdrop")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("dirty fixture exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var findings []struct {
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("errdrop fixture produced no findings")
+	}
+	for _, f := range findings {
+		if f.Check != "errdrop" || f.Line <= 0 || f.Msg == "" {
+			t.Errorf("malformed finding %+v", f)
+		}
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, `\`) || strings.HasPrefix(f.File, "..") {
+			t.Errorf("finding path %q is not a module-root-relative slash path", f.File)
+		}
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings not ordered: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", filepath.Join("..", "..", "internal", "units")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clean package exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestAllowsListsSuppressionsWithJustifications(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-allows", filepath.Join("..", "..", "internal", "remote")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-allows exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "deadlinecheck:") {
+		t.Fatalf("-allows output missing the audited deadlinecheck suppressions:\n%s", out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		// path:line: check: justification
+		parts := strings.SplitN(line, ": ", 3)
+		if len(parts) != 3 || parts[2] == "" {
+			t.Errorf("allow line %q has no justification; every live suppression must say why", line)
+		}
+	}
+}

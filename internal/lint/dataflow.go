@@ -1,0 +1,143 @@
+package lint
+
+import "go/ast"
+
+// flowFuncs bundles the transfer functions of one forward dataflow
+// analysis over a function body. The shared walker implements the same
+// cheap "on all paths" approximation lockio's held-set walk pioneered:
+// state threads through straight-line statements in source order, and
+// every conditionally executed body (if/else arms, loop bodies, switch
+// cases, select arms) sees a private clone while the fall-through path
+// keeps the pre-branch state. A fact established only inside a branch
+// therefore never leaks past it — exactly the dominance discipline
+// deadlinecheck needs — and a fact established before a branch survives
+// into every arm.
+//
+// The walker is structural only; it knows nothing about the facts being
+// tracked. Analyzers provide:
+//
+//   - clone: copy the state for a conditionally executed body.
+//   - stmt:  optional statement hook, seen before the structural descent;
+//     returning true claims the statement and suppresses the default
+//     handling (used for assignments that union aliases, go statements
+//     whose call must not count as sequential, ...).
+//   - expr:  called for every expression evaluated on the current path.
+//     The hook owns the descent into subexpressions (typically via
+//     ast.Inspect), including the decision of what to do with function
+//     literals — the walker never enters a FuncLit on its own.
+//
+// Defer statements are skipped entirely: their calls run at returns, not
+// in sequence, and every current client is conservative without them
+// (a deferred Unlock keeps the mutex in the held set for the rest of the
+// function; a deferred Close performs no tracked I/O).
+type flowFuncs[S any] struct {
+	clone func(S) S
+	stmt  func(ast.Stmt, S) bool
+	expr  func(ast.Expr, S)
+}
+
+func (f flowFuncs[S]) walk(list []ast.Stmt, st S) {
+	for _, s := range list {
+		f.walkStmt(s, st)
+	}
+}
+
+func (f flowFuncs[S]) walkStmt(s ast.Stmt, st S) {
+	if s == nil {
+		return
+	}
+	if f.stmt != nil && f.stmt(s, st) {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		f.expr(s.X, st)
+	case *ast.SendStmt:
+		f.expr(s.Chan, st)
+		f.expr(s.Value, st)
+	case *ast.IncDecStmt:
+		f.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			f.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			f.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						f.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			f.expr(e, st)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs concurrently; by default only the call
+		// expression itself (function value and arguments) is evaluated
+		// on this path. Analyzers that care distinguish via the stmt hook.
+		f.expr(s.Call, st)
+	case *ast.DeferStmt:
+		// Skipped; see the type comment.
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		f.walk(s.List, st)
+	case *ast.IfStmt:
+		f.walkStmt(s.Init, st)
+		f.expr(s.Cond, st)
+		f.walk(s.Body.List, f.clone(st))
+		if s.Else != nil {
+			f.walkStmt(s.Else, f.clone(st))
+		}
+	case *ast.ForStmt:
+		f.walkStmt(s.Init, st)
+		if s.Cond != nil {
+			f.expr(s.Cond, st)
+		}
+		body := f.clone(st)
+		f.walk(s.Body.List, body)
+		f.walkStmt(s.Post, body)
+	case *ast.RangeStmt:
+		f.expr(s.X, st)
+		f.walk(s.Body.List, f.clone(st))
+	case *ast.SwitchStmt:
+		f.walkStmt(s.Init, st)
+		if s.Tag != nil {
+			f.expr(s.Tag, st)
+		}
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			branch := f.clone(st)
+			for _, e := range cc.List {
+				f.expr(e, branch)
+			}
+			f.walk(cc.Body, branch)
+		}
+	case *ast.TypeSwitchStmt:
+		f.walkStmt(s.Init, st)
+		f.walkStmt(s.Assign, st)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				f.walk(cc.Body, f.clone(st))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				branch := f.clone(st)
+				f.walkStmt(cc.Comm, branch)
+				f.walk(cc.Body, branch)
+			}
+		}
+	}
+}

@@ -55,6 +55,10 @@ type Pass struct {
 	Files    []*ast.File
 	Info     *types.Info
 	Path     string // import path
+	// Prog is the whole-program view over every package of this Run;
+	// the interprocedural analyzers resolve call edges and summaries
+	// through it.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -70,7 +74,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Unitsafety, Simpurity, Lockio, Errdrop}
+	return []*Analyzer{Unitsafety, Simpurity, Lockio, Errdrop,
+		Deadlinecheck, Tagswitch, Goloop, Lockorder}
 }
 
 // ByName resolves a comma-separated list of analyzer names.
@@ -102,15 +107,41 @@ type allowMark struct {
 	justified bool
 }
 
+// Allow is one //lint:allow suppression found in the source, for the
+// suppression-audit tooling (gmslint -allows).
+type Allow struct {
+	Pos           token.Position
+	Check         string
+	Justification string
+}
+
 const allowPrefix = "//lint:allow"
 
-// collectAllows parses every //lint:allow comment of the package. It
-// returns the marks keyed by filename and the lines they cover (the
-// comment's own line and the next, so both trailing and standalone
-// placement work), plus a diagnostic for every mark missing its mandatory
-// justification.
-func collectAllows(pkg *Package) (map[string]map[int][]allowMark, []Diagnostic) {
-	marks := make(map[string]map[int][]allowMark)
+// knownCheck reports whether name is an analyzer of the suite. An allow
+// naming anything else is a stale suppression (usually left behind when a
+// check was renamed or removed) and is itself a finding.
+func knownCheck(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownCheckNames() string {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// scanAllows parses every //lint:allow comment of the package, in file
+// order, plus a diagnostic for every mark missing its mandatory
+// justification or naming a check that does not exist.
+func scanAllows(pkg *Package) ([]Allow, []Diagnostic) {
+	var allows []Allow
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -126,20 +157,55 @@ func collectAllows(pkg *Package) (map[string]map[int][]allowMark, []Diagnostic) 
 						Msg: "lint:allow needs a check name and a justification"})
 					continue
 				}
-				m := allowMark{check: fields[0], justified: len(fields) > 1}
-				if !m.justified {
+				a := Allow{Pos: pos, Check: fields[0],
+					Justification: strings.Join(fields[1:], " ")}
+				if a.Justification == "" {
 					diags = append(diags, Diagnostic{Pos: pos, Check: "allow",
-						Msg: fmt.Sprintf("lint:allow %s needs a justification (//lint:allow %s <why>)", m.check, m.check)})
+						Msg: fmt.Sprintf("lint:allow %s needs a justification (//lint:allow %s <why>)", a.Check, a.Check)})
 				}
-				byLine := marks[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]allowMark)
-					marks[pos.Filename] = byLine
+				if !knownCheck(a.Check) {
+					diags = append(diags, Diagnostic{Pos: pos, Check: "allow",
+						Msg: fmt.Sprintf("lint:allow names unknown check %q (stale suppression?); known checks: %s", a.Check, knownCheckNames())})
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], m)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], m)
+				allows = append(allows, a)
 			}
 		}
+	}
+	return allows, diags
+}
+
+// Allows lists every //lint:allow suppression of pkgs in file/line order.
+func Allows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		allows, _ := scanAllows(pkg)
+		out = append(out, allows...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// collectAllows converts the package's allows into the line-keyed lookup
+// suppression uses: each mark covers the comment's own line and the next,
+// so both trailing and standalone placement work.
+func collectAllows(pkg *Package) (map[string]map[int][]allowMark, []Diagnostic) {
+	allows, diags := scanAllows(pkg)
+	marks := make(map[string]map[int][]allowMark)
+	for _, a := range allows {
+		m := allowMark{check: a.Check, justified: a.Justification != ""}
+		byLine := marks[a.Pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]allowMark)
+			marks[a.Pos.Filename] = byLine
+		}
+		byLine[a.Pos.Line] = append(byLine[a.Pos.Line], m)
+		byLine[a.Pos.Line+1] = append(byLine[a.Pos.Line+1], m)
 	}
 	return marks, diags
 }
@@ -156,6 +222,7 @@ func suppressed(marks map[string]map[int][]allowMark, d Diagnostic) bool {
 // Run executes the analyzers over the packages, applies //lint:allow
 // suppressions, and returns the surviving findings in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		marks, allowDiags := collectAllows(pkg)
@@ -168,6 +235,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Info:     pkg.Info,
 				Path:     pkg.Path,
+				Prog:     prog,
 			}
 			a.Run(pass)
 			for _, d := range pass.diags {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -106,6 +107,22 @@ func TestErrdropFixture(t *testing.T) {
 	runWantTest(t, "testdata/src/errdrop", []*Analyzer{Errdrop})
 }
 
+func TestDeadlinecheckFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/deadlinecheck/internal/remote", []*Analyzer{Deadlinecheck})
+}
+
+func TestTagswitchFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/tagswitch", []*Analyzer{Tagswitch})
+}
+
+func TestGoloopFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/goloop/internal/remote", []*Analyzer{Goloop})
+}
+
+func TestLockorderFixture(t *testing.T) {
+	runWantTest(t, "testdata/src/lockorder/internal/remote", []*Analyzer{Lockorder})
+}
+
 // TestInjectedViolationIsFatal pins the cmd/gmslint exit contract: an
 // injected violation must yield findings, and findings are what the
 // command turns into a nonzero exit.
@@ -151,6 +168,58 @@ var t2 = time.Now()
 	}
 }
 
+// TestStaleAllowIsReported pins the suppression audit: an allow naming a
+// check that does not exist (a refactor leftover) is itself a finding, and
+// Allows lists every mark with its justification.
+func TestStaleAllowIsReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "time"
+
+var t0 = time.Now() //lint:allow simpurity harness timing is wall-clock on purpose
+
+var t1 = time.Now() //lint:allow simpurityy typo'd check name left by a refactor
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Simpurity})
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Check == "allow" && strings.Contains(d.Msg, "unknown check") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Msg, "simpurityy") {
+		t.Fatalf("want exactly one stale-allow finding naming simpurityy, got %v", diags)
+	}
+	// The typo'd allow suppresses nothing, so the simpurity finding on t1
+	// must survive.
+	found := false
+	for _, d := range diags {
+		if d.Check == "simpurity" && d.Pos.Line == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("typo'd allow swallowed the finding it no longer names: %v", diags)
+	}
+
+	allows := Allows([]*Package{pkg})
+	if len(allows) != 2 {
+		t.Fatalf("want 2 allows, got %v", allows)
+	}
+	if allows[0].Check != "simpurity" || !strings.Contains(allows[0].Justification, "wall-clock on purpose") {
+		t.Fatalf("allow not parsed with its justification: %+v", allows[0])
+	}
+}
+
 // TestRepositoryIsLintClean runs the full suite over the whole module —
 // the same gate as `make lint` — so a violation introduced anywhere fails
 // the ordinary test run, not just CI.
@@ -171,6 +240,74 @@ func TestRepositoryIsLintClean(t *testing.T) {
 	}
 }
 
+// TestDeletingProtocolCaseArmFails pins the acceptance contract of the
+// tagswitch analyzer on the real code: removing any `case T*` arm from any
+// protocol tag switch in internal/remote must produce a finding naming the
+// dropped tags (and so fail `make lint`). The switches there are
+// exhaustive with no default — proto.Reader.Next rejects unknown tag
+// bytes, so exhaustiveness is safe — which is exactly what makes this
+// mutation detectable.
+func TestDeletingProtocolCaseArmFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks internal/remote; skipped in -short")
+	}
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join(loader.Root, "internal", "remote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil || tagEnumType(pkg.Info, sw.Tag) == nil {
+				return true
+			}
+			swLine := pkg.Fset.Position(sw.Pos()).Line
+			saved := sw.Body.List
+			for i, clause := range saved {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok || cc.List == nil {
+					continue
+				}
+				var deleted []string
+				for _, e := range cc.List {
+					switch e := ast.Unparen(e).(type) {
+					case *ast.SelectorExpr:
+						deleted = append(deleted, e.Sel.Name)
+					case *ast.Ident:
+						deleted = append(deleted, e.Name)
+					}
+				}
+				sw.Body.List = append(append([]ast.Stmt{}, saved[:i]...), saved[i+1:]...)
+				diags := Run([]*Package{pkg}, []*Analyzer{Tagswitch})
+				sw.Body.List = saved
+				mutations++
+
+				var hit *Diagnostic
+				for j := range diags {
+					if diags[j].Check == "tagswitch" && diags[j].Pos.Line == swLine {
+						hit = &diags[j]
+					}
+				}
+				if hit == nil {
+					t.Errorf("deleting the %v arm of the switch at line %d produced no tagswitch finding", deleted, swLine)
+					continue
+				}
+				for _, name := range deleted {
+					if !strings.Contains(hit.Msg, name) {
+						t.Errorf("finding for the deleted %v arm does not name %s: %s", deleted, name, hit.Msg)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if mutations < 12 {
+		t.Fatalf("expected to mutate every protocol switch arm in internal/remote, only found %d", mutations)
+	}
+}
+
 // TestAnalyzerDocs keeps the -list output usable.
 func TestAnalyzerDocs(t *testing.T) {
 	names := make(map[string]bool)
@@ -183,7 +320,8 @@ func TestAnalyzerDocs(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, n := range []string{"unitsafety", "simpurity", "lockio", "errdrop"} {
+	for _, n := range []string{"unitsafety", "simpurity", "lockio", "errdrop",
+		"deadlinecheck", "tagswitch", "goloop", "lockorder"} {
 		if !names[n] {
 			t.Errorf("missing analyzer %q", n)
 		}

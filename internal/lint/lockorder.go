@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder keeps the mutex-acquisition graph of each concurrent package
+// a DAG. Deadlock by ordering inversion needs two goroutines taking the
+// same two mutexes in opposite orders — the client's srvMu/c.mu pair and
+// the per-shard dirConn mutexes are exactly where one would hide — so the
+// analyzer records an edge A → B whenever B is acquired while A is held
+// (using the same branch-local held-set walk as lockio) and rejects any
+// cycle, including the self-cycle of re-acquiring a mutex already held
+// (sync.Mutex is not reentrant).
+//
+// Mutexes are named by their owning type and field (Client.mu, dirConn.
+// rpc), so the same lock reached through differently named receivers in
+// different methods is one graph node. Acquisitions are propagated
+// through in-program calls by summary: a callee's net acquisitions — the
+// locks it takes that it was not handed already released — extend the
+// caller's held set at the call site, and locks a callee still holds at
+// return (lock-helper style) stay held in the caller. A callee that
+// unlocks a mutex before re-acquiring it (the evictIfFull pattern: drop
+// c.mu, write remotely, re-take c.mu) contributes no edge, because its
+// caller's hold is released before the inner acquisition.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition order must be cycle-free within each concurrent package",
+	Run:  runLockorder,
+}
+
+// lockSummary is a function's boundary behavior for lock ordering.
+type lockSummary struct {
+	// acquired holds every lock key the function takes without having
+	// first released it (net transient or lasting acquisitions — the
+	// ones that order against locks its caller holds).
+	acquired map[string]bool
+	// heldAtExit holds the keys still held on the fall-through return.
+	heldAtExit map[string]bool
+}
+
+var emptyLockSummary = &lockSummary{}
+
+func (p *Program) lockSummary(fn *types.Func) *lockSummary {
+	if s, ok := p.loSummaries[fn]; ok {
+		return s
+	}
+	info := p.FuncOf(fn)
+	if info == nil || info.Decl.Body == nil {
+		p.loSummaries[fn] = emptyLockSummary
+		return emptyLockSummary
+	}
+	if p.loInFlight[fn] {
+		return emptyLockSummary
+	}
+	p.loInFlight[fn] = true
+	defer delete(p.loInFlight, fn)
+
+	w := &lockOrderWalker{prog: p, info: info.Pkg.Info,
+		acquired: map[string]bool{}, releasedFirst: map[string]bool{}}
+	held := map[string]token.Pos{}
+	w.flow().walk(info.Decl.Body.List, held)
+	sum := &lockSummary{acquired: w.acquired, heldAtExit: map[string]bool{}}
+	deferred := w.deferredUnlocks(info.Decl.Body)
+	for k := range held {
+		if !deferred[k] {
+			sum.heldAtExit[k] = true
+		}
+	}
+	p.loSummaries[fn] = sum
+	return sum
+}
+
+// deferredUnlocks collects the lock keys released by defer statements in
+// the body: held within the body (which is what the walk models), but
+// released before control returns to the caller, so they must not leak
+// into heldAtExit.
+func (w *lockOrderWalker) deferredUnlocks(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if op, key, ok := w.lockOp(n.Call); ok && op == "unlock" {
+				out[key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockOrderWalker runs one body with a held set. onEdge is set in check
+// mode; acquired/releasedFirst always collect summary facts.
+type lockOrderWalker struct {
+	prog          *Program
+	info          *types.Info
+	onEdge        func(from, to string, pos token.Pos, via string)
+	acquired      map[string]bool
+	releasedFirst map[string]bool
+}
+
+func (w *lockOrderWalker) flow() flowFuncs[map[string]token.Pos] {
+	return flowFuncs[map[string]token.Pos]{
+		clone: copyHeld,
+		stmt:  w.stmt,
+		expr:  w.scanExpr,
+	}
+}
+
+func (w *lockOrderWalker) stmt(s ast.Stmt, held map[string]token.Pos) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if op, key, ok := w.lockOp(s.X); ok {
+			w.apply(op, key, s.Pos(), held)
+			return true
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine acquires its locks on its own stack, not
+		// under the launcher's held set; its body is judged when its
+		// function is walked in its own right.
+		return true
+	}
+	return false
+}
+
+func (w *lockOrderWalker) apply(op, key string, pos token.Pos, held map[string]token.Pos) {
+	if op == "unlock" {
+		if _, was := held[key]; !was {
+			w.releasedFirst[key] = true
+		}
+		delete(held, key)
+		return
+	}
+	if !w.releasedFirst[key] {
+		w.acquired[key] = true
+	}
+	if w.onEdge != nil {
+		for from := range held {
+			w.onEdge(from, key, pos, "")
+		}
+		if _, already := held[key]; already {
+			w.onEdge(key, key, pos, "")
+		}
+	}
+	held[key] = pos
+}
+
+func (w *lockOrderWalker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs on whatever goroutine invokes it;
+			// judge its internal ordering as an independent root.
+			inner := &lockOrderWalker{prog: w.prog, info: w.info, onEdge: w.onEdge,
+				acquired: map[string]bool{}, releasedFirst: map[string]bool{}}
+			inner.flow().walk(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.CallExpr:
+			w.call(n, held)
+		}
+		return true
+	})
+}
+
+func (w *lockOrderWalker) call(call *ast.CallExpr, held map[string]token.Pos) {
+	fn := staticCallee(w.info, call)
+	if fn == nil || w.prog == nil || w.prog.FuncOf(fn) == nil {
+		return
+	}
+	sum := w.prog.lockSummary(fn)
+	if w.onEdge != nil {
+		for key := range sum.acquired {
+			for from := range held {
+				if from != key {
+					w.onEdge(from, key, call.Pos(), fn.Name())
+				} else {
+					w.onEdge(key, key, call.Pos(), fn.Name())
+				}
+			}
+		}
+	}
+	for key := range sum.heldAtExit {
+		if _, ok := held[key]; !ok {
+			held[key] = call.Pos()
+		}
+	}
+}
+
+// lockOp classifies expr as Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") on a sync mutex, keyed by owning type and field.
+func (w *lockOrderWalker) lockOp(expr ast.Expr) (op, key string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	tv, has := w.info.Types[sel.X]
+	if !has || !isMutexType(tv.Type) {
+		return "", "", false
+	}
+	return op, lockKeyOf(w.info, sel.X), true
+}
+
+// lockKeyOf names a mutex by its owning named type and field when it is a
+// struct field (so c.mu and cl.mu are one node), falling back to the
+// expression text for package-level and local mutexes.
+func lockKeyOf(info *types.Info, mutexExpr ast.Expr) string {
+	mx := ast.Unparen(mutexExpr)
+	if fsel, ok := mx.(*ast.SelectorExpr); ok {
+		if tv, has := info.Types[fsel.X]; has && tv.Type != nil {
+			t := types.Unalias(tv.Type)
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = types.Unalias(ptr.Elem())
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return named.Obj().Name() + "." + fsel.Sel.Name
+			}
+		}
+	}
+	return types.ExprString(mx)
+}
+
+// lockEdge is one "to acquired while from held" observation.
+type lockEdge struct {
+	from, to string
+}
+
+type lockEdgeSite struct {
+	pos token.Pos
+	via string
+}
+
+func runLockorder(pass *Pass) {
+	if !pathInSegments(pass.Path, lockioSegments) {
+		return
+	}
+	edges := map[lockEdge]lockEdgeSite{}
+	onEdge := func(from, to string, pos token.Pos, via string) {
+		e := lockEdge{from: from, to: to}
+		if _, ok := edges[e]; !ok {
+			edges[e] = lockEdgeSite{pos: pos, via: via}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockOrderWalker{prog: pass.Prog, info: pass.Info, onEdge: onEdge,
+				acquired: map[string]bool{}, releasedFirst: map[string]bool{}}
+			w.flow().walk(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+	// Self-edges are reported outright; everything else goes through
+	// cycle detection on the acquisition graph.
+	adj := map[string][]string{}
+	for e := range edges {
+		if e.from != e.to {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	inCycle := cyclicNodes(adj)
+	for e, site := range edges {
+		switch {
+		case e.from == e.to:
+			pass.Reportf(site.pos, "%s is acquired while already held%s; sync mutexes are not reentrant, so this path self-deadlocks", e.to, viaNote(site.via))
+		case inCycle[e.from] && inCycle[e.to]:
+			cycle := cycleMembers(inCycle)
+			pass.Reportf(site.pos, "acquiring %s while holding %s%s closes a lock-ordering cycle (%s); acquire mutexes in one global order everywhere, or justify with //lint:allow lockorder <why>", e.to, e.from, viaNote(site.via), strings.Join(cycle, ", "))
+		}
+	}
+}
+
+func viaNote(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via call to " + via + ")"
+}
+
+func cycleMembers(inCycle map[string]bool) []string {
+	members := make([]string, 0, len(inCycle))
+	for k, yes := range inCycle {
+		if yes {
+			members = append(members, k)
+		}
+	}
+	sort.Strings(members)
+	return members
+}
+
+// cyclicNodes returns the nodes on some directed cycle: members of any
+// strongly connected component with more than one node (self-loops are
+// handled separately by the caller).
+func cyclicNodes(adj map[string][]string) map[string]bool {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	inCycle := map[string]bool{}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wnode := range adj[v] {
+			if _, seen := index[wnode]; !seen {
+				strongconnect(wnode)
+				if low[wnode] < low[v] {
+					low[v] = low[wnode]
+				}
+			} else if onStack[wnode] && index[wnode] < low[v] {
+				low[v] = index[wnode]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				n := len(stack) - 1
+				wnode := stack[n]
+				stack = stack[:n]
+				onStack[wnode] = false
+				comp = append(comp, wnode)
+				if wnode == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, m := range comp {
+					inCycle[m] = true
+				}
+			}
+		}
+	}
+	nodes := make([]string, 0, len(adj))
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return inCycle
+}

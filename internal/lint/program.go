@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Whole-program view for the interprocedural analyzers.
+//
+// PR 2's analyzers were per-function AST walks; deadlinecheck, tagswitch,
+// goloop and lockorder all need to see across call boundaries (a helper
+// that arms a deadline satisfies its caller; a default arm may delegate
+// tag dispatch; a goroutine's stop path may live in the method the go
+// statement resolves to; a callee's lock acquisitions extend the caller's
+// held set). Program is the shared substrate: every function declared in
+// the loaded packages, indexed by its *types.Func, plus the statically
+// resolved call edges between them.
+//
+// The resolution is deliberately static-only: calls through function
+// values, interface methods whose dynamic type is unknown, and calls into
+// packages outside the load set have no edge. Analyzers treat an
+// unresolved call as "no information" and stay conservative on their own
+// terms (deadlinecheck assumes it performs no I/O, lockorder assumes it
+// takes no locks) — one level of summaries over the static graph is the
+// cheap approximation that already proves the invariants the live
+// prototype relies on, without dragging in a full pointer analysis.
+
+// FuncInfo is one function or method declared in a loaded package.
+type FuncInfo struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// CallSite is one statically resolved call edge.
+type CallSite struct {
+	Caller *FuncInfo
+	Callee *types.Func
+	Call   *ast.CallExpr
+}
+
+// Program indexes every loaded package's functions and call edges. It is
+// built once per Run and shared by all analyzers via Pass.Prog.
+type Program struct {
+	Pkgs  []*Package
+	Funcs map[*types.Func]*FuncInfo
+	// Calls lists a function's outgoing resolved calls in source order;
+	// CallersOf is the reverse index.
+	Calls     map[*types.Func][]CallSite
+	CallersOf map[*types.Func][]CallSite
+
+	// Per-analyzer memoized summaries (keyed by callee). The maps live
+	// here so summaries are computed once per Run even when several
+	// callers ask; the in-flight sets break recursion on call cycles.
+	dlSummaries map[*types.Func]*deadlineSummary
+	dlInFlight  map[*types.Func]bool
+	loSummaries map[*types.Func]*lockSummary
+	loInFlight  map[*types.Func]bool
+}
+
+// BuildProgram indexes the functions and static call edges of pkgs.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:        pkgs,
+		Funcs:       make(map[*types.Func]*FuncInfo),
+		Calls:       make(map[*types.Func][]CallSite),
+		CallersOf:   make(map[*types.Func][]CallSite),
+		dlSummaries: make(map[*types.Func]*deadlineSummary),
+		dlInFlight:  make(map[*types.Func]bool),
+		loSummaries: make(map[*types.Func]*lockSummary),
+		loInFlight:  make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.Funcs[fn] = &FuncInfo{Fn: fn, Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+	for _, info := range prog.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		caller := info
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(caller.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			site := CallSite{Caller: caller, Callee: callee, Call: call}
+			prog.Calls[caller.Fn] = append(prog.Calls[caller.Fn], site)
+			prog.CallersOf[callee] = append(prog.CallersOf[callee], site)
+			return true
+		})
+	}
+	return prog
+}
+
+// FuncOf returns the FuncInfo of fn if it is declared in the program.
+func (p *Program) FuncOf(fn *types.Func) *FuncInfo {
+	if p == nil || fn == nil {
+		return nil
+	}
+	return p.Funcs[fn]
+}
+
+// staticCallee resolves the *types.Func a call statically invokes, if
+// any: a plain function, a method on a concrete or interface receiver, or
+// a qualified identifier. Calls through function values resolve to nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Tagswitch keeps the wire protocol's dispatch total. Every switch over a
+// message-tag enum (a named integer type declared in a package whose
+// import path contains internal/proto) must either:
+//
+//   - handle every declared T* constant of the type explicitly — the
+//     preferred form, because then deleting an arm or adding a tag makes
+//     lint fail at the switch, not at runtime; or
+//   - carry a default that visibly fails (return, panic, os.Exit,
+//     log.Fatal), so an unhandled tag is refused rather than swallowed; or
+//   - carry a default that delegates to an in-program helper whose own
+//     tag switch covers the remainder (one level of dispatch).
+//
+// proto.Reader.Next rejects unknown tag bytes at decode time, so an
+// exhaustive switch with no default really is total over what can reach
+// it — the compiler's missing-return check then guards the grouped arms.
+var Tagswitch = &Analyzer{
+	Name: "tagswitch",
+	Doc:  "protocol tag switches must handle every declared message type or fail explicitly",
+	Run:  runTagswitch,
+}
+
+func runTagswitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok && sw.Tag != nil {
+				checkTagSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+}
+
+// tagEnumType reports whether tag's type is a message-tag enum, returning
+// the named type if so.
+func tagEnumType(info *types.Info, tag ast.Expr) *types.Named {
+	tv, ok := info.Types[tag]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	if !pathHasSegment(named.Obj().Pkg().Path(), "internal/proto") {
+		return nil
+	}
+	return named
+}
+
+// declaredTags lists the constants of the enum declared in its package,
+// in value order.
+func declaredTags(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var tags []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		tags = append(tags, c)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		vi, _ := constant.Int64Val(tags[i].Val())
+		vj, _ := constant.Int64Val(tags[j].Val())
+		return vi < vj
+	})
+	return tags
+}
+
+func checkTagSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	named := tagEnumType(pass.Info, sw.Tag)
+	if named == nil {
+		return
+	}
+	tags := declaredTags(named)
+	if len(tags) < 2 {
+		return
+	}
+	handled := map[string]bool{}
+	var deflt *ast.CaseClause
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				handled[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	delegated := false
+	if deflt != nil && !failingBody(pass, deflt.Body) {
+		// One level of helper dispatch: tags the delegate's own switch
+		// handles count as handled here.
+		for _, call := range bodyCalls(deflt.Body) {
+			fn := staticCallee(pass.Info, call)
+			info := pass.Prog.FuncOf(fn)
+			if info == nil || info.Decl.Body == nil {
+				continue
+			}
+			ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+				inner, ok := n.(*ast.SwitchStmt)
+				if !ok || inner.Tag == nil || tagEnumType(info.Pkg.Info, inner.Tag) != named {
+					return true
+				}
+				delegated = true
+				for _, clause := range inner.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok || cc.List == nil {
+						continue
+					}
+					for _, e := range cc.List {
+						if tv, ok := info.Pkg.Info.Types[e]; ok && tv.Value != nil {
+							handled[tv.Value.ExactString()] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	var missing []string
+	for _, tag := range tags {
+		if !handled[tag.Val().ExactString()] {
+			missing = append(missing, tag.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if deflt != nil && failingBody(pass, deflt.Body) {
+		return
+	}
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	switch {
+	case deflt == nil:
+		pass.Reportf(sw.Pos(), "tag switch over %s does not handle %s and has no default; handle every declared tag, or refuse unknown ones in a failing default", typeName, strings.Join(missing, ", "))
+	case delegated:
+		pass.Reportf(sw.Pos(), "tag switch over %s does not handle %s even counting the helper its default dispatches to, and the default does not fail; cover every declared tag or return an error", typeName, strings.Join(missing, ", "))
+	default:
+		pass.Reportf(sw.Pos(), "tag switch over %s does not handle %s and its default does not fail; a new message type would be swallowed silently — cover every tag or return an error in default", typeName, strings.Join(missing, ", "))
+	}
+}
+
+// bodyCalls lists the calls made directly in stmts (not inside nested
+// function literals).
+func bodyCalls(stmts []ast.Stmt) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				calls = append(calls, n)
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+// failingBody reports whether the statement list visibly refuses its
+// input: a return, panic, fatal log, process exit or goto on some
+// statement path. Nested function literals do not count.
+func failingBody(pass *Pass, stmts []ast.Stmt) bool {
+	failing := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				failing = true
+			case *ast.BranchStmt:
+				if n.Tok.String() == "goto" {
+					failing = true
+				}
+			case *ast.CallExpr:
+				if isFailCall(pass, n) {
+					failing = true
+				}
+			}
+			return !failing
+		})
+		if failing {
+			return true
+		}
+	}
+	return false
+}
+
+func isFailCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := staticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "os" && name == "Exit":
+		return true
+	case pkg == "log" && strings.HasPrefix(name, "Fatal"):
+		return true
+	case pkg == "runtime" && name == "Goexit":
+		return true
+	}
+	return false
+}

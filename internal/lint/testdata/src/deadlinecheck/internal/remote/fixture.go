@@ -1,0 +1,99 @@
+// Fixture for the deadlinecheck analyzer. The directory path contains
+// internal/remote, so the loader-derived import path puts this package in
+// the analyzer's live-prototype scope.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+// bare is the plain true positive: a locally dialed connection read with
+// no deadline on any path.
+func bare(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 8)
+	_, err = conn.Read(buf) // want `network I/O \(Read\) on "conn" is not bounded by a deadline`
+	return err
+}
+
+// armed is the negative: the deadline dominates the read.
+func armed(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 8)
+	_, err = conn.Read(buf)
+	return err
+}
+
+// oneBranchOnly arms on a single path, so the write is unbounded on the
+// fall-through: flagged.
+func oneBranchOnly(addr string, patient bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if patient {
+		_ = conn.SetDeadline(time.Now().Add(time.Minute))
+	}
+	_, err = conn.Write([]byte("x")) // want `network I/O \(Write\) on "conn" is not bounded by a deadline`
+	return err
+}
+
+// arm bounds the caller's connection; the summary records the parameter
+// as armed on return.
+func arm(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+}
+
+// armedInCallee is the interprocedural negative: the helper sets the
+// deadline, satisfying the caller's write.
+func armedInCallee(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	arm(conn)
+	_, err = conn.Write([]byte("ping"))
+	return err
+}
+
+// readAll performs I/O on a connection it was handed; arming it is its
+// caller's obligation, so readAll itself is clean.
+func readAll(conn net.Conn) error {
+	buf := make([]byte, 8)
+	_, err := conn.Read(buf)
+	return err
+}
+
+// unarmedHelperCall is the interprocedural positive: the callee reads and
+// nobody armed the connection.
+func unarmedHelperCall(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return readAll(conn) // want `network I/O \(call to readAll, which does Read\) on "conn" is not bounded by a deadline`
+}
+
+// armThenHand chains both summaries: arm's arming covers readAll's I/O.
+func armThenHand(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	arm(conn)
+	return readAll(conn)
+}

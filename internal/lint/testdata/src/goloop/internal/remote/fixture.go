@@ -1,0 +1,75 @@
+// Fixture for the goloop analyzer. The directory path contains
+// internal/remote, so the loader-derived import path puts this package in
+// the analyzer's live-prototype scope.
+package fixture
+
+// spinForever is the plain true positive: nothing can ever stop this
+// goroutine.
+func spinForever(work func()) {
+	go func() { // want `goroutine has no reachable stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+// stopChannel is the negative: the stop arm returns out of the loop.
+func stopChannel(work func(), stop chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// bounded goroutines just terminate; no stop machinery needed.
+func bounded(work func()) {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+}
+
+type pump struct {
+	stop chan struct{}
+	work func()
+}
+
+// run drains until stopped; launched interprocedurally below.
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		p.work()
+	}
+}
+
+// spin has no exit at all.
+func (p *pump) spin() {
+	for {
+		p.work()
+	}
+}
+
+// launch is the interprocedural negative: the stop path lives in the
+// method the go statement resolves to.
+func launch(p *pump) { go p.run() }
+
+// launchWrapped follows one level of calls through a literal body.
+func launchWrapped(p *pump) {
+	go func() {
+		p.run()
+	}()
+}
+
+// launchSpin is the interprocedural positive.
+func launchSpin(p *pump) { go p.spin() } // want `goroutine has no reachable stop path`

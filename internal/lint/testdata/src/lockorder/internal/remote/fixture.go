@@ -1,0 +1,107 @@
+// Fixture for the lockorder analyzer. The directory path contains
+// internal/remote, so the loader-derived import path puts this package in
+// the analyzer's concurrent-prototype scope.
+package fixture
+
+import "sync"
+
+// pair's two mutexes are taken in both orders — the classic inversion.
+// Both closing edges are reported.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `acquiring pair\.b while holding pair\.a closes a lock-ordering cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring pair\.a while holding pair\.b closes a lock-ordering cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ordered always takes x before y: a clean global order, no findings,
+// with both inline and deferred unlocks.
+type ordered struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (o *ordered) first() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+func (o *ordered) second() {
+	o.x.Lock()
+	defer o.x.Unlock()
+	o.y.Lock()
+	defer o.y.Unlock()
+}
+
+// nested hides one direction of the inversion behind a helper call: the
+// callee's acquisition summary extends the caller's held set.
+type nested struct {
+	m sync.Mutex
+	n sync.Mutex
+}
+
+func (x *nested) lockN() {
+	x.n.Lock()
+	x.n.Unlock()
+}
+
+func (x *nested) mThenHelper() {
+	x.m.Lock()
+	x.lockN() // want `acquiring nested\.n while holding nested\.m \(via call to lockN\) closes a lock-ordering cycle`
+	x.m.Unlock()
+}
+
+func (x *nested) nThenM() {
+	x.n.Lock()
+	x.m.Lock() // want `acquiring nested\.m while holding nested\.n closes a lock-ordering cycle`
+	x.m.Unlock()
+	x.n.Unlock()
+}
+
+// relock re-acquires a mutex the caller already holds: sync.Mutex is not
+// reentrant, so this is a guaranteed self-deadlock.
+type relock struct {
+	mu sync.Mutex
+}
+
+func (r *relock) again() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func (r *relock) outer() {
+	r.mu.Lock()
+	r.again() // want `relock\.mu is acquired while already held \(via call to again\)`
+	r.mu.Unlock()
+}
+
+// handoff unlocks before re-acquiring (the evictIfFull pattern): its
+// summary contributes no edge, so callers holding handoff.mu are clean.
+type handoff struct {
+	mu sync.Mutex
+}
+
+func (h *handoff) dropAndRetake() {
+	h.mu.Unlock()
+	h.mu.Lock()
+}
+
+func (h *handoff) caller() {
+	h.mu.Lock()
+	h.dropAndRetake()
+	h.mu.Unlock()
+}

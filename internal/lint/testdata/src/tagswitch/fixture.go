@@ -1,0 +1,101 @@
+// Fixture for the tagswitch analyzer.
+package fixture
+
+import (
+	"fmt"
+
+	"github.com/gms-sim/gmsubpage/internal/lint/testdata/src/tagswitch/internal/proto"
+)
+
+// missingArm drops TDelta with no default — exactly what deleting a case
+// arm from a protocol switch looks like.
+func missingArm(t proto.Type) int {
+	switch t { // want `tag switch over proto\.Type does not handle TDelta and has no default`
+	case proto.TAlpha:
+		return 1
+	case proto.TBeta:
+		return 2
+	case proto.TGamma:
+		return 3
+	}
+	return 0
+}
+
+// exhaustive is the negative: every declared tag handled, no default
+// needed.
+func exhaustive(t proto.Type) int {
+	switch t {
+	case proto.TAlpha, proto.TBeta:
+		return 1
+	case proto.TGamma:
+		return 2
+	case proto.TDelta:
+		return 3
+	}
+	return 0
+}
+
+// failingDefault is the second negative: missing tags are fine when the
+// default path visibly refuses them.
+func failingDefault(t proto.Type) error {
+	switch t {
+	case proto.TAlpha:
+		return nil
+	default:
+		return fmt.Errorf("unexpected tag %d", t)
+	}
+}
+
+// silentDefault neither covers every tag nor fails: a new tag would be
+// swallowed.
+func silentDefault(t proto.Type) int {
+	n := 0
+	switch t { // want `does not handle TBeta, TGamma, TDelta and its default does not fail`
+	case proto.TAlpha:
+		n = 1
+	default:
+		n = 2
+	}
+	return n
+}
+
+// dispatchRest handles the back half of the tag space on behalf of
+// delegating switches; its own default still fails.
+func dispatchRest(t proto.Type) error {
+	switch t {
+	case proto.TGamma, proto.TDelta:
+		return nil
+	default:
+		return fmt.Errorf("unexpected tag %d", t)
+	}
+}
+
+// viaHelper is the interprocedural negative: the default delegates to
+// dispatchRest, and the two switches together cover every tag.
+func viaHelper(t proto.Type) {
+	switch t {
+	case proto.TAlpha, proto.TBeta:
+	default:
+		_ = dispatchRest(t)
+	}
+}
+
+// shortDispatch covers too little for the delegation below to be total.
+func shortDispatch(t proto.Type) error {
+	switch t {
+	case proto.TGamma:
+		return nil
+	default:
+		return fmt.Errorf("unexpected tag %d", t)
+	}
+}
+
+// viaHelperIncomplete still misses TBeta and TDelta even counting the
+// helper it dispatches to.
+func viaHelperIncomplete(t proto.Type) {
+	switch t { // want `does not handle TBeta, TDelta even counting the helper`
+	case proto.TAlpha:
+	default:
+		_ = shortDispatch(t)
+	}
+}

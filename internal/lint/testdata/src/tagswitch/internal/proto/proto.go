@@ -1,0 +1,16 @@
+// Package proto is a miniature message-tag package for the tagswitch
+// fixture: the analyzer keys on named integer enum types declared in a
+// package whose import path contains internal/proto, so this stands in
+// for the real wire protocol.
+package proto
+
+// Type identifies a fixture message.
+type Type uint8
+
+// Fixture message tags.
+const (
+	TAlpha Type = iota + 1
+	TBeta
+	TGamma
+	TDelta
+)

@@ -33,6 +33,11 @@ import (
 	"github.com/gms-sim/gmsubpage/internal/units"
 )
 
+// stormGrace bounds every storm dial and, added to the storm deadline,
+// every lookup exchange: in-flight operations get this long past the end
+// of the measurement window before a silent shard turns into an error.
+const stormGrace = 2 * time.Second
+
 // Config sizes one load run. Zero fields select the defaults noted.
 type Config struct {
 	Shards  int // directory shards (default 1)
@@ -199,6 +204,7 @@ func lookupStorm(cfg Config, m proto.ShardMap, res *Result) error {
 // lookups for seeded-random pages routed by ring owner.
 func stormWorker(cfg Config, m proto.ShardMap, ring *proto.Ring, id uint64, deadline time.Time) (int, error) {
 	type shardConn struct {
+		c net.Conn
 		w *proto.Writer
 		r *proto.Reader
 	}
@@ -210,6 +216,10 @@ func stormWorker(cfg Config, m proto.ShardMap, ring *proto.Ring, id uint64, dead
 		}
 	}()
 
+	// Every connection runs under a deadline a little past the storm's
+	// end: a shard that stops answering fails the worker (and surfaces in
+	// the harness output) instead of hanging the whole run on one Next.
+	opDeadline := deadline.Add(stormGrace)
 	r := rng.New(cfg.Seed*1_000_003 + id)
 	ops := 0
 	for time.Now().Before(deadline) {
@@ -217,7 +227,7 @@ func stormWorker(cfg Config, m proto.ShardMap, ring *proto.Ring, id uint64, dead
 		addr := ring.OwnerAddr(page)
 		sc, ok := conns[addr]
 		if !ok {
-			c, err := net.Dial("tcp", addr)
+			c, err := net.DialTimeout("tcp", addr, stormGrace)
 			if err != nil {
 				return ops, err
 			}
@@ -225,9 +235,10 @@ func stormWorker(cfg Config, m proto.ShardMap, ring *proto.Ring, id uint64, dead
 				_ = tc.SetNoDelay(true)
 			}
 			raw = append(raw, c)
-			sc = shardConn{w: proto.NewWriter(c), r: proto.NewReader(c)}
+			sc = shardConn{c: c, w: proto.NewWriter(c), r: proto.NewReader(c)}
 			conns[addr] = sc
 		}
+		_ = sc.c.SetDeadline(opDeadline)
 		if err := sc.w.SendLookup(proto.Lookup{Page: page}); err != nil {
 			return ops, err
 		}

@@ -403,6 +403,15 @@ func (r *Reader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	t := Type(head[0])
+	if t < TGetPage || t > TWrongShard {
+		// Reject unknown tag bytes at the framing layer: every Frame
+		// handed to callers carries one of the declared T* constants, so
+		// tag switches downstream can be exhaustive with no default (and
+		// gmslint's tagswitch check holds them to that). A stream that
+		// produces an unknown byte is desynchronized or hostile either
+		// way; the caller treats the error as a dead connection.
+		return Frame{}, fmt.Errorf("proto: unknown message type %d", head[0])
+	}
 	n := binary.LittleEndian.Uint32(head[1:5])
 	if n > MaxPayload {
 		return Frame{}, fmt.Errorf("proto: oversized payload %d for %v", n, t)

@@ -254,6 +254,28 @@ func TestTruncatedFrame(t *testing.T) {
 	}
 }
 
+// TestUnknownTypeByteRejected pins the framing contract that lets tag
+// switches over Type be exhaustive with no default: Next never hands an
+// undeclared tag to a caller.
+func TestUnknownTypeByteRejected(t *testing.T) {
+	for _, tag := range []byte{0, byte(TWrongShard) + 1, 200, 255} {
+		raw := []byte{tag, 0, 0, 0, 0}
+		_, err := NewReader(bytes.NewReader(raw)).Next()
+		if err == nil {
+			t.Fatalf("type byte %d accepted; exhaustive switches downstream would misdispatch it", tag)
+		}
+		if !strings.Contains(err.Error(), "unknown message type") {
+			t.Fatalf("type byte %d: err = %v, want the unknown-type rejection", tag, err)
+		}
+	}
+	for tag := TGetPage; tag <= TWrongShard; tag++ {
+		raw := []byte{byte(tag), 0, 0, 0, 0}
+		if _, err := NewReader(bytes.NewReader(raw)).Next(); err != nil {
+			t.Fatalf("declared tag %v rejected at the framing layer: %v", tag, err)
+		}
+	}
+}
+
 func TestShortPayloadDecodes(t *testing.T) {
 	if _, err := DecodeGetPage([]byte{1, 2}); err == nil {
 		t.Error("short GetPage should fail")

@@ -1019,9 +1019,15 @@ func (dc *dirConn) lookupRPC(c *Client, page uint64) (proto.LookupReply, error) 
 			return proto.LookupReply{}, err
 		}
 		return proto.LookupReply{}, &WrongShardError{Page: ws.Page, Map: ws.Map}
-	default:
-		return proto.LookupReply{}, fmt.Errorf("remote: directory sent %v", f.Type)
+	case proto.TError:
+		return proto.LookupReply{}, fmt.Errorf("remote: directory %s: %s", dc.addr, proto.DecodeError(f.Payload).Text)
+	case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
+		proto.TLookup, proto.TRegister, proto.THeartbeat,
+		proto.TGetShardMap, proto.TShardMap:
+		// Valid tags that never answer a lookup; fall through to the
+		// protocol error below.
 	}
+	return proto.LookupReply{}, fmt.Errorf("remote: directory sent %v to a lookup", f.Type)
 }
 
 // shardMapRPC fetches the shard map this directory serves.
@@ -1066,7 +1072,10 @@ func (c *Client) server(addr string) (*srvConn, error) {
 	sc := &srvConn{conn: conn, w: proto.NewWriter(conn)}
 	c.servers[addr] = sc
 	c.wg.Add(1)
-	go c.readLoop(addr, conn)
+	// The data stream deliberately reads without a deadline: fragments
+	// arrive whenever the server sends them. Liveness is enforced per
+	// attempt (RequestTimeout timers + dropServer), not per read.
+	go c.readLoop(addr, conn) //lint:allow deadlinecheck data-stream reads are unbounded by design; per-attempt RequestTimeout and dropServer bound liveness
 	return sc, nil
 }
 
@@ -1099,6 +1108,16 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 			cause = fmt.Errorf("remote: server %s: %s",
 				addr, proto.DecodeError(f.Payload).Text)
 			c.failPending(addr, cause)
+		case proto.TGetPage, proto.TPutPage, proto.TAck, proto.TLookup,
+			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
+			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard:
+			// A data connection only ever carries page fragments and
+			// errors. Any other tag means the peer is not speaking the
+			// page-server protocol (or the stream is desynchronized);
+			// trusting further frames would corrupt cached pages, so
+			// treat it exactly like a broken connection.
+			c.dropServer(addr, fmt.Errorf("remote: server %s sent unexpected %v on the data stream", addr, f.Type))
+			return
 		}
 	}
 }

@@ -439,7 +439,10 @@ func (d *Directory) acceptLoop() {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.serve(conn)
+			// A directory connection idles until the next request or the
+			// peer hangs up; server liveness is the lease janitor's job
+			// and client lookups run under their own request deadlines.
+			d.serve(conn) //lint:allow deadlinecheck request reads idle by design until the peer sends or hangs up; leases and client-side deadlines bound liveness
 		}()
 	}
 }
@@ -531,7 +534,11 @@ func (d *Directory) serve(conn net.Conn) {
 			if err := w.SendShardMap(d.ring.Map()); err != nil {
 				return
 			}
-		default:
+		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
+			proto.TLookupReply, proto.TError, proto.TShardMap,
+			proto.TWrongShard:
+			// Data-plane and reply tags never arrive at a directory;
+			// refuse and hang up rather than guess at the peer's intent.
 			_ = w.SendError(fmt.Sprintf("directory: unexpected %v", f.Type))
 			return
 		}

@@ -250,11 +250,16 @@ func (s *Server) RegisterWith(dirAddr string) error {
 	return nil
 }
 
+// registerTimeout bounds each dial and register/ack round trip with the
+// directory: a wedged or silent directory fails the registration (and the
+// heartbeat self-heal behind it) instead of hanging it forever.
+const registerTimeout = 2 * time.Second
+
 // registerAt streams one registration (in frame-bounded batches) to the
 // directory at dirAddr. An empty server still sends one registration so it
 // holds a lease.
 func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
-	conn, err := net.Dial("tcp", dirAddr)
+	conn, err := net.DialTimeout("tcp", dirAddr, registerTimeout)
 	if err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrDirectoryUnreachable, dirAddr, err)
 	}
@@ -267,6 +272,10 @@ func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
 		if n > batch {
 			n = batch
 		}
+		// A fresh deadline per batch: a large registration streams many
+		// round trips, and it is per-exchange progress that proves the
+		// directory alive, not total elapsed time.
+		_ = conn.SetDeadline(time.Now().Add(registerTimeout))
 		if err := w.SendRegister(proto.Register{Addr: s.Addr(), Epoch: epoch, Pages: ids[:n]}); err != nil {
 			return err
 		}
@@ -278,7 +287,9 @@ func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
 		case proto.TAck:
 		case proto.TError:
 			return fmt.Errorf("remote: register: %s", proto.DecodeError(f.Payload).Text)
-		default:
+		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TLookup,
+			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
+			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard:
 			return fmt.Errorf("remote: register: unexpected %v", f.Type)
 		}
 		ids = ids[n:]
@@ -392,7 +403,10 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serve(conn)
+			// A served connection idles until the peer sends a request or
+			// hangs up; dead peers are reaped by directory lease expiry,
+			// not by read deadlines here.
+			s.serve(conn) //lint:allow deadlinecheck request reads idle by design until the peer sends or hangs up; lease expiry bounds dead peers
 		}()
 	}
 }
@@ -447,7 +461,11 @@ func (s *Server) serve(conn net.Conn) {
 			met := s.met
 			s.mu.Unlock()
 			met.puts.Inc()
-		default:
+		case proto.TAck, proto.TLookup, proto.TLookupReply, proto.TRegister,
+			proto.TError, proto.THeartbeat, proto.TGetShardMap,
+			proto.TShardMap, proto.TWrongShard, proto.TPageData:
+			// Tags a page server never receives; refuse and hang up so a
+			// confused peer cannot keep feeding us misdirected traffic.
 			_ = w.SendError(fmt.Sprintf("server: unexpected %v", f.Type))
 			return
 		}
