@@ -4,13 +4,13 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke
+.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke wire-smoke
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
 # over every package, the trace-export smoke, the bounded scale-out load
-# smoke, and the benchmark snapshot.
-ci: fmt vet lint build test race trace-smoke loadtest-smoke bench
+# smoke, the batched-wire concurrency smoke, and the benchmark snapshot.
+ci: fmt vet lint build test race trace-smoke loadtest-smoke wire-smoke bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -60,6 +60,9 @@ bench:
 	$(GO) test -bench . -benchtime 200x -run xxx -timeout 30m ./...
 	$(GO) run ./cmd/subpagesim -run all -scale $(BENCH_SCALE) -j $(BENCH_J) \
 		-benchout BENCH_experiments.json > /dev/null
+	$(GO) run ./cmd/gmsload -wire -shards 1 -clients 16 -requests 100 \
+		-pages 256 -policy pipelined -subpage 256 -cache 8 -dirservice 500us \
+		-benchout BENCH_experiments.json > /dev/null
 
 # trace-smoke drives the fault tracer end to end through the CLI: one
 # small traced simulation exporting both formats, run twice, and the
@@ -85,7 +88,7 @@ trace-smoke:
 # "loadtest" section of BENCH_experiments.json — both committed artifacts.
 loadtest:
 	$(GO) run ./cmd/gmsload -shards 1,4 -minx 3 -j 16 -duration 2s \
-		-clients 100 -requests 100 -dirservice 500us \
+		-clients 100 -requests 100 -dirservice 500us -warmup -cache 8 \
 		-out experiments_loadtest.txt -benchout BENCH_experiments.json
 
 # loadtest-smoke is the bounded CI variant: same shape, ~1s of wall clock,
@@ -93,7 +96,14 @@ loadtest:
 # clean; the table goes to stdout).
 loadtest-smoke:
 	$(GO) run ./cmd/gmsload -shards 1,4 -minx 2 -j 8 -duration 250ms \
-		-clients 8 -requests 20 -dirservice 500us
+		-clients 8 -requests 20 -dirservice 500us -warmup -cache 8
+
+# wire-smoke is the bounded batched-wire smoke: v2 and v1-pinned clients
+# hammer the same replicated servers concurrently — hedges, cancels and
+# pool churn included — under the race detector.
+wire-smoke:
+	$(GO) test -race -run 'TestBatchedWireSmoke|TestHedgeLoserCanceledEagerly' \
+		-count=1 ./internal/remote/
 
 # chaos runs the kill/restart self-heal soak: the control-plane recovery
 # scenario (lease expiry, epoch-fenced re-registration, breaker probe) on a

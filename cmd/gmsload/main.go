@@ -8,12 +8,17 @@
 //	gmsload
 //	gmsload -shards 1,4 -clients 32 -requests 100 -duration 2s
 //	gmsload -shards 1,4 -minx 3 -out experiments_loadtest.txt -benchout BENCH_experiments.json
+//	gmsload -wire -clients 16 -policy pipelined -subpage 256 -cache 8
 //
 // -benchout merges the run into BENCH_experiments.json under the
 // "loadtest" key, preserving whatever else the file holds (subpagesim
 // owns the rest of it). -minx N fails the run (exit 1) unless the last
 // arm's lookup throughput is at least N times the first arm's — the CI
-// scaling gate.
+// scaling gate. -warmup walks each client's fault sequence once before
+// the clock starts, so the fault phase measures the wire rather than the
+// emulated lookup service. -wire replaces the shard arms with a protocol
+// comparison: the same warmed fault phase pinned to the v1 wire and on
+// batched v2, merged under the "protowire" key.
 package main
 
 import (
@@ -37,7 +42,7 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 // name the offending flags deterministically.
 var allFlags = []string{"shards", "j", "duration", "clients", "requests",
 	"servers", "pages", "subpage", "policy", "cache", "rps", "dirservice",
-	"seed", "minx", "benchout", "out", "json"}
+	"warmup", "wire", "seed", "minx", "benchout", "out", "json"}
 
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gmsload", flag.ContinueOnError)
@@ -55,6 +60,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cache      = fs.Int("cache", 64, "client cache pages")
 		rps        = fs.Float64("rps", 0, "open-loop total fault rate; 0 = closed loop")
 		dirservice = fs.Duration("dirservice", 200*time.Microsecond, "emulated per-lookup shard service time; 0 = off")
+		warmup     = fs.Bool("warmup", false, "walk each client's fault sequence unmeasured first, so the measured phase times the wire, not lookups")
+		wireMode   = fs.Bool("wire", false, "compare the v1 and batched v2 wire on one cluster (fault phase only); -benchout writes the \"protowire\" section")
 		seed       = fs.Uint64("seed", 1, "base seed for page choice")
 		minX       = fs.Float64("minx", 0, "fail unless last arm's lookup rate >= this multiple of the first arm's")
 		benchOut   = fs.String("benchout", "", "merge results into this BENCH_experiments.json under \"loadtest\"")
@@ -72,7 +79,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 2
 	}
-	if err := conflictErr(set, arms, *minX, *rps); err != nil {
+	if err := conflictErr(set, arms, *minX, *rps, *wireMode); err != nil {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 2
 	}
@@ -85,6 +92,63 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 1
+	}
+	if *wireMode {
+		_, _ = fmt.Fprintln(stderr, "gmsload: running wire comparison (v1 then v2)...")
+		wr, err := load.RunWire(load.Config{
+			Shards:      arms[0],
+			Servers:     *servers,
+			Pages:       *pages,
+			Clients:     *clients,
+			Requests:    *requests,
+			RPS:         *rps,
+			SubpageSize: *subpage,
+			Policy:      polByte,
+			CachePages:  *cache,
+			DirService:  *dirservice,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		wsnap := wireSnapshot{
+			Schema:       "gmsubpage-protowire/v1",
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Clients:      *clients,
+			Requests:     *requests,
+			Servers:      *servers,
+			Pages:        *pages,
+			Subpage:      *subpage,
+			Policy:       *policy,
+			Cache:        *cache,
+			RPS:          *rps,
+			DirServiceUs: float64(dirservice.Nanoseconds()) / 1e3,
+			Seed:         *seed,
+			V1:           wr.V1,
+			V2:           wr.V2,
+			SpeedupX:     round2(wr.SpeedupX),
+		}
+		table := wsnap.table()
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(&wsnap); err != nil {
+				return fail(err)
+			}
+		} else {
+			_, _ = io.WriteString(stdout, table)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
+				return fail(err)
+			}
+		}
+		if *benchOut != "" {
+			if err := mergeBench(*benchOut, "protowire", &wsnap); err != nil {
+				return fail(err)
+			}
+		}
+		return 0
 	}
 	snap := loadSnapshot{
 		Schema:       "gmsubpage-loadtest/v1",
@@ -117,6 +181,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			Policy:      polByte,
 			CachePages:  *cache,
 			DirService:  *dirservice,
+			Warmup:      *warmup,
 			Seed:        *seed,
 		})
 		if err != nil {
@@ -147,7 +212,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *benchOut != "" {
-		if err := mergeBench(*benchOut, &snap); err != nil {
+		if err := mergeBench(*benchOut, "loadtest", &snap); err != nil {
 			return fail(err)
 		}
 	}
@@ -173,7 +238,18 @@ func parseShards(s string) ([]int, error) {
 
 // conflictErr rejects flag combinations the run would otherwise silently
 // misinterpret, following the subpagesim convention (exit 2).
-func conflictErr(set map[string]bool, arms []int, minX, rps float64) error {
+func conflictErr(set map[string]bool, arms []int, minX, rps float64, wire bool) error {
+	if wire {
+		if set["minx"] {
+			return fmt.Errorf("-minx gates the shard-scaling arms, which -wire skips")
+		}
+		if set["shards"] && len(arms) > 1 {
+			return fmt.Errorf("-wire compares protocols on one cluster; -shards names %d arms", len(arms))
+		}
+		if set["j"] || set["duration"] {
+			return fmt.Errorf("-j and -duration shape the lookup storm, which -wire skips")
+		}
+	}
 	if set["minx"] {
 		if minX <= 0 {
 			return fmt.Errorf("-minx wants a positive ratio, got %v", minX)
@@ -232,10 +308,51 @@ func (s *loadSnapshot) table() string {
 	return b.String()
 }
 
-// mergeBench read-modify-writes path, setting only the "loadtest" key so
-// subpagesim's sections survive. A missing or unparseable file starts
-// fresh rather than failing: the snapshot is an artifact, not an input.
-func mergeBench(path string, snap *loadSnapshot) error {
+// wireSnapshot is the "protowire" section merged into
+// BENCH_experiments.json: the same warmed fault phase over the v1 wire
+// and the batched v2 wire, plus the throughput ratio.
+type wireSnapshot struct {
+	Schema       string      `json:"schema"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	Clients      int         `json:"clients"`
+	Requests     int         `json:"requests"`
+	Servers      int         `json:"servers"`
+	Pages        int         `json:"pages"`
+	Subpage      int         `json:"subpage"`
+	Policy       string      `json:"policy"`
+	Cache        int         `json:"cache"`
+	RPS          float64     `json:"rps"`
+	DirServiceUs float64     `json:"dirservice_us"`
+	Seed         uint64      `json:"seed"`
+	V1           load.Result `json:"v1"`
+	V2           load.Result `json:"v2"`
+	SpeedupX     float64     `json:"speedup_x"`
+}
+
+// table renders the wire comparison.
+func (s *wireSnapshot) table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gmsload -wire: %d clients x %d faults, policy %s, subpage %dB, cache %d pages, warm control plane\n\n",
+		s.Clients, s.Requests, s.Policy, s.Subpage, s.Cache)
+	fmt.Fprintf(&b, "%4s  %9s  %8s  %8s  %9s  %8s  %8s\n",
+		"wire", "faults/s", "p50(µs)", "p99(µs)", "p999(µs)", "max(µs)", "MiB in")
+	for _, row := range []struct {
+		name string
+		r    load.Result
+	}{{"v1", s.V1}, {"v2", s.V2}} {
+		fmt.Fprintf(&b, "%4s  %9.0f  %8.0f  %8.0f  %9.0f  %8.0f  %8.1f\n",
+			row.name, row.r.FaultRate, row.r.P50Us, row.r.P99Us, row.r.P999Us,
+			row.r.MaxUs, float64(row.r.BytesIn)/(1<<20))
+	}
+	fmt.Fprintf(&b, "\nv2 speedup: %.2fx\n", s.SpeedupX)
+	return b.String()
+}
+
+// mergeBench read-modify-writes path, setting only the given key so every
+// other section (subpagesim's, the other gmsload mode's) survives. A
+// missing or unparseable file starts fresh rather than failing: the
+// snapshot is an artifact, not an input.
+func mergeBench(path, key string, snap any) error {
 	top := make(map[string]any)
 	if raw, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(raw, &top)
@@ -243,7 +360,7 @@ func mergeBench(path string, snap *loadSnapshot) error {
 			top = make(map[string]any)
 		}
 	}
-	top["loadtest"] = snap
+	top[key] = snap
 	out, err := json.MarshalIndent(top, "", "  ")
 	if err != nil {
 		return err

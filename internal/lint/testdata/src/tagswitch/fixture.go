@@ -7,16 +7,28 @@ import (
 	"github.com/gms-sim/gmsubpage/internal/lint/testdata/src/tagswitch/internal/proto"
 )
 
-// missingArm drops TDelta with no default — exactly what deleting a case
-// arm from a protocol switch looks like.
+// missingArm drops TDelta and TEpsilon with no default — exactly what
+// deleting case arms from a protocol switch looks like.
 func missingArm(t proto.Type) int {
-	switch t { // want `tag switch over proto\.Type does not handle TDelta and has no default`
+	switch t { // want `tag switch over proto\.Type does not handle TDelta, TEpsilon and has no default`
 	case proto.TAlpha:
 		return 1
 	case proto.TBeta:
 		return 2
 	case proto.TGamma:
 		return 3
+	}
+	return 0
+}
+
+// droppedV2Arm models deleting only the newest revision's tag: the switch
+// was exhaustive until TEpsilon arrived (or until its arm was deleted).
+func droppedV2Arm(t proto.Type) int {
+	switch t { // want `tag switch over proto\.Type does not handle TEpsilon and has no default`
+	case proto.TAlpha, proto.TBeta:
+		return 1
+	case proto.TGamma, proto.TDelta:
+		return 2
 	}
 	return 0
 }
@@ -31,6 +43,8 @@ func exhaustive(t proto.Type) int {
 		return 2
 	case proto.TDelta:
 		return 3
+	case proto.TEpsilon:
+		return 4
 	}
 	return 0
 }
@@ -50,7 +64,7 @@ func failingDefault(t proto.Type) error {
 // swallowed.
 func silentDefault(t proto.Type) int {
 	n := 0
-	switch t { // want `does not handle TBeta, TGamma, TDelta and its default does not fail`
+	switch t { // want `does not handle TBeta, TGamma, TDelta, TEpsilon and its default does not fail`
 	case proto.TAlpha:
 		n = 1
 	default:
@@ -63,7 +77,7 @@ func silentDefault(t proto.Type) int {
 // delegating switches; its own default still fails.
 func dispatchRest(t proto.Type) error {
 	switch t {
-	case proto.TGamma, proto.TDelta:
+	case proto.TGamma, proto.TDelta, proto.TEpsilon:
 		return nil
 	default:
 		return fmt.Errorf("unexpected tag %d", t)
@@ -90,10 +104,10 @@ func shortDispatch(t proto.Type) error {
 	}
 }
 
-// viaHelperIncomplete still misses TBeta and TDelta even counting the
-// helper it dispatches to.
+// viaHelperIncomplete still misses TBeta, TDelta and TEpsilon even
+// counting the helper it dispatches to.
 func viaHelperIncomplete(t proto.Type) {
-	switch t { // want `does not handle TBeta, TDelta even counting the helper`
+	switch t { // want `does not handle TBeta, TDelta, TEpsilon even counting the helper`
 	case proto.TAlpha:
 	default:
 		_ = shortDispatch(t)

@@ -7,10 +7,13 @@ package proto
 // Type identifies a fixture message.
 type Type uint8
 
-// Fixture message tags.
+// Fixture message tags. TEpsilon stands in for a tag appended by a
+// protocol revision (the batched v2 frames): every switch below either
+// handles it, fails on it, or is flagged.
 const (
 	TAlpha Type = iota + 1
 	TBeta
 	TGamma
 	TDelta
+	TEpsilon
 )

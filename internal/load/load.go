@@ -60,6 +60,16 @@ type Config struct {
 	CachePages  int           // client cache pages (default 64)
 	DirService  time.Duration // emulated per-lookup service time, 0 = off
 
+	// Warmup makes each fault client walk its fault sequence once,
+	// unmeasured, before the clock starts: directory answers are cached,
+	// so the measured phase times the wire fault path rather than the
+	// (service-emulated) lookup control plane. Pair it with a small
+	// CachePages so warmed pages do not simply hit in cache.
+	Warmup bool
+	// WireV1 pins the fault clients to the pre-batching v1 wire; the
+	// protowire experiment runs the same phase both ways.
+	WireV1 bool
+
 	Seed uint64 // base seed for page choice (default 1)
 }
 
@@ -125,6 +135,7 @@ type Result struct {
 	WrongShard   int64 `json:"wrong_shard"`
 	MapRefreshes int64 `json:"map_refreshes"`
 	Retries      int64 `json:"retries"`
+	BytesIn      int64 `json:"bytes_in"`
 }
 
 // Run executes one full load run against a fresh cluster.
@@ -132,41 +143,108 @@ func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	res := Result{Shards: cfg.Shards, Servers: cfg.Servers, Pages: cfg.Pages}
 
-	cluster, err := dirshard.StartCluster(cfg.Shards, dirshard.Config{LookupService: cfg.DirService})
+	cl, err := startCluster(cfg)
 	if err != nil {
 		return res, err
 	}
-	defer cluster.Close()
+	defer cl.Close()
 
-	servers := make([]*remote.Server, cfg.Servers)
-	for i := range servers {
+	if err := lookupStorm(cfg, cl.shards.Map(), &res); err != nil {
+		return res, err
+	}
+	if err := faultPhase(cfg, cl.shards.Bootstrap(), &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// WireResult is the protowire experiment: the same warmed fault phase over
+// the v1 wire (one frame per fragment) and the batched v2 wire, on one
+// cluster.
+type WireResult struct {
+	V1       Result  `json:"v1"`
+	V2       Result  `json:"v2"`
+	SpeedupX float64 `json:"speedup_x"` // v2 fault rate over v1
+}
+
+// RunWire executes the fault phase twice against one fresh cluster —
+// pinned to the v1 wire, then on batched v2 — and reports both plus the
+// throughput ratio. Warmup is forced on: the comparison targets the wire
+// path, not the directory control plane.
+func RunWire(cfg Config) (WireResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.Warmup = true
+	var wr WireResult
+	cl, err := startCluster(cfg)
+	if err != nil {
+		return wr, err
+	}
+	defer cl.Close()
+
+	for _, v1 := range []bool{true, false} {
+		c := cfg
+		c.WireV1 = v1
+		res := Result{Shards: cfg.Shards, Servers: cfg.Servers, Pages: cfg.Pages}
+		if err := faultPhase(c, cl.shards.Bootstrap(), &res); err != nil {
+			return wr, err
+		}
+		if v1 {
+			wr.V1 = res
+		} else {
+			wr.V2 = res
+		}
+	}
+	if wr.V1.FaultRate > 0 {
+		wr.SpeedupX = wr.V2.FaultRate / wr.V1.FaultRate
+	}
+	return wr, nil
+}
+
+// cluster is one started load cluster: the sharded directory plus the
+// registered page servers.
+type cluster struct {
+	shards  *dirshard.Cluster
+	servers []*remote.Server
+}
+
+func (cl *cluster) Close() {
+	for _, s := range cl.servers {
+		_ = s.Close()
+	}
+	if cl.shards != nil {
+		_ = cl.shards.Close()
+	}
+}
+
+// startCluster stands the cluster up and stores the page set.
+func startCluster(cfg Config) (*cluster, error) {
+	shards, err := dirshard.StartCluster(cfg.Shards, dirshard.Config{LookupService: cfg.DirService})
+	if err != nil {
+		return nil, err
+	}
+	cl := &cluster{shards: shards}
+	for i := 0; i < cfg.Servers; i++ {
 		s, err := remote.ListenServer("127.0.0.1:0")
 		if err != nil {
-			return res, err
+			cl.Close()
+			return nil, err
 		}
-		defer s.Close()
-		servers[i] = s
+		cl.servers = append(cl.servers, s)
 	}
 	page := make([]byte, units.PageSize)
 	for p := 0; p < cfg.Pages; p++ {
 		for i := range page {
 			page[i] = byte(uint64(p)*131 + uint64(i)*7)
 		}
-		servers[p%cfg.Servers].Store(uint64(p), page)
+		cl.servers[p%cfg.Servers].Store(uint64(p), page)
 	}
-	for _, s := range servers {
-		if err := s.RegisterWith(cluster.Bootstrap()); err != nil {
-			return res, err
+	for _, s := range cl.servers {
+		if err := s.RegisterWith(shards.Bootstrap()); err != nil {
+			cl.Close()
+			return nil, err
 		}
 	}
-
-	if err := lookupStorm(cfg, cluster.Map(), &res); err != nil {
-		return res, err
-	}
-	if err := faultPhase(cfg, cluster.Bootstrap(), &res); err != nil {
-		return res, err
-	}
-	return res, nil
+	return cl, nil
 }
 
 // lookupStorm drives raw lookup RPCs at the cluster from cfg.Workers
@@ -271,12 +349,34 @@ func faultPhase(cfg Config, bootstrap string, res *Result) error {
 			Policy:      cfg.Policy,
 			SubpageSize: cfg.SubpageSize,
 			CachePages:  cfg.CachePages,
+			WireV1:      cfg.WireV1,
 		})
 		if err != nil {
 			return err
 		}
 		defer c.Close()
 		clients[i] = c
+	}
+
+	if cfg.Warmup {
+		// One unmeasured pass over each worker's fault sequence: location
+		// answers cache client-side, so the measured loop below is not
+		// queued behind the emulated lookup service.
+		werrs := make([]error, cfg.Clients)
+		var wwg sync.WaitGroup
+		for i := range clients {
+			wwg.Add(1)
+			go func(i int) {
+				defer wwg.Done()
+				werrs[i] = warmWorker(cfg, clients[i], uint64(i))
+			}(i)
+		}
+		wwg.Wait()
+		for i, err := range werrs {
+			if err != nil {
+				return fmt.Errorf("load: warmup client %d: %w", i, err)
+			}
+		}
 	}
 
 	var interval time.Duration
@@ -309,6 +409,7 @@ func faultPhase(cfg Config, bootstrap string, res *Result) error {
 		res.WrongShard += st.WrongShard
 		res.MapRefreshes += st.MapRefreshes
 		res.Retries += st.Retries
+		res.BytesIn += st.BytesIn
 	}
 	res.Faults = all.N()
 	if res.FaultSecs > 0 {
@@ -319,6 +420,29 @@ func faultPhase(cfg Config, bootstrap string, res *Result) error {
 	res.P99Us = all.Percentile(99)
 	res.P999Us = all.Percentile(99.9)
 	res.MaxUs = all.Max()
+	return nil
+}
+
+// warmWorker walks one client through the exact page sequence its
+// measured faultWorker run will draw (same seed), so every directory
+// lookup the measured phase would need is already answered and cached.
+// The page data itself mostly will not survive in a cache smaller than the
+// distinct-page count — which is the point: the measured reads still
+// fault, but over a warm control plane.
+func warmWorker(cfg Config, c *remote.Client, id uint64) error {
+	r := rng.New(cfg.Seed*7_777_777 + id)
+	seen := make(map[uint64]bool, cfg.Requests)
+	buf := make([]byte, 64)
+	for n := 0; n < cfg.Requests; n++ {
+		page := uint64(r.Intn(cfg.Pages))
+		if seen[page] {
+			continue
+		}
+		seen[page] = true
+		if err := c.Read(buf, page*uint64(units.PageSize)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

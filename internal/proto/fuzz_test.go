@@ -48,6 +48,16 @@ func FuzzDecode(f *testing.F) {
 	seed(func(w *Writer) error {
 		return w.SendWrongShard(WrongShard{Page: 77, Map: ShardMap{Version: 6, Shards: []string{"s0:1"}}})
 	})
+	seed(func(w *Writer) error {
+		return w.SendGetPageV2(GetPageV2{ReqID: 9, Page: 3, FaultOff: 4096, SubpageSize: 1024, Want: 0xff00, Policy: PolicyPipelined})
+	})
+	seed(func(w *Writer) error {
+		return w.SendSubpageBatch(9, 3, FlagFirst|FlagLast, []SubpageRun{
+			{Off: 0, Data: make([]byte, 256)},
+			{Off: 1024, Data: make([]byte, 512)},
+		})
+	})
+	seed(func(w *Writer) error { return w.SendCancel(Cancel{ReqID: 9}) })
 
 	// Malformed shapes: truncated headers, payloads shorter than their
 	// frame length promises, length prefixes overrunning the payload,
@@ -65,6 +75,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{byte(TShardMap), 11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 'x'}) // count 0 with trailing byte
 	f.Add(append([]byte{byte(TPutPage), 255, 255, 255, 255}, make([]byte, 16)...)) // oversized length prefix
 	f.Add([]byte{byte(TRegister), 10, 0, 0, 0, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0, 1}) // ragged page list
+	f.Add([]byte{byte(TGetPageV2), 5, 0, 0, 0, 1, 2, 3, 4, 5})                     // shorter than fixed layout
+	f.Add([]byte{byte(TCancel), 4, 0, 0, 0, 1, 2, 3, 4})                           // reqID truncated
+	// Batch promising 2 runs with no table, and a table whose lengths
+	// disagree with the data section.
+	f.Add(append([]byte{byte(TSubpageBatch), 18, 0, 0, 0}, make([]byte, 17)...))
+	f.Add(append(append([]byte{byte(TSubpageBatch), 26, 0, 0, 0}, make([]byte, 16)...),
+		0, 1, 0, 1, 0, 0, 0, 4, 0, 0)) // count 1, off 256, len 1024, 0 data bytes
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -93,6 +110,16 @@ func FuzzDecode(f *testing.F) {
 			}
 			if ws, err := DecodeWrongShard(fr.Payload); err == nil {
 				_ = NewRing(ws.Map).Owner(ws.Page)
+			}
+			_, _ = DecodeGetPageV2(fr.Payload)
+			_, _ = DecodeCancel(fr.Payload)
+			if b, err := DecodeSubpageBatch(fr.Payload); err == nil {
+				// A decoded batch's runs must be safely iterable.
+				for i := 0; i < b.Runs(); i++ {
+					off, data := b.Run(i)
+					_ = off
+					_ = data
+				}
 			}
 			_ = DecodeError(fr.Payload)
 		}

@@ -55,6 +55,20 @@ const (
 	// does not own the page: the payload carries the shard's current map
 	// so the sender can re-route in one round trip.
 	TWrongShard
+	// TGetPageV2 is the batched, pipelined page request (wire v2): it
+	// carries a request ID so a connection can keep many gets in flight,
+	// and a subpage want-bitmap so a partially valid page fetches only
+	// its missing blocks. The server answers with TSubpageBatch frames
+	// echoing the ID.
+	TGetPageV2
+	// TSubpageBatch carries many subpage ranges of one page in a single
+	// frame: one header, a run table, then the concatenated data. It is
+	// the v2 reply to TGetPageV2.
+	TSubpageBatch
+	// TCancel withdraws an in-flight TGetPageV2 by request ID: the server
+	// stops streaming the reply at the next batch boundary. Best effort —
+	// batches already on the wire still arrive and are discarded by ID.
+	TCancel
 )
 
 // String names the type for diagnostics.
@@ -84,12 +98,20 @@ func (t Type) String() string {
 		return "ShardMap"
 	case TWrongShard:
 		return "WrongShard"
+	case TGetPageV2:
+		return "GetPageV2"
+	case TSubpageBatch:
+		return "SubpageBatch"
+	case TCancel:
+		return "Cancel"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
 
-// MaxPayload bounds a frame's payload: a page plus its largest header.
-const MaxPayload = units.PageSize + 64
+// MaxPayload bounds a frame's payload: a full page plus the largest
+// header — for TSubpageBatch that is the batch header and a run table
+// with one entry per valid bit.
+const MaxPayload = units.PageSize + 512
 
 const headerSize = 5
 
@@ -201,15 +223,31 @@ type Frame struct {
 	Payload []byte
 }
 
+// writerRetainCap bounds the frame buffer a Writer keeps between sends;
+// writerShrinkAfter is how many consecutive sends must fit under the cap
+// before an oversized buffer is released. Control-plane writers see an
+// occasional large frame (a ShardMap for a wide deployment, a v1 page
+// fragment) between long runs of tiny acks and lookups; without the cap
+// one such frame would pin page-sized capacity on every idle connection
+// forever. The hysteresis keeps steady large-frame senders (the v1 data
+// path) from reallocating on every small terminator in between.
+const (
+	writerRetainCap   = 2 * units.KiB
+	writerShrinkAfter = 8
+)
+
 // A Writer serializes messages onto a stream. Not safe for concurrent use.
 type Writer struct {
-	w   io.Writer
-	buf []byte
+	w     io.Writer
+	buf   []byte
+	small int // consecutive sends that fit in writerRetainCap
 }
 
-// NewWriter returns a Writer on w.
+// NewWriter returns a Writer on w. The frame buffer grows on demand and
+// shrinks back after a run of small frames, so a writer costs what its
+// recent traffic needs, not what its largest frame ever needed.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w, buf: make([]byte, 0, headerSize+MaxPayload)}
+	return &Writer{w: w}
 }
 
 func (w *Writer) send(t Type, payload []byte) error {
@@ -221,7 +259,22 @@ func (w *Writer) send(t Type, payload []byte) error {
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
 	w.buf = append(w.buf, payload...)
 	_, err := w.w.Write(w.buf)
+	w.afterSend()
 	return err
+}
+
+// afterSend applies the retention-cap hysteresis to the frame buffer just
+// written: after writerShrinkAfter consecutive small frames, an oversized
+// buffer left behind by a one-off large frame is released.
+func (w *Writer) afterSend() {
+	if len(w.buf) <= writerRetainCap {
+		if w.small++; w.small >= writerShrinkAfter && cap(w.buf) > writerRetainCap {
+			w.buf = nil // release the one-off large frame's capacity
+			w.small = 0
+		}
+	} else {
+		w.small = 0
+	}
 }
 
 // SendGetPage writes a TGetPage frame.
@@ -403,7 +456,7 @@ func (r *Reader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	t := Type(head[0])
-	if t < TGetPage || t > TWrongShard {
+	if t < TGetPage || t > TCancel {
 		// Reject unknown tag bytes at the framing layer: every Frame
 		// handed to callers carries one of the declared T* constants, so
 		// tag switches downstream can be exhaustive with no default (and

@@ -258,7 +258,7 @@ func TestTruncatedFrame(t *testing.T) {
 // switches over Type be exhaustive with no default: Next never hands an
 // undeclared tag to a caller.
 func TestUnknownTypeByteRejected(t *testing.T) {
-	for _, tag := range []byte{0, byte(TWrongShard) + 1, 200, 255} {
+	for _, tag := range []byte{0, byte(TCancel) + 1, 200, 255} {
 		raw := []byte{tag, 0, 0, 0, 0}
 		_, err := NewReader(bytes.NewReader(raw)).Next()
 		if err == nil {
@@ -268,7 +268,7 @@ func TestUnknownTypeByteRejected(t *testing.T) {
 			t.Fatalf("type byte %d: err = %v, want the unknown-type rejection", tag, err)
 		}
 	}
-	for tag := TGetPage; tag <= TWrongShard; tag++ {
+	for tag := TGetPage; tag <= TCancel; tag++ {
 		raw := []byte{byte(tag), 0, 0, 0, 0}
 		if _, err := NewReader(bytes.NewReader(raw)).Next(); err != nil {
 			t.Fatalf("declared tag %v rejected at the framing layer: %v", tag, err)
@@ -404,7 +404,9 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 
 func TestTypeStrings(t *testing.T) {
 	types := []Type{TGetPage, TPageData, TPutPage, TAck, TLookup,
-		TLookupReply, TRegister, TError, THeartbeat}
+		TLookupReply, TRegister, TError, THeartbeat,
+		TGetShardMap, TShardMap, TWrongShard,
+		TGetPageV2, TSubpageBatch, TCancel}
 	seen := map[string]bool{}
 	for _, tp := range types {
 		s := tp.String()

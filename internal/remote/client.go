@@ -66,6 +66,14 @@ type ClientConfig struct {
 	// Dial overrides the network dialer (chaos injection, tests).
 	Dial func(network, addr string) (net.Conn, error)
 
+	// WireV1 pins the fault path to the v1 wire protocol (one GetPage in
+	// flight per page, one frame per fragment). Set it when talking to
+	// servers that predate TGetPageV2 — servers reject unknown tags at
+	// the framing layer, so rollout order is servers first, then clients
+	// (see DESIGN.md §11). Default false: batched v2 with pipelined
+	// request IDs and eager hedge cancellation.
+	WireV1 bool
+
 	// Metrics, when non-nil, registers the client's gms_client_* metrics
 	// there. Nil (the default) disables metrics at zero hot-path cost.
 	Metrics *obs.Registry
@@ -115,6 +123,7 @@ type Stats struct {
 	Retries    int64         // fault or lookup attempts beyond the first
 	Failovers  int64         // retries redirected to a different replica
 	Hedges     int64         // duplicate GetPages sent to mask a slow primary
+	Cancels    int64         // cancel frames sent to withdraw superseded v2 requests
 	SubpageLat stats.Summary // fault -> faulted-subpage arrival
 	FullLat    stats.Summary // fault -> complete page arrival
 
@@ -142,9 +151,11 @@ type cpage struct {
 	faulting bool // a faultLoop goroutine owns fetching this page
 	inflight bool // a GetPage reply is streaming in
 	firstOK  bool // the faulted subpage of the current attempt arrived
-	// sources holds the servers currently streaming this page (two when
-	// a hedge is in flight); the attempt fails only when all of them do.
-	sources map[string]struct{}
+	waiters  int  // accessors parked in ensureValid on this page
+	// sources maps the servers currently streaming this page (two when a
+	// hedge is in flight) to their v2 request IDs (0 on the v1 wire); the
+	// attempt fails only when all of them do.
+	sources map[string]uint64
 	// waitCh signals the owning faultLoop: nil on stream completion, an
 	// error when every source failed. Buffered; sent under c.mu and
 	// cleared in the same critical section, so exactly one signal per
@@ -153,6 +164,89 @@ type cpage struct {
 	lastUse int64
 	start   time.Time // when the current fault attempt was issued
 	err     error
+}
+
+// cpageDataPool recycles page buffers between evicted and newly cached
+// pages: a client churning through a working set larger than its cache
+// allocates page storage once per cache slot, not once per fault. Only
+// evictIfFull returns buffers here, and only for victims with no waiters,
+// no in-flight stream and no cache entry — at that point nothing can
+// reach the old bytes.
+var cpageDataPool = sync.Pool{
+	New: func() any { b := make([]byte, units.PageSize); return &b },
+}
+
+// newCpage builds a cache entry around a pooled (and cleared) buffer.
+func newCpage() *cpage {
+	data := *cpageDataPool.Get().(*[]byte)
+	clear(data)
+	return &cpage{data: data}
+}
+
+// reqEntry ties a live v2 request ID to the page attempt it serves.
+type reqEntry struct {
+	p    *cpage
+	addr string
+}
+
+// pendingCancel is a TCancel to send once c.mu is released (sending under
+// the lock would hold every accessor behind one peer's socket).
+type pendingCancel struct {
+	addr string
+	id   uint64
+}
+
+// regRequest mints and registers a request ID for an attempt on p served
+// by addr, or returns 0 when the client is pinned to the v1 wire. Called
+// with c.mu held.
+func (c *Client) regRequest(p *cpage, addr string) uint64 {
+	if c.cfg.WireV1 {
+		return 0
+	}
+	c.nextReq++
+	id := c.nextReq
+	c.reqs[id] = reqEntry{p: p, addr: addr}
+	return id
+}
+
+// wantBits reports the subpage blocks p still misses, for the v2 want
+// bitmap. Called with c.mu held.
+func wantBits(p *cpage) uint32 { return uint32(^p.valid) }
+
+// deregSources retires every source of p's current attempt, returning the
+// cancel frames to send for streams that may still be live server-side.
+// Called with c.mu held; send the cancels after unlocking.
+func (c *Client) deregSources(p *cpage, cancels []pendingCancel) []pendingCancel {
+	for a, id := range p.sources {
+		if id == 0 {
+			continue // v1: no way to withdraw, the stream drains as it always did
+		}
+		delete(c.reqs, id)
+		cancels = append(cancels, pendingCancel{addr: a, id: id})
+		c.stats.Cancels++
+		c.met.cancels.Inc()
+	}
+	p.sources = nil
+	return cancels
+}
+
+// sendCancels writes the queued TCancel frames. A server we no longer
+// hold a connection to needs no cancel — its stream died with the
+// connection.
+func (c *Client) sendCancels(cancels []pendingCancel) {
+	for _, pc := range cancels {
+		c.srvMu.Lock()
+		sc := c.servers[pc.addr]
+		c.srvMu.Unlock()
+		if sc == nil {
+			continue
+		}
+		sc.wmu.Lock()
+		_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+		_ = sc.w.SendCancel(proto.Cancel{ReqID: pc.id}) //lint:allow lockio write is bounded by the deadline above; wmu only serializes writers on this conn
+		_ = sc.conn.SetWriteDeadline(time.Time{})
+		sc.wmu.Unlock()
+	}
 }
 
 // srvConn is a connection to one page server, with a background reader.
@@ -178,6 +272,15 @@ type Client struct {
 	stats   Stats
 	closed  bool
 	netErr  error
+
+	// V2 request-ID pipelining (under c.mu): nextReq mints IDs, reqs maps
+	// a live ID to the page it is fetching. A TSubpageBatch whose ID is
+	// not here is stale — a canceled hedge or a timed-out attempt still
+	// draining — and applies its (correct) bytes without touching the
+	// attempt signaling, so superseded streams can never skew SubpageLat
+	// or complete a newer attempt.
+	nextReq uint64
+	reqs    map[uint64]reqEntry
 
 	closeCh chan struct{} // closed once on Close; unblocks sleeps and waits
 
@@ -229,6 +332,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		cfg:     cfg,
 		cache:   make(map[uint64]*cpage),
 		located: make(map[uint64][]string),
+		reqs:    make(map[uint64]reqEntry),
 		servers: make(map[string]*srvConn),
 		closeCh: make(chan struct{}),
 		// Seeded from the wall clock so a fleet of clients restarting
@@ -360,13 +464,19 @@ func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
 		// goroutine can install the page meanwhile.
 		c.evictIfFull()
 		if p = c.cache[page]; p == nil {
-			p = &cpage{data: make([]byte, units.PageSize)}
+			p = newCpage()
 			c.cache[page] = p
 		}
 	}
 	c.tick++
 	p.lastUse = c.tick
 	need := neededMask(off, n)
+	// Park as a waiter: evictIfFull never recycles a page an accessor
+	// still holds, so the buffer returned here cannot be repurposed
+	// between the wait loop and the caller's copy (which runs under the
+	// same critical section).
+	p.waiters++
+	defer func() { p.waiters-- }()
 	for {
 		if c.netErr != nil {
 			return nil, c.netErr
@@ -407,7 +517,7 @@ func (c *Client) maybePrefetch(page uint64) {
 	if c.cache[next] != nil {
 		return
 	}
-	p := &cpage{data: make([]byte, units.PageSize)}
+	p := newCpage()
 	c.cache[next] = p
 	c.tick++
 	p.lastUse = c.tick
@@ -560,11 +670,13 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 	p.waitCh = ch
 	p.inflight = true
 	p.firstOK = false
-	p.sources = map[string]struct{}{addr: {}}
+	id := c.regRequest(p, addr)
+	want := wantBits(p)
+	p.sources = map[string]uint64{addr: id}
 	p.start = time.Now()
 	c.mu.Unlock()
 
-	if err := c.sendGet(addr, page, off); err != nil {
+	if err := c.sendGet(addr, page, off, id, want); err != nil {
 		c.cancelAttempt(p, ch)
 		return err
 	}
@@ -585,20 +697,27 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 			hedgeC = nil
 			c.mu.Lock()
 			fire := p.waitCh == ch && !p.firstOK
+			var hid uint64
+			var hwant uint32
 			if fire {
-				p.sources[hedge] = struct{}{}
+				hid = c.regRequest(p, hedge)
+				hwant = wantBits(p)
+				p.sources[hedge] = hid
 				c.stats.Hedges++
 				c.met.hedges.Inc()
 			}
 			c.mu.Unlock()
 			if fire {
-				if err := c.sendGet(hedge, page, off); err != nil {
+				if err := c.sendGet(hedge, page, off, hid, hwant); err != nil {
 					// The hedge could not even be sent; the primary
 					// stream (or the timeout) still decides the
 					// attempt.
 					c.mu.Lock()
 					if p.waitCh == ch {
 						delete(p.sources, hedge)
+					}
+					if hid != 0 {
+						delete(c.reqs, hid)
 					}
 					c.mu.Unlock()
 				}
@@ -625,22 +744,26 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 
 // cancelAttempt withdraws an in-flight attempt if its signal has not fired
 // yet; it reports false when the attempt already completed (the verdict is
-// buffered in ch).
+// buffered in ch). Live v2 streams are canceled on the wire so the server
+// stops sending at the next batch boundary.
 func (c *Client) cancelAttempt(p *cpage, ch chan error) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p.waitCh != ch {
+		c.mu.Unlock()
 		return false
 	}
 	p.waitCh = nil
 	p.inflight = false
-	p.sources = nil
+	cancels := c.deregSources(p, nil)
+	c.mu.Unlock()
+	c.sendCancels(cancels)
 	return true
 }
 
-// sendGet writes one GetPage request to addr under a write deadline, so a
-// stalled connection cannot wedge the fault path.
-func (c *Client) sendGet(addr string, page uint64, off int) error {
+// sendGet writes one page request to addr under a write deadline, so a
+// stalled connection cannot wedge the fault path. id and want are the v2
+// request ID and missing-block bitmap; id 0 means the v1 wire.
+func (c *Client) sendGet(addr string, page uint64, off int, id uint64, want uint32) error {
 	sc, err := c.server(addr)
 	if err != nil {
 		return err
@@ -649,6 +772,16 @@ func (c *Client) sendGet(addr string, page uint64, off int) error {
 	defer sc.wmu.Unlock()
 	_ = sc.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	defer sc.conn.SetWriteDeadline(time.Time{})
+	if id != 0 {
+		return sc.w.SendGetPageV2(proto.GetPageV2{ //lint:allow lockio write is bounded by the deadline above; wmu only serializes writers on this conn
+			ReqID:       id,
+			Page:        page,
+			FaultOff:    uint32(off),
+			SubpageSize: uint32(c.cfg.SubpageSize),
+			Want:        want,
+			Policy:      c.cfg.Policy,
+		})
+	}
 	return sc.w.SendGetPage(proto.GetPage{ //lint:allow lockio write is bounded by the deadline above; wmu only serializes writers on this conn
 		Page:        page,
 		FaultOff:    uint32(off),
@@ -697,7 +830,7 @@ func (c *Client) evictIfFull() {
 		var victimID uint64
 		var victim *cpage
 		for id, p := range c.cache {
-			if p.inflight || p.faulting {
+			if p.inflight || p.faulting || p.waiters > 0 {
 				continue
 			}
 			if victim == nil || p.lastUse < victim.lastUse {
@@ -719,6 +852,11 @@ func (c *Client) evictIfFull() {
 			c.putPage(addrs, victimID, data)
 			c.mu.Lock()
 		}
+		// The victim is out of the cache, has no stream, no fault owner
+		// and no waiters: nothing can reach its buffer again. Recycle it.
+		data := victim.data
+		victim.data = nil
+		cpageDataPool.Put(&data)
 	}
 }
 
@@ -1023,7 +1161,8 @@ func (dc *dirConn) lookupRPC(c *Client, page uint64) (proto.LookupReply, error) 
 		return proto.LookupReply{}, fmt.Errorf("remote: directory %s: %s", dc.addr, proto.DecodeError(f.Payload).Text)
 	case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
 		proto.TLookup, proto.TRegister, proto.THeartbeat,
-		proto.TGetShardMap, proto.TShardMap:
+		proto.TGetShardMap, proto.TShardMap, proto.TGetPageV2,
+		proto.TSubpageBatch, proto.TCancel:
 		// Valid tags that never answer a lookup; fall through to the
 		// protocol error below.
 	}
@@ -1100,6 +1239,12 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 				continue
 			}
 			c.applyFragment(addr, pd)
+		case proto.TSubpageBatch:
+			b, err := proto.DecodeSubpageBatch(f.Payload)
+			if err != nil {
+				continue
+			}
+			c.applyBatch(addr, b)
 		case proto.TError:
 			// An application-level failure: the request cannot be
 			// served but the connection stays usable. Fail the
@@ -1110,7 +1255,8 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 			c.failPending(addr, cause)
 		case proto.TGetPage, proto.TPutPage, proto.TAck, proto.TLookup,
 			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
-			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard:
+			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard,
+			proto.TGetPageV2, proto.TCancel:
 			// A data connection only ever carries page fragments and
 			// errors. Any other tag means the peer is not speaking the
 			// page-server protocol (or the stream is desynchronized);
@@ -1140,16 +1286,26 @@ func (c *Client) dropServer(addr string, cause error) {
 // faultLoop decides whether to retry, fail over or give up. An attempt
 // with a live hedge outstanding keeps going untouched.
 func (c *Client) failPending(addr string, cause error) {
+	var cancels []pendingCancel
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, p := range c.cache {
 		if p.sources == nil {
 			continue
 		}
-		if _, ok := p.sources[addr]; !ok {
+		id, ok := p.sources[addr]
+		if !ok {
 			continue
 		}
 		delete(p.sources, addr)
+		if id != 0 {
+			delete(c.reqs, id)
+			// Withdraw the stream if the connection survives (an
+			// application-level TError): the server may still be
+			// streaming requests this failure did not concern.
+			cancels = append(cancels, pendingCancel{addr: addr, id: id})
+			c.stats.Cancels++
+			c.met.cancels.Inc()
+		}
 		if len(p.sources) == 0 && p.waitCh != nil {
 			ch := p.waitCh
 			p.waitCh = nil
@@ -1158,6 +1314,8 @@ func (c *Client) failPending(addr string, cause error) {
 		}
 	}
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.sendCancels(cancels)
 }
 
 // applyFragment copies one arriving fragment into the cache and signals
@@ -1201,4 +1359,67 @@ func (c *Client) applyFragment(addr string, pd proto.PageData) {
 		ch <- nil //lint:allow lockio waitCh has capacity 1 and is nilled in this critical section, so the send never blocks
 	}
 	c.cond.Broadcast()
+}
+
+// applyBatch is the v2 interrupt handler: one frame, many subpage runs.
+// The request ID decides what the batch may do — a live ID applies data
+// AND drives the attempt state machine (first-subpage latency, stream
+// completion, hedge settlement); a stale ID (canceled, timed out,
+// superseded) still applies its correct bytes to a cached page but cannot
+// touch signaling, which is what keeps a lost hedge from skewing
+// SubpageLat or completing a newer attempt (the lost-hedge bugfix).
+func (c *Client) applyBatch(addr string, b proto.SubpageBatch) {
+	var cancels []pendingCancel
+	c.mu.Lock()
+	ent, live := c.reqs[b.ReqID]
+	p := c.cache[b.Page]
+	if live && ent.p != p {
+		// The registry outlives a cache entry only through bugs; refuse
+		// to apply rather than corrupt whatever now sits at this page.
+		live = false
+	}
+	if p == nil {
+		c.mu.Unlock()
+		return // page evicted mid-transfer; drop the data
+	}
+	for i := 0; i < b.Runs(); i++ {
+		off, data := b.Run(i)
+		if off+len(data) > units.PageSize {
+			c.mu.Unlock()
+			return // DecodeSubpageBatch bounds this; belt and braces
+		}
+		copy(p.data[off:], data)
+		p.valid = p.valid.Set(neededMask(off, len(data)))
+		c.stats.BytesIn += int64(len(data))
+		c.met.bytesIn.Add(int64(len(data)))
+	}
+	if live && p.waitCh != nil {
+		if b.Flags&proto.FlagFirst != 0 && !p.firstOK && !p.start.IsZero() {
+			p.firstOK = true
+			lat := float64(time.Since(p.start).Microseconds())
+			c.stats.SubpageLat.Add(lat)
+			c.met.subpageLat.Observe(lat)
+		}
+		if b.Flags&proto.FlagLast != 0 {
+			ch := p.waitCh
+			p.waitCh = nil
+			p.inflight = false
+			// This stream won; deregister it and eagerly cancel every
+			// other source (the losing half of a hedge) instead of
+			// letting it stream a page we already have.
+			delete(p.sources, addr)
+			delete(c.reqs, b.ReqID)
+			cancels = c.deregSources(p, cancels)
+			if !p.start.IsZero() {
+				lat := float64(time.Since(p.start).Microseconds())
+				c.stats.FullLat.Add(lat)
+				c.met.fullLat.Observe(lat)
+				p.start = time.Time{}
+			}
+			ch <- nil //lint:allow lockio waitCh has capacity 1 and is nilled in this critical section, so the send never blocks
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.sendCancels(cancels)
 }

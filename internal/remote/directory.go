@@ -536,7 +536,8 @@ func (d *Directory) serve(conn net.Conn) {
 			}
 		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
 			proto.TLookupReply, proto.TError, proto.TShardMap,
-			proto.TWrongShard:
+			proto.TWrongShard, proto.TGetPageV2, proto.TSubpageBatch,
+			proto.TCancel:
 			// Data-plane and reply tags never arrive at a directory;
 			// refuse and hang up rather than guess at the peer's intent.
 			_ = w.SendError(fmt.Sprintf("directory: unexpected %v", f.Type))

@@ -21,6 +21,7 @@ type clientMetrics struct {
 	retries       *obs.Counter
 	failovers     *obs.Counter
 	hedges        *obs.Counter
+	cancels       *obs.Counter
 	breakerOpens  *obs.Counter
 	breakerProbes *obs.Counter
 	openBreakers  *obs.Gauge
@@ -40,6 +41,7 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		retries:       r.Counter("gms_client_retries_total", "fault or lookup attempts beyond the first"),
 		failovers:     r.Counter("gms_client_failovers_total", "retries redirected to a different replica"),
 		hedges:        r.Counter("gms_client_hedges_total", "duplicate GetPages sent to mask a slow primary"),
+		cancels:       r.Counter("gms_client_cancels_total", "cancel frames sent to withdraw superseded v2 requests"),
 		breakerOpens:  r.Counter("gms_client_breaker_opens_total", "circuit breakers tripped (closed to open)"),
 		breakerProbes: r.Counter("gms_client_breaker_probes_total", "half-open probes granted after a cooldown"),
 		openBreakers:  r.Gauge("gms_client_open_breakers", "servers currently shunned by their breaker"),

@@ -28,7 +28,7 @@ type Server struct {
 	ln net.Listener
 
 	mu    sync.Mutex
-	pages map[uint64][]byte
+	pages map[uint64]*pageBuf
 	conns map[net.Conn]struct{}
 	done  bool
 
@@ -55,8 +55,9 @@ type Server struct {
 	wireNsPerByte int64
 
 	// Stats.
-	Gets int64
-	Puts int64
+	Gets    int64
+	Puts    int64
+	Cancels int64 // v2 requests withdrawn by TCancel before completion
 
 	// met holds the gms_server_* metric handles (nil-safe no-ops until
 	// SetMetrics is called).
@@ -105,7 +106,7 @@ func ListenServer(addr string) (*Server, error) {
 func ListenServerOn(ln net.Listener) *Server {
 	s := &Server{
 		ln:      ln,
-		pages:   make(map[uint64][]byte),
+		pages:   make(map[uint64]*pageBuf),
 		conns:   make(map[net.Conn]struct{}),
 		hbEvery: DefaultHeartbeatInterval,
 		hbStop:  make(chan struct{}),
@@ -175,15 +176,54 @@ func (s *Server) SetHeartbeatInterval(d time.Duration) {
 	s.mu.Unlock()
 }
 
-// Store makes the server hold a page. The data is copied; short data is
-// zero-padded to a full page.
+// pageBuf is one page-sized buffer with a reference count: the pages map
+// holds one reference, and every in-flight reply stream holds another for
+// as long as it reads the data. Buffers recycle through pagePool when the
+// last reference drops, so a steady stream of Store calls — the client
+// write-back path, the load harness warm-up — runs without allocating or
+// garbage-collecting a page per call (the Server.Store bugfix; budget
+// pinned by BenchmarkServerStoreAllocs).
+type pageBuf struct {
+	data []byte // always units.PageSize long
+	refs atomic.Int64
+}
+
+var pagePool = sync.Pool{
+	New: func() any { return &pageBuf{data: make([]byte, units.PageSize)} },
+}
+
+// newPageBuf takes a buffer from the pool holding one reference, filled
+// with data and zero-padded to a full page.
+func newPageBuf(data []byte) *pageBuf {
+	pb := pagePool.Get().(*pageBuf)
+	pb.refs.Store(1)
+	n := copy(pb.data, data)
+	clear(pb.data[n:]) // pooled buffers carry a previous page's bytes
+	return pb
+}
+
+func (pb *pageBuf) retain() { pb.refs.Add(1) }
+
+func (pb *pageBuf) release() {
+	if pb.refs.Add(-1) == 0 {
+		pagePool.Put(pb)
+	}
+}
+
+// Store makes the server hold a page. The data is copied into a pooled
+// buffer; short data is zero-padded to a full page.
 func (s *Server) Store(page uint64, data []byte) {
-	buf := make([]byte, units.PageSize)
-	copy(buf, data)
+	pb := newPageBuf(data)
 	s.mu.Lock()
-	s.pages[page] = buf
+	old := s.pages[page]
+	s.pages[page] = pb
 	s.met.pages.Set(int64(len(s.pages)))
 	s.mu.Unlock()
+	if old != nil {
+		// Dropped outside the lock: release may return the buffer to the
+		// pool, and an in-flight reply stream may still hold a reference.
+		old.release()
+	}
 }
 
 // Pages returns the number of pages stored.
@@ -289,7 +329,8 @@ func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
 			return fmt.Errorf("remote: register: %s", proto.DecodeError(f.Payload).Text)
 		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TLookup,
 			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
-			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard:
+			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard,
+			proto.TGetPageV2, proto.TSubpageBatch, proto.TCancel:
 			return fmt.Errorf("remote: register: unexpected %v", f.Type)
 		}
 		ids = ids[n:]
@@ -411,6 +452,74 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// srvReq is one unit of work handed from a connection's reader to its
+// writer goroutine.
+type srvReq struct {
+	get    proto.GetPage   // valid when kind == reqGetV1
+	getV2  proto.GetPageV2 // valid when kind == reqGetV2
+	errMsg string          // valid when kind == reqError
+	kind   uint8
+}
+
+const (
+	reqGetV1 = iota
+	reqGetV2
+	reqError
+)
+
+// connState is the per-connection serving state shared by the reader and
+// writer halves. The reader decodes requests into queue and records
+// cancellations; the writer drains queue, streaming replies and checking
+// canceled between batches. live bounds canceled: a TCancel for an ID
+// that is not queued or streaming is dropped, so a peer cannot grow the
+// map with IDs the server never saw.
+type connState struct {
+	conn  net.Conn
+	queue chan srvReq
+
+	cmu      sync.Mutex
+	live     map[uint64]bool
+	canceled map[uint64]bool
+
+	// Writer-goroutine scratch, reused across batches so the steady-state
+	// reply path allocates nothing per request.
+	hdr  []byte
+	bufs net.Buffers
+	runs []proto.SubpageRun
+	brs  []byteRun
+}
+
+// begin records a v2 request as live (called by the reader on enqueue).
+func (st *connState) begin(id uint64) {
+	st.cmu.Lock()
+	st.live[id] = true
+	st.cmu.Unlock()
+}
+
+// cancel marks a live request canceled; cancels for unknown IDs no-op.
+func (st *connState) cancel(id uint64) {
+	st.cmu.Lock()
+	if st.live[id] {
+		st.canceled[id] = true
+	}
+	st.cmu.Unlock()
+}
+
+// isCanceled is the writer's between-batches poll.
+func (st *connState) isCanceled(id uint64) bool {
+	st.cmu.Lock()
+	defer st.cmu.Unlock()
+	return st.canceled[id]
+}
+
+// finish retires a request's cancel-tracking state.
+func (st *connState) finish(id uint64) {
+	st.cmu.Lock()
+	delete(st.live, id)
+	delete(st.canceled, id)
+	st.cmu.Unlock()
+}
+
 func (s *Server) serve(conn net.Conn) {
 	s.mu.Lock()
 	if s.done {
@@ -430,10 +539,29 @@ func (s *Server) serve(conn net.Conn) {
 		// Latency matters more than throughput on this path.
 		_ = tc.SetNoDelay(true)
 	}
-	slp := newSleeper()
-	defer slp.Close()
+	st := &connState{
+		conn:     conn,
+		queue:    make(chan srvReq, 64),
+		live:     make(map[uint64]bool),
+		canceled: make(map[uint64]bool),
+	}
+	// The writer half streams replies while this reader half keeps
+	// decoding, so a TCancel racing a reply stream is seen mid-stream —
+	// the point of the split. The queue close below is its stop path.
+	writerDone := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(writerDone)
+		s.writeLoop(st)
+	}()
+	defer func() {
+		close(st.queue)
+		// Let the writer flush queued replies (it bails out the moment a
+		// write fails); the connection closes after it is done.
+		<-writerDone
+	}()
 	r := proto.NewReader(conn)
-	w := proto.NewWriter(conn)
 	for {
 		f, err := r.Next()
 		if err != nil {
@@ -443,16 +571,29 @@ func (s *Server) serve(conn net.Conn) {
 		case proto.TGetPage:
 			req, err := proto.DecodeGetPage(f.Payload)
 			if err != nil {
-				_ = w.SendError(err.Error())
+				st.queue <- srvReq{kind: reqError, errMsg: err.Error()}
 				return
 			}
-			if err := s.sendPage(w, req, slp); err != nil {
+			st.queue <- srvReq{kind: reqGetV1, get: req}
+		case proto.TGetPageV2:
+			req, err := proto.DecodeGetPageV2(f.Payload)
+			if err != nil {
+				st.queue <- srvReq{kind: reqError, errMsg: err.Error()}
 				return
 			}
+			st.begin(req.ReqID)
+			st.queue <- srvReq{kind: reqGetV2, getV2: req}
+		case proto.TCancel:
+			cn, err := proto.DecodeCancel(f.Payload)
+			if err != nil {
+				st.queue <- srvReq{kind: reqError, errMsg: err.Error()}
+				return
+			}
+			st.cancel(cn.ReqID)
 		case proto.TPutPage:
 			put, err := proto.DecodePutPage(f.Payload)
 			if err != nil {
-				_ = w.SendError(err.Error())
+				st.queue <- srvReq{kind: reqError, errMsg: err.Error()}
 				return
 			}
 			s.Store(put.Page, put.Data)
@@ -463,11 +604,45 @@ func (s *Server) serve(conn net.Conn) {
 			met.puts.Inc()
 		case proto.TAck, proto.TLookup, proto.TLookupReply, proto.TRegister,
 			proto.TError, proto.THeartbeat, proto.TGetShardMap,
-			proto.TShardMap, proto.TWrongShard, proto.TPageData:
+			proto.TShardMap, proto.TWrongShard, proto.TPageData,
+			proto.TSubpageBatch:
 			// Tags a page server never receives; refuse and hang up so a
 			// confused peer cannot keep feeding us misdirected traffic.
-			_ = w.SendError(fmt.Sprintf("server: unexpected %v", f.Type))
+			st.queue <- srvReq{kind: reqError, errMsg: fmt.Sprintf("server: unexpected %v", f.Type)}
 			return
+		}
+	}
+}
+
+// writeLoop is a connection's writer half: it owns every byte written to
+// the connection, serving queued requests in arrival order. After a write
+// error the connection is severed (unblocking the reader) and the
+// remaining queue is drained without touching the wire.
+func (s *Server) writeLoop(st *connState) {
+	slp := newSleeper()
+	defer slp.Close()
+	w := proto.NewWriter(st.conn)
+	dead := false
+	for req := range st.queue {
+		if dead {
+			if req.kind == reqGetV2 {
+				st.finish(req.getV2.ReqID)
+			}
+			continue
+		}
+		var err error
+		switch req.kind {
+		case reqGetV1:
+			err = s.sendPage(w, req.get, slp)
+		case reqGetV2:
+			err = s.sendPageV2(st, w, req.getV2, slp)
+			st.finish(req.getV2.ReqID)
+		case reqError:
+			err = w.SendError(req.errMsg)
+		}
+		if err != nil {
+			dead = true
+			_ = st.conn.Close()
 		}
 	}
 }
@@ -487,27 +662,13 @@ func policyFor(b uint8) (core.Policy, error) {
 // the fragment covering the fault goes first, the rest follow immediately
 // behind it on the wire (the prototype's sender pipelining).
 func (s *Server) sendPage(w *proto.Writer, req proto.GetPage, slp *sleeper) error {
-	s.mu.Lock()
-	data := s.pages[req.Page]
-	s.Gets++
-	met := s.met
-	s.mu.Unlock()
-	met.gets.Inc()
-	if data == nil {
-		return w.SendError(fmt.Sprintf("server: page %d not stored", req.Page))
+	pb, pol, sub, off, errMsg := s.openGet(req.Page, req.Policy, req.SubpageSize, req.FaultOff)
+	if errMsg != "" {
+		return w.SendError(errMsg)
 	}
-	pol, err := policyFor(req.Policy)
-	if err != nil {
-		return w.SendError(err.Error())
-	}
-	sub := int(req.SubpageSize)
-	if !units.ValidSubpageSize(sub) {
-		return w.SendError(fmt.Sprintf("server: bad subpage size %d", sub))
-	}
-	off := int(req.FaultOff)
-	if off < 0 || off >= units.PageSize {
-		return w.SendError(fmt.Sprintf("server: bad fault offset %d", off))
-	}
+	defer pb.release()
+	data := pb.data
+	met := s.metrics()
 
 	plan := pol.Plan(sub, off)
 	for i, msg := range plan {
@@ -532,14 +693,178 @@ func (s *Server) sendPage(w *proto.Writer, req proto.GetPage, slp *sleeper) erro
 	return w.SendPageData(proto.PageData{Page: req.Page, Flags: proto.FlagLast})
 }
 
+// openGet validates one get request and pins its page: the returned
+// pageBuf holds a reference the caller must release. A non-empty errMsg
+// means the request is refused (pb is nil).
+func (s *Server) openGet(page uint64, policy uint8, subpageSize, faultOff uint32) (pb *pageBuf, pol core.Policy, sub, off int, errMsg string) {
+	s.mu.Lock()
+	pb = s.pages[page]
+	if pb != nil {
+		pb.retain()
+	}
+	s.Gets++
+	met := s.met
+	s.mu.Unlock()
+	met.gets.Inc()
+	if pb == nil {
+		return nil, nil, 0, 0, fmt.Sprintf("server: page %d not stored", page)
+	}
+	var err error
+	if pol, err = policyFor(policy); err != nil {
+		pb.release()
+		return nil, nil, 0, 0, err.Error()
+	}
+	sub = int(subpageSize)
+	if !units.ValidSubpageSize(sub) {
+		pb.release()
+		return nil, nil, 0, 0, fmt.Sprintf("server: bad subpage size %d", sub)
+	}
+	off = int(faultOff)
+	if off < 0 || off >= units.PageSize {
+		pb.release()
+		return nil, nil, 0, 0, fmt.Sprintf("server: bad fault offset %d", off)
+	}
+	return pb, pol, sub, off, ""
+}
+
+func (s *Server) metrics() serverMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met
+}
+
+// sendPageV2 streams one page as TSubpageBatch frames: the plan message
+// covering the fault goes first (FlagFirst), the remainder follows in as
+// few batches as the frame size allows, and the final batch carries
+// FlagLast. The want bitmap trims the plan to the blocks the client still
+// misses (the faulted block is always sent). Between batches the request's
+// cancel flag is polled, so a withdrawn hedge stops mid-page instead of
+// burning the rest of its bandwidth.
+//
+// Batch boundaries follow the transfer plan whenever wire emulation is on,
+// preserving the per-message serialization delays the paper's model
+// measures; on a raw loopback the remainder coalesces into maximal frames,
+// which is the batching win itself.
+func (s *Server) sendPageV2(st *connState, w *proto.Writer, req proto.GetPageV2, slp *sleeper) error {
+	pb, pol, sub, off, errMsg := s.openGet(req.Page, req.Policy, req.SubpageSize, req.FaultOff)
+	if errMsg != "" {
+		return w.SendError(errMsg)
+	}
+	defer pb.release()
+	met := s.metrics()
+
+	want := memmodel.Bitmap(req.Want)
+	if want == 0 {
+		want = ^memmodel.Bitmap(0)
+	}
+	want |= 1 << (off / units.MinSubpage) // the faulted block is never optional
+
+	plan := pol.Plan(sub, off)
+	emulate := atomic.LoadInt64(&s.wireNsPerByte) > 0
+	canceled := func() bool {
+		if !st.isCanceled(req.ReqID) {
+			return false
+		}
+		s.mu.Lock()
+		s.Cancels++
+		s.mu.Unlock()
+		return true
+	}
+
+	first := plan[0].Covers & want
+	rest := memmodel.Bitmap(0)
+	for _, msg := range plan[1:] {
+		rest |= msg.Covers
+	}
+	rest &= want &^ first
+
+	if !emulate {
+		// Fast path: the faulted message, then one maximal batch for the
+		// remainder (a full page minus one subpage fits a single frame).
+		flags := uint8(proto.FlagFirst)
+		if rest == 0 {
+			flags |= proto.FlagLast
+		}
+		if err := s.writeBatch(st, req.ReqID, req.Page, flags, first, pb.data, met, slp); err != nil {
+			return err
+		}
+		if rest == 0 || canceled() {
+			return nil
+		}
+		return s.writeBatch(st, req.ReqID, req.Page, proto.FlagLast, rest, pb.data, met, slp)
+	}
+
+	// Emulated wire: one batch per plan message, each delayed by its
+	// serialization time, so v2 keeps the arrival timing the transfer
+	// plans model — only the framing overhead changes.
+	sent := memmodel.Bitmap(0)
+	for i, msg := range plan {
+		covers := msg.Covers & want &^ sent
+		last := i == len(plan)-1
+		if covers == 0 && !last {
+			continue
+		}
+		if i > 0 && canceled() {
+			return nil
+		}
+		flags := uint8(0)
+		if i == 0 {
+			flags |= proto.FlagFirst
+		}
+		if last {
+			flags |= proto.FlagLast
+		}
+		if err := s.writeBatch(st, req.ReqID, req.Page, flags, covers, pb.data, met, slp); err != nil {
+			return err
+		}
+		sent |= covers
+	}
+	return nil
+}
+
+// writeBatch emits one TSubpageBatch covering the given valid bits: the
+// frame header and run table build into the connection's reused scratch
+// buffer, and the page data rides as scatter-gather ranges straight out
+// of the (refcount-pinned) page buffer — no per-batch copies, no
+// per-batch allocations.
+func (s *Server) writeBatch(st *connState, reqID, page uint64, flags uint8, covers memmodel.Bitmap, data []byte, met serverMetrics, slp *sleeper) error {
+	st.runs = st.runs[:0]
+	st.brs = appendBitmapRuns(st.brs[:0], covers)
+	bytes := 0
+	for _, run := range st.brs {
+		st.runs = append(st.runs, proto.SubpageRun{Off: uint32(run.start), Data: data[run.start:run.end]})
+		bytes += run.end - run.start
+	}
+	hdr, err := proto.AppendSubpageBatchFrame(st.hdr[:0], reqID, page, flags, st.runs)
+	if err != nil {
+		return err
+	}
+	st.hdr = hdr
+	st.bufs = st.bufs[:0]
+	st.bufs = append(st.bufs, hdr)
+	for _, r := range st.runs {
+		st.bufs = append(st.bufs, r.Data)
+	}
+	s.wireDelay(slp, bytes)
+	bufs := st.bufs // WriteTo consumes its receiver; keep st.bufs's backing array
+	if _, err := bufs.WriteTo(st.conn); err != nil {
+		return err
+	}
+	met.bytesOut.Add(int64(bytes))
+	return nil
+}
+
 // byteRun is a contiguous valid range within a page.
 type byteRun struct{ start, end int }
 
 func (r byteRun) contains(off int) bool { return off >= r.start && off < r.end }
 
 // bitmapRuns converts a valid-bit set into contiguous byte ranges.
-func bitmapRuns(b memmodel.Bitmap) []byteRun {
-	var runs []byteRun
+func bitmapRuns(b memmodel.Bitmap) []byteRun { return appendBitmapRuns(nil, b) }
+
+// appendBitmapRuns is the allocation-free form: runs append into dst.
+func appendBitmapRuns(dst []byteRun, b memmodel.Bitmap) []byteRun {
+	runs := dst
 	inRun := false
 	var start int
 	for i := 0; i < units.ValidBitsPerPage; i++ {

@@ -1,0 +1,518 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// This file pins the v2 batched wire: mixed-version interop, the want
+// bitmap, cancellation (including the eager hedge-loser cancel), and the
+// fault path's steady-state allocation budgets.
+
+func serverCancels(s *Server) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Cancels
+}
+
+func serverGets(s *Server) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Gets
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A client pinned to the v1 wire must work against a v2 server unchanged:
+// the server still speaks TGetPage/TPageData to peers that ask with them.
+func TestWireV1ClientAgainstV2Server(t *testing.T) {
+	dir, srv := testCluster(t, 4)
+	c := testClient(t, dir, ClientConfig{Policy: proto.PolicyPipelined, WireV1: true})
+	buf := make([]byte, units.PageSize)
+	for p := uint64(0); p < 4; p++ {
+		if err := c.Read(buf, p*units.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, pagePattern(p)) {
+			t.Fatalf("page %d mismatch over the v1 wire", p)
+		}
+	}
+	st := c.Stats()
+	if st.Faults != 4 {
+		t.Fatalf("Faults = %d, want 4", st.Faults)
+	}
+	if st.Cancels != 0 {
+		t.Fatalf("a v1-pinned client sent %d cancels; the v1 wire has none", st.Cancels)
+	}
+	if got := serverGets(srv); got != 4 {
+		t.Fatalf("server Gets = %d, want 4", got)
+	}
+}
+
+// registerRaw takes out a directory registration on behalf of a fake
+// server, the way a real one would on the wire.
+func registerRaw(t *testing.T, dirAddr, srvAddr string, pages []uint64) {
+	t.Helper()
+	conn, err := net.Dial("tcp", dirAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	if err := w.SendRegister(proto.Register{Addr: srvAddr, Epoch: 1, Pages: pages}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != proto.TAck {
+		t.Fatalf("register answered %v, want TAck", f.Type)
+	}
+}
+
+// serveV1Only emulates a page server that predates the v2 wire: it serves
+// TGetPage and severs the connection on any tag it does not know, exactly
+// as the old framing layer did.
+func serveV1Only(conn net.Conn, v2Frames *atomic.Int64) {
+	defer conn.Close()
+	r := proto.NewReader(conn)
+	w := proto.NewWriter(conn)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return
+		}
+		if f.Type > proto.TWrongShard {
+			v2Frames.Add(1)
+			return
+		}
+		if f.Type != proto.TGetPage {
+			return
+		}
+		req, err := proto.DecodeGetPage(f.Payload)
+		if err != nil {
+			return
+		}
+		if err := w.SendPageData(proto.PageData{
+			Page: req.Page, Offset: 0, Flags: proto.FlagFirst, Data: pagePattern(req.Page),
+		}); err != nil {
+			return
+		}
+		if err := w.SendPageData(proto.PageData{Page: req.Page, Flags: proto.FlagLast}); err != nil {
+			return
+		}
+	}
+}
+
+// The other half of the rollout contract: a default (v2) client against a
+// v1-only server fails typed instead of wedging, and the same client
+// pinned to WireV1 works. This is why servers upgrade before clients.
+func TestV2ClientAgainstV1OnlyServer(t *testing.T) {
+	dir, err := ListenDirectory("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var v2Frames atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveV1Only(conn, &v2Frames)
+		}
+	}()
+	registerRaw(t, dir.Addr(), ln.Addr().String(), []uint64{0})
+
+	cfg := fastRetry(ClientConfig{Policy: proto.PolicyEager})
+	cfg.Directory = dir.Addr()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	buf := make([]byte, units.PageSize)
+	if err := c.Read(buf, 0); !errors.Is(err, ErrPageUnavailable) {
+		t.Fatalf("v2 client against a v1-only server: err = %v, want ErrPageUnavailable", err)
+	}
+	if v2Frames.Load() == 0 {
+		t.Fatal("the stub never saw a v2 frame; the test exercised nothing")
+	}
+
+	cfgV1 := fastRetry(ClientConfig{Policy: proto.PolicyEager, WireV1: true})
+	cfgV1.Directory = dir.Addr()
+	cv1, err := Dial(cfgV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cv1.Close() })
+	if err := cv1.Read(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pagePattern(0)) {
+		t.Fatal("page mismatch from the v1-only server")
+	}
+}
+
+// dialRaw opens a raw framed connection to a server.
+func dialRaw(t *testing.T, addr string) (net.Conn, *proto.Writer, *proto.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, proto.NewWriter(conn), proto.NewReader(conn)
+}
+
+// readBatches reads TSubpageBatch frames for reqID until FlagLast or a
+// read timeout, returning the batches seen and whether FlagLast arrived.
+func readBatches(t *testing.T, conn net.Conn, r *proto.Reader, reqID uint64, perRead time.Duration) (batches []proto.SubpageBatch, last bool) {
+	t.Helper()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(perRead))
+		f, err := r.Next()
+		if err != nil {
+			return batches, false // timeout or close: the stream went quiet
+		}
+		if f.Type == proto.TError {
+			t.Fatalf("server error: %s", proto.DecodeError(f.Payload).Text)
+		}
+		if f.Type != proto.TSubpageBatch {
+			t.Fatalf("unexpected %v on the data stream", f.Type)
+		}
+		b, err := proto.DecodeSubpageBatch(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ReqID != reqID {
+			continue
+		}
+		// Copy: the reader reuses its payload buffer across frames.
+		raw := make([]byte, len(f.Payload))
+		copy(raw, f.Payload)
+		b, _ = proto.DecodeSubpageBatch(raw)
+		batches = append(batches, b)
+		if b.Flags&proto.FlagLast != 0 {
+			return batches, true
+		}
+	}
+}
+
+// The want bitmap trims a v2 reply to the blocks the client misses; the
+// faulted block is always included.
+func TestServerWantBitmapTrimsReply(t *testing.T) {
+	_, srv := testCluster(t, 1)
+	conn, w, r := dialRaw(t, srv.Addr())
+
+	// Want exactly the faulted 1024-byte subpage (MinSubpage blocks 4-7):
+	// the whole reply is one FlagFirst|FlagLast batch of 1024 bytes.
+	if err := w.SendGetPageV2(proto.GetPageV2{
+		ReqID: 1, Page: 0, FaultOff: 1024, SubpageSize: 1024,
+		Want: 0xF0, Policy: proto.PolicyEager,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches, last := readBatches(t, conn, r, 1, 2*time.Second)
+	if !last {
+		t.Fatal("stream never completed")
+	}
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	b := batches[0]
+	if b.Flags&proto.FlagFirst == 0 {
+		t.Fatal("first batch lacks FlagFirst")
+	}
+	total := 0
+	want := pagePattern(0)
+	for i := 0; i < b.Runs(); i++ {
+		off, data := b.Run(i)
+		if !bytes.Equal(data, want[off:off+len(data)]) {
+			t.Fatalf("run at %d carries wrong bytes", off)
+		}
+		total += len(data)
+	}
+	if total != 1024 {
+		t.Fatalf("reply carried %d bytes, want exactly the 1024 asked for", total)
+	}
+
+	// Want two distant blocks (0 and 31), faulting block 0: the faulted
+	// message ships block 0 under FlagFirst, the remainder only block 31.
+	if err := w.SendGetPageV2(proto.GetPageV2{
+		ReqID: 2, Page: 0, FaultOff: 0, SubpageSize: 1024,
+		Want: 1 | 1<<31, Policy: proto.PolicyEager,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches, last = readBatches(t, conn, r, 2, 2*time.Second)
+	if !last {
+		t.Fatal("stream never completed")
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	off0, data0 := batches[0].Run(0)
+	if batches[0].Runs() != 1 || off0 != 0 || len(data0) != units.MinSubpage {
+		t.Fatalf("first batch = %d runs, off %d, %dB; want one %dB run at 0",
+			batches[0].Runs(), off0, len(data0), units.MinSubpage)
+	}
+	off1, data1 := batches[1].Run(0)
+	if batches[1].Runs() != 1 || off1 != units.PageSize-units.MinSubpage || len(data1) != units.MinSubpage {
+		t.Fatalf("last batch = %d runs, off %d, %dB; want one %dB run at %d",
+			batches[1].Runs(), off1, len(data1), units.MinSubpage, units.PageSize-units.MinSubpage)
+	}
+}
+
+// A TCancel between batches stops an emulated-wire stream mid-page: the
+// server spends no more serialization time on a reply nobody wants.
+func TestCancelStopsEmulatedStream(t *testing.T) {
+	_, srv := testCluster(t, 1)
+	srv.SetWireMbps(5) // 256B per batch costs ~410us: plenty of room to cancel
+	conn, w, r := dialRaw(t, srv.Addr())
+	if err := w.SendGetPageV2(proto.GetPageV2{
+		ReqID: 7, Page: 0, FaultOff: 0, SubpageSize: 256,
+		Policy: proto.PolicyPipelined,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SendCancel(proto.Cancel{ReqID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	batches, last := readBatches(t, conn, r, 7, 300*time.Millisecond)
+	if last {
+		t.Fatal("stream ran to completion despite the cancel")
+	}
+	if len(batches) == 0 {
+		t.Fatal("no batch arrived; the request itself failed")
+	}
+	total := 0
+	for _, b := range batches {
+		for i := 0; i < b.Runs(); i++ {
+			_, data := b.Run(i)
+			total += len(data)
+		}
+	}
+	if total >= units.PageSize {
+		t.Fatalf("received %d bytes, want less than a full page", total)
+	}
+	waitFor(t, 2*time.Second, func() bool { return serverCancels(srv) >= 1 },
+		"server to count the cancel")
+}
+
+// The lost-hedge fix: when the hedged replica wins, the primary's stream
+// is withdrawn on the wire, and the loser can neither skew the latency
+// statistics nor double-complete the attempt.
+func TestHedgeLoserCanceledEagerly(t *testing.T) {
+	dir, srvA, srvB := replicatedCluster(t, 1)
+	srvA.SetWireMbps(1) // ~8.2ms per 1KB message: the 5ms hedge always fires
+	cfg := fastRetry(ClientConfig{
+		Policy:      proto.PolicyPipelined,
+		SubpageSize: 1024,
+		Hedge:       5 * time.Millisecond,
+	})
+	cfg.RequestTimeout = 5 * time.Second
+	c := testClient(t, dir, cfg)
+
+	buf := make([]byte, units.PageSize)
+	if err := c.Read(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pagePattern(0)) {
+		t.Fatal("page mismatch")
+	}
+	st := c.Stats()
+	if st.Hedges != 1 {
+		t.Fatalf("Hedges = %d, want 1", st.Hedges)
+	}
+	if st.Cancels < 1 {
+		t.Fatal("the losing stream was never canceled")
+	}
+	// One fault, one first-subpage sample, one completion sample: the
+	// loser's late batches must not have signaled anything.
+	if st.Faults != 1 || st.SubpageLat.N() != 1 || st.FullLat.N() != 1 {
+		t.Fatalf("Faults=%d SubpageLat.N=%d FullLat.N=%d, want 1/1/1 (loser skewed the stats)",
+			st.Faults, st.SubpageLat.N(), st.FullLat.N())
+	}
+	waitFor(t, 2*time.Second, func() bool { return serverCancels(srvA) >= 1 },
+		"the slow primary to observe the cancel")
+	_ = srvB
+}
+
+// Server.Store must not allocate in steady state: buffers recycle through
+// the page pool (the Store hot-path bugfix).
+func TestServerStoreAllocs(t *testing.T) {
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	data := pagePattern(3)
+	srv.Store(0, data)
+	if n := testing.AllocsPerRun(200, func() { srv.Store(0, data) }); n > 0.5 {
+		t.Fatalf("Store allocates %.1f objects per call in steady state, want 0", n)
+	}
+}
+
+// nopConn is a sink net.Conn for exercising the reply path off the wire.
+type nopConn struct{}
+
+func (nopConn) Read(b []byte) (int, error)       { return 0, errors.New("nopConn: no reads") }
+func (nopConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (nopConn) Close() error                     { return nil }
+func (nopConn) LocalAddr() net.Addr              { return nil }
+func (nopConn) RemoteAddr() net.Addr             { return nil }
+func (nopConn) SetDeadline(time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(time.Time) error { return nil }
+
+// The v2 reply path reuses per-connection scratch: a whole-page reply is
+// bounded by the transfer plan's own small allocations, with nothing per
+// batch or per run.
+func TestServerReplyPathAllocs(t *testing.T) {
+	srv, err := ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Store(0, pagePattern(0))
+	st := &connState{
+		conn:     nopConn{},
+		live:     make(map[uint64]bool),
+		canceled: make(map[uint64]bool),
+	}
+	w := proto.NewWriter(nopConn{})
+	slp := newSleeper()
+	defer slp.Close()
+	req := proto.GetPageV2{ReqID: 1, Page: 0, FaultOff: 1024, SubpageSize: 1024, Policy: proto.PolicyEager}
+	if err := srv.sendPageV2(st, w, req, slp); err != nil {
+		t.Fatal(err)
+	}
+	// Budget: policy lookup and Plan build small slices, and the cancel
+	// poll is a closure; the framing, run tables and scatter-gather lists
+	// themselves must stay allocation-free.
+	const budget = 8.0
+	if n := testing.AllocsPerRun(200, func() {
+		if err := srv.sendPageV2(st, w, req, slp); err != nil {
+			t.Fatal(err)
+		}
+	}); n > budget {
+		t.Fatalf("v2 reply path allocates %.1f objects per page, budget %v", n, budget)
+	}
+}
+
+// A stale batch (canceled hedge, timed-out attempt) applies bytes without
+// allocating and without touching the attempt state machine.
+func TestStaleBatchAppliesWithoutSignaling(t *testing.T) {
+	dir, _ := testCluster(t, 1)
+	c := testClient(t, dir, ClientConfig{Policy: proto.PolicyEager})
+	buf := make([]byte, units.PageSize)
+	if err := c.Read(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var fb bytes.Buffer
+	w := proto.NewWriter(&fb)
+	if err := w.SendSubpageBatch(999, 0, proto.FlagFirst|proto.FlagLast,
+		[]proto.SubpageRun{{Off: 0, Data: pagePattern(0)[:512]}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := proto.NewReader(&fb).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := proto.DecodeSubpageBatch(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := c.Stats()
+	if n := testing.AllocsPerRun(200, func() { c.applyBatch("203.0.113.1:1", b) }); n > 0.5 {
+		t.Fatalf("stale applyBatch allocates %.1f objects per frame, want 0", n)
+	}
+	after := c.Stats()
+	if after.SubpageLat.N() != before.SubpageLat.N() || after.FullLat.N() != before.FullLat.N() {
+		t.Fatal("a stale batch moved the latency statistics")
+	}
+	if after.Cancels != before.Cancels {
+		t.Fatal("a stale batch sent cancels")
+	}
+	if err := c.Read(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pagePattern(0)) {
+		t.Fatal("stale batches corrupted the cached page")
+	}
+}
+
+// TestBatchedWireSmoke is the bounded batched-path smoke run under -race
+// by make ci: v2 and v1-pinned clients hammer the same replicated servers
+// concurrently, with hedging on and a cache small enough to churn the
+// page-buffer pool.
+func TestBatchedWireSmoke(t *testing.T) {
+	dir, _, _ := replicatedCluster(t, 16)
+	mk := func(v1 bool) *Client {
+		cfg := fastRetry(ClientConfig{
+			Policy:      proto.PolicyPipelined,
+			SubpageSize: 512,
+			CachePages:  8,
+			Hedge:       2 * time.Millisecond,
+			WireV1:      v1,
+		})
+		cfg.RequestTimeout = 5 * time.Second
+		return testClient(t, dir, cfg)
+	}
+	clients := []*Client{mk(false), mk(false), mk(true)}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients))
+	for gi, c := range clients {
+		wg.Add(1)
+		go func(gi int, c *Client) {
+			defer wg.Done()
+			buf := make([]byte, units.PageSize)
+			for i := 0; i < 40; i++ {
+				page := uint64((gi*7 + i*3) % 16)
+				if err := c.Read(buf, page*units.PageSize); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, pagePattern(page)) {
+					errs <- errors.New("page mismatch under concurrency")
+					return
+				}
+			}
+		}(gi, c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}

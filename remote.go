@@ -144,6 +144,11 @@ type ClientOptions struct {
 	// before probing it again (default 1s).
 	BreakerCooldown time.Duration
 
+	// WireV1 pins the fault path to the v1 wire protocol for servers that
+	// predate the batched TGetPageV2/TSubpageBatch frames. Upgrade order
+	// is servers first, then clients (see DESIGN.md §11).
+	WireV1 bool
+
 	// Metrics, when non-nil, receives the client's gms_client_* metrics
 	// (see the README's Observability section). nil disables collection
 	// at zero cost on the fault path.
@@ -179,6 +184,7 @@ func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
 		Hedge:            opts.Hedge,
 		BreakerThreshold: opts.BreakerThreshold,
 		BreakerCooldown:  opts.BreakerCooldown,
+		WireV1:           opts.WireV1,
 		Metrics:          opts.Metrics.registry(),
 	})
 	if err != nil {
