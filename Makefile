@@ -4,13 +4,14 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke wire-smoke
+.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke wire-smoke soak soak-smoke
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
 # over every package, the trace-export smoke, the bounded scale-out load
-# smoke, the batched-wire concurrency smoke, and the benchmark snapshot.
-ci: fmt vet lint build test race trace-smoke loadtest-smoke wire-smoke bench
+# smoke, the batched-wire concurrency smoke, the bounded crash-soak smoke,
+# and the benchmark snapshot.
+ci: fmt vet lint build test race trace-smoke loadtest-smoke wire-smoke soak-smoke bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -63,6 +64,8 @@ bench:
 	$(GO) run ./cmd/gmsload -wire -shards 1 -clients 16 -requests 100 \
 		-pages 256 -policy pipelined -subpage 256 -cache 8 -dirservice 500us \
 		-benchout BENCH_experiments.json > /dev/null
+	$(GO) run ./cmd/gmsload -dirlog -dirlogn 1000,10000,50000 \
+		-benchout BENCH_experiments.json > /dev/null
 
 # trace-smoke drives the fault tracer end to end through the CLI: one
 # small traced simulation exporting both formats, run twice, and the
@@ -113,6 +116,21 @@ wire-smoke:
 # TestChaosKillRestartSelfHeal.
 chaos:
 	GMS_CHAOS_SOAK=1 $(GO) test -race -run 'TestChaosKillRestart' -count=1 -v ./internal/remote/
+
+# soak is the kill-anything durability soak (EXPERIMENTS.md "Crash soak"):
+# a journaled directory is killed and restarted in place, repeatedly,
+# under continuous fault load. gmsload exits non-zero if any recovery
+# invariant breaks: a client hang, a re-registration storm, an
+# unresolvable page, or a stale-epoch resurrection.
+soak:
+	$(GO) run ./cmd/gmsload -soak -crashes 5 -crashevery 300ms \
+		-clients 4 -pages 256 -servers 2
+
+# soak-smoke is the bounded CI variant: two crash cycles, ~1s of wall
+# clock, same invariants, no artifacts written.
+soak-smoke:
+	$(GO) run ./cmd/gmsload -soak -crashes 2 -crashevery 150ms \
+		-clients 2 -pages 64 -servers 1
 
 chaos-demo:
 	$(GO) run ./cmd/gmsnode chaos -pages 256 -kill-at 0.5 -restart -hedge 5ms

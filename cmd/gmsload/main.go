@@ -19,6 +19,20 @@
 // emulated lookup service. -wire replaces the shard arms with a protocol
 // comparison: the same warmed fault phase pinned to the v1 wire and on
 // batched v2, merged under the "protowire" key.
+//
+// Two durability modes ride the same harness:
+//
+//	gmsload -dirlog -dirlogn 1000,10000,50000 -benchout BENCH_experiments.json
+//	gmsload -soak -crashes 5 -crashevery 300ms -clients 4 -pages 256
+//
+// -dirlog benchmarks the directory journal itself — recovery wall time
+// and replay throughput at each journal length, and the snapshot
+// compaction ratio — merged under the "dirlog" key. -soak runs the
+// kill-anything crash soak: a durable directory is killed and restarted
+// in place under fault load, and the run fails (exit 1) if any recovery
+// invariant breaks (client hangs, re-registration storms, unresolvable
+// pages, stale-epoch resurrection); -benchout merges its ledger under
+// "soak".
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
 	"github.com/gms-sim/gmsubpage/internal/load"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 )
@@ -42,7 +57,8 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 // name the offending flags deterministically.
 var allFlags = []string{"shards", "j", "duration", "clients", "requests",
 	"servers", "pages", "subpage", "policy", "cache", "rps", "dirservice",
-	"warmup", "wire", "seed", "minx", "benchout", "out", "json"}
+	"warmup", "wire", "dirlog", "dirlogn", "soak", "crashes", "crashevery",
+	"fsync", "seed", "minx", "benchout", "out", "json"}
 
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gmsload", flag.ContinueOnError)
@@ -62,6 +78,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		dirservice = fs.Duration("dirservice", 200*time.Microsecond, "emulated per-lookup shard service time; 0 = off")
 		warmup     = fs.Bool("warmup", false, "walk each client's fault sequence unmeasured first, so the measured phase times the wire, not lookups")
 		wireMode   = fs.Bool("wire", false, "compare the v1 and batched v2 wire on one cluster (fault phase only); -benchout writes the \"protowire\" section")
+		dirlogMode = fs.Bool("dirlog", false, "benchmark journal recovery and snapshot compaction; -benchout writes the \"dirlog\" section")
+		dirlogN    = fs.String("dirlogn", "1000,10000,50000", "comma-separated journal lengths for -dirlog")
+		soakMode   = fs.Bool("soak", false, "run the kill-anything crash soak against a durable directory; -benchout writes the \"soak\" section")
+		crashes    = fs.Int("crashes", 5, "directory kill/restart cycles for -soak")
+		crashEvery = fs.Duration("crashevery", 300*time.Millisecond, "load time between kills for -soak")
+		fsyncStr   = fs.String("fsync", "interval", "journal fsync policy for -soak: always, interval, or never")
 		seed       = fs.Uint64("seed", 1, "base seed for page choice")
 		minX       = fs.Float64("minx", 0, "fail unless last arm's lookup rate >= this multiple of the first arm's")
 		benchOut   = fs.String("benchout", "", "merge results into this BENCH_experiments.json under \"loadtest\"")
@@ -79,7 +101,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 2
 	}
-	if err := conflictErr(set, arms, *minX, *rps, *wireMode); err != nil {
+	if err := conflictErr(set, arms, *minX, *rps, *wireMode, *dirlogMode, *soakMode); err != nil {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 2
 	}
@@ -92,6 +114,67 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 1
+	}
+	if *dirlogMode {
+		sizes, err := parseSizes(*dirlogN)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "gmsload:", err)
+			return 2
+		}
+		root, err := os.MkdirTemp("", "gmsload-dirlog")
+		if err != nil {
+			return fail(err)
+		}
+		defer func() { _ = os.RemoveAll(root) }()
+		_, _ = fmt.Fprintln(stderr, "gmsload: benchmarking journal recovery...")
+		pts, err := dirlog.Bench(root, sizes)
+		if err != nil {
+			return fail(err)
+		}
+		dsnap := dirlogSnapshot{
+			Schema:     "gmsubpage-dirlog/v1",
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Points:     pts,
+		}
+		return emit(&dsnap, dsnap.table(), "dirlog", *asJSON, *out, *benchOut, stdout, fail)
+	}
+	if *soakMode {
+		fsync, err := dirlog.ParseFsync(*fsyncStr)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "gmsload:", err)
+			return 2
+		}
+		jdir, err := os.MkdirTemp("", "gmsload-soak")
+		if err != nil {
+			return fail(err)
+		}
+		defer func() { _ = os.RemoveAll(jdir) }()
+		_, _ = fmt.Fprintf(stderr, "gmsload: soaking through %d directory crashes...\n", *crashes)
+		res, err := load.RunSoak(load.SoakConfig{
+			Servers:    *servers,
+			Pages:      *pages,
+			Clients:    *clients,
+			Crashes:    *crashes,
+			CrashEvery: *crashEvery,
+			JournalDir: jdir,
+			Fsync:      fsync,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		ssnap := soakSnapshot{
+			Schema:       "gmsubpage-dirsoak/v1",
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Servers:      *servers,
+			Pages:        *pages,
+			Clients:      *clients,
+			CrashEveryMs: float64(crashEvery.Milliseconds()),
+			Fsync:        fsync.String(),
+			Seed:         *seed,
+			Result:       res,
+		}
+		return emit(&ssnap, ssnap.table(), "soak", *asJSON, *out, *benchOut, stdout, fail)
 	}
 	if *wireMode {
 		_, _ = fmt.Fprintln(stderr, "gmsload: running wire comparison (v1 then v2)...")
@@ -128,27 +211,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			V2:           wr.V2,
 			SpeedupX:     round2(wr.SpeedupX),
 		}
-		table := wsnap.table()
-		if *asJSON {
-			enc := json.NewEncoder(stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(&wsnap); err != nil {
-				return fail(err)
-			}
-		} else {
-			_, _ = io.WriteString(stdout, table)
-		}
-		if *out != "" {
-			if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
-				return fail(err)
-			}
-		}
-		if *benchOut != "" {
-			if err := mergeBench(*benchOut, "protowire", &wsnap); err != nil {
-				return fail(err)
-			}
-		}
-		return 0
+		return emit(&wsnap, wsnap.table(), "protowire", *asJSON, *out, *benchOut, stdout, fail)
 	}
 	snap := loadSnapshot{
 		Schema:       "gmsubpage-loadtest/v1",
@@ -196,31 +259,53 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	table := snap.table()
-	if *asJSON {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(&snap); err != nil {
-			return fail(err)
-		}
-	} else {
-		_, _ = io.WriteString(stdout, table)
-	}
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
-			return fail(err)
-		}
-	}
-	if *benchOut != "" {
-		if err := mergeBench(*benchOut, "loadtest", &snap); err != nil {
-			return fail(err)
-		}
+	if rc := emit(&snap, snap.table(), "loadtest", *asJSON, *out, *benchOut, stdout, fail); rc != 0 {
+		return rc
 	}
 	if *minX > 0 && snap.ScalingX < *minX {
 		return fail(fmt.Errorf("lookup scaling %.2fx below required %.2fx (%d vs %d shards)",
 			snap.ScalingX, *minX, arms[len(arms)-1], arms[0]))
 	}
 	return 0
+}
+
+// emit writes one snapshot everywhere it's wanted: the table or JSON on
+// stdout, the table to -out, the section to -benchout. All four modes
+// funnel through here so artifacts stay shaped the same way.
+func emit(snap any, table, key string, asJSON bool, out, benchOut string, stdout io.Writer, fail func(error) int) int {
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return fail(err)
+		}
+	} else {
+		_, _ = io.WriteString(stdout, table)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, []byte(table), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if benchOut != "" {
+		if err := mergeBench(benchOut, key, snap); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// parseSizes parses the -dirlogn list: comma-separated positive ints.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-dirlogn wants positive journal lengths like \"1000,10000\", got %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // parseShards parses the -shards list: comma-separated positive ints.
@@ -238,7 +323,33 @@ func parseShards(s string) ([]int, error) {
 
 // conflictErr rejects flag combinations the run would otherwise silently
 // misinterpret, following the subpagesim convention (exit 2).
-func conflictErr(set map[string]bool, arms []int, minX, rps float64, wire bool) error {
+func conflictErr(set map[string]bool, arms []int, minX, rps float64, wire, dirlogM, soakM bool) error {
+	modes := 0
+	for _, m := range []bool{wire, dirlogM, soakM} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-wire, -dirlog, and -soak are distinct modes; pick one")
+	}
+	if dirlogM {
+		if f := firstSet(set, "shards", "j", "duration", "clients", "requests",
+			"servers", "pages", "subpage", "policy", "cache", "rps", "dirservice",
+			"warmup", "crashes", "crashevery", "fsync", "seed", "minx"); f != "" {
+			return fmt.Errorf("-%s shapes a cluster load, which -dirlog (a journal replay bench) skips", f)
+		}
+	} else if set["dirlogn"] {
+		return fmt.Errorf("-dirlogn sizes the -dirlog bench; pass -dirlog too")
+	}
+	if soakM {
+		if f := firstSet(set, "shards", "j", "duration", "requests", "subpage",
+			"policy", "cache", "rps", "dirservice", "warmup", "minx"); f != "" {
+			return fmt.Errorf("-%s shapes the scaling arms, which -soak skips", f)
+		}
+	} else if f := firstSet(set, "crashes", "crashevery", "fsync"); f != "" {
+		return fmt.Errorf("-%s shapes the crash soak; pass -soak too", f)
+	}
 	if wire {
 		if set["minx"] {
 			return fmt.Errorf("-minx gates the shard-scaling arms, which -wire skips")
@@ -262,6 +373,17 @@ func conflictErr(set map[string]bool, arms []int, minX, rps float64, wire bool) 
 		return fmt.Errorf("-rps wants a non-negative rate, got %v", rps)
 	}
 	return nil
+}
+
+// firstSet returns the first of names (in the order given, which callers
+// keep aligned with allFlags) present in set, or "".
+func firstSet(set map[string]bool, names ...string) string {
+	for _, n := range names {
+		if set[n] {
+			return n
+		}
+	}
+	return ""
 }
 
 // loadSnapshot is the "loadtest" section merged into
@@ -345,6 +467,58 @@ func (s *wireSnapshot) table() string {
 			row.r.MaxUs, float64(row.r.BytesIn)/(1<<20))
 	}
 	fmt.Fprintf(&b, "\nv2 speedup: %.2fx\n", s.SpeedupX)
+	return b.String()
+}
+
+// dirlogSnapshot is the "dirlog" section merged into
+// BENCH_experiments.json: journal replay throughput and recovery wall
+// time at each journal length, and the snapshot compaction ratio.
+type dirlogSnapshot struct {
+	Schema     string              `json:"schema"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Points     []dirlog.BenchPoint `json:"points"`
+}
+
+// table renders the recovery bench.
+func (s *dirlogSnapshot) table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gmsload -dirlog: journal recovery and snapshot compaction\n\n")
+	fmt.Fprintf(&b, "%9s  %10s  %11s  %11s  %9s  %10s  %8s\n",
+		"records", "wal KiB", "recover ms", "replay/s", "snap ms", "snap KiB", "compact")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%9d  %10.1f  %11.2f  %11.0f  %9.2f  %10.1f  %7.1fx\n",
+			p.Records, float64(p.WalBytes)/1024, p.RecoverMs, p.ReplayRecsPerSec,
+			p.SnapshotMs, float64(p.SnapshotBytes)/1024, p.CompactionX)
+	}
+	return b.String()
+}
+
+// soakSnapshot is the "soak" section merged into BENCH_experiments.json:
+// the crash soak's configuration and its ledger. Reaching emit at all
+// means every recovery invariant held.
+type soakSnapshot struct {
+	Schema       string          `json:"schema"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Servers      int             `json:"servers"`
+	Pages        int             `json:"pages"`
+	Clients      int             `json:"clients"`
+	CrashEveryMs float64         `json:"crashevery_ms"`
+	Fsync        string          `json:"fsync"`
+	Seed         uint64          `json:"seed"`
+	Result       load.SoakResult `json:"result"`
+}
+
+// table renders the soak ledger.
+func (s *soakSnapshot) table() string {
+	var b strings.Builder
+	r := s.Result
+	fmt.Fprintf(&b, "gmsload -soak: %d clients x %d pages x %d servers, fsync %s, kill every %.0fms\n\n",
+		s.Clients, s.Pages, s.Servers, s.Fsync, s.CrashEveryMs)
+	fmt.Fprintf(&b, "crashes survived:   %d in %.1fs\n", r.Crashes, r.Elapsed)
+	fmt.Fprintf(&b, "reads:              %d (%d errs, max %.0fµs, zero hangs)\n", r.Reads, r.ReadErrs, r.MaxReadUs)
+	fmt.Fprintf(&b, "re-registrations:   %d (journal recovered %d leases at the last restart)\n", r.Reregs, r.Recovered)
+	fmt.Fprintf(&b, "final journal:      %d wal records (%.1f KiB) over a %d-record snapshot\n",
+		r.WalRecords, float64(r.WalBytes)/1024, r.SnapRecords)
 	return b.String()
 }
 

@@ -4,6 +4,11 @@
 //
 //	gmsnode dir -addr :7000
 //
+// Make it durable — registrations, seniority and epoch fences survive a
+// crash via a write-ahead journal replayed on the next start:
+//
+//	gmsnode dir -addr :7000 -journal /var/lib/gms/dir -fsync always
+//
 // Donate memory as a page server (registers with the directory):
 //
 //	gmsnode server -addr :7001 -dir localhost:7000 -pages 4096
@@ -21,6 +26,13 @@
 //
 //	gmsnode dirshard -addr :7000 -shards host0:7000,host1:7000 -self 0
 //	gmsnode dirshard -addr :7000 -shards host0:7000,host1:7000 -self 1
+//
+// Gracefully decommission a page server: the directory copies every page
+// the server holds the only live copy of to a surviving server, then
+// expunges it behind an epoch fence, so concurrent clients never lose a
+// page:
+//
+//	gmsnode drain -dir localhost:7000 -server host2:7001
 //
 // Run the self-contained resilience demo — a directory, two replica page
 // servers behind a fault injector, and a client workload during which the
@@ -56,6 +68,8 @@ func main() {
 		runServer(os.Args[2:])
 	case "client":
 		runClient(os.Args[2:])
+	case "drain":
+		runDrain(os.Args[2:])
 	case "chaos":
 		runChaos(os.Args[2:])
 	default:
@@ -64,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|dirshard|server|client|chaos [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gmsnode dir|dirshard|server|client|drain|chaos [flags]")
 	os.Exit(2)
 }
 
@@ -104,12 +118,32 @@ func debugMetrics(addr string) *gmsubpage.Metrics {
 	return m
 }
 
+// durabilityFlags registers the journal flag group shared by the dir and
+// dirshard commands and returns a builder for the resulting options.
+func durabilityFlags(fs *flag.FlagSet) func(ttl time.Duration) gmsubpage.DirectoryOptions {
+	journal := fs.String("journal", "", "write-ahead journal directory; state survives a restart (empty = in-memory only)")
+	fsync := fs.String("fsync", "interval", "journal fsync policy: always, interval, or never")
+	snapEvery := fs.Int("snap-every", 0, "journal records between compacting snapshots (0 = default)")
+	grace := fs.Duration("grace", 0, "how long recovered leases live before their first heartbeat must land (0 = lease TTL)")
+	return func(ttl time.Duration) gmsubpage.DirectoryOptions {
+		return gmsubpage.DirectoryOptions{
+			LeaseTTL:      ttl,
+			JournalDir:    *journal,
+			Fsync:         *fsync,
+			SnapshotEvery: *snapEvery,
+			RestartGrace:  *grace,
+		}
+	}
+}
+
 func runDir(args []string) {
 	fs := flag.NewFlagSet("dir", flag.ExitOnError)
 	addr := fs.String("addr", ":7000", "listen address")
+	ttl := fs.Duration("ttl", 0, "lease TTL for server registrations (0 = default 30s)")
+	opts := durabilityFlags(fs)
 	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
-	d, err := gmsubpage.StartDirectory(*addr)
+	d, err := gmsubpage.StartDirectoryWith(*addr, opts(*ttl))
 	if err != nil {
 		fatal(err)
 	}
@@ -118,7 +152,27 @@ func runDir(args []string) {
 		d.SetMetrics(m)
 	}
 	fmt.Println("directory listening on", d.Addr())
+	if n := d.RecoveredServers(); n > 0 {
+		fmt.Printf("recovered %d server registrations from the journal\n", n)
+	}
 	waitForInterrupt()
+}
+
+func runDrain(args []string) {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	dir := fs.String("dir", "localhost:7000", "directory address")
+	server := fs.String("server", "", "page server address to decommission (required)")
+	timeout := fs.Duration("timeout", 0, "overall drain deadline (0 = default 1m)")
+	_ = fs.Parse(args)
+	if *server == "" {
+		fatal(fmt.Errorf("drain: -server names the page server to decommission"))
+	}
+	moved, err := gmsubpage.DrainServer(*dir, *server, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("drained %s: %d sole-copy pages moved, registration expunged behind an epoch fence\n",
+		*server, moved)
 }
 
 func runDirShard(args []string) {
@@ -128,6 +182,7 @@ func runDirShard(args []string) {
 	self := fs.Int("self", 0, "this process's index into -shards")
 	version := fs.Uint64("version", 1, "shard map version")
 	ttl := fs.Duration("ttl", 0, "lease TTL for server registrations (0 = default 30s)")
+	opts := durabilityFlags(fs)
 	debug := fs.String("debug", "", "serve /metrics, /healthz and pprof on this address (empty = off)")
 	_ = fs.Parse(args)
 	var addrs []string
@@ -139,7 +194,7 @@ func runDirShard(args []string) {
 	if len(addrs) == 0 {
 		fatal(fmt.Errorf("dirshard: -shards must list every shard address"))
 	}
-	d, err := gmsubpage.StartDirectoryShard(*addr, addrs, *self, *version, *ttl)
+	d, err := gmsubpage.StartDirectoryShardWith(*addr, addrs, *self, *version, opts(*ttl))
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +204,9 @@ func runDirShard(args []string) {
 	}
 	fmt.Printf("directory shard %d/%d (map v%d) listening on %s\n",
 		*self, len(addrs), *version, d.Addr())
+	if n := d.RecoveredServers(); n > 0 {
+		fmt.Printf("recovered %d server registrations from the journal\n", n)
+	}
 	waitForInterrupt()
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	gmsubpage "github.com/gms-sim/gmsubpage"
 )
@@ -444,5 +445,85 @@ func TestReplayWorkloadLive(t *testing.T) {
 	}
 	if _, err := c.ReplayWorkload("nope", 1, 0); err == nil {
 		t.Error("unknown workload should fail")
+	}
+}
+
+// TestFacadeDurableDirectoryAndDrain exercises the durability surface the
+// gmsnode CLI exposes: a journaled directory recovers its registrations
+// across a restart, and DrainServer decommissions a page server over the
+// wire without losing its sole-copy pages.
+func TestFacadeDurableDirectoryAndDrain(t *testing.T) {
+	jdir := t.TempDir()
+	opts := gmsubpage.DirectoryOptions{JournalDir: jdir, Fsync: "always"}
+	dir, err := gmsubpage.StartDirectoryWith("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	if _, err := gmsubpage.StartDirectoryWith("127.0.0.1:0", gmsubpage.DirectoryOptions{JournalDir: jdir, Fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+
+	srcSrv, err := gmsubpage.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcSrv.Close()
+	srcSrv.StoreRange(0, 8)
+	if err := srcSrv.Register(dir.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	dstSrv, err := gmsubpage.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dstSrv.Close()
+	if err := dstSrv.Register(dir.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the directory from its journal: the registrations must be
+	// there before any heartbeat lands.
+	addr := dir.Addr()
+	if err := dir.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		dir, err = gmsubpage.StartDirectoryWith(addr, opts)
+		if err == nil {
+			break
+		}
+		if i == 40 {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer dir.Close()
+	if n := dir.RecoveredServers(); n != 2 {
+		t.Fatalf("recovered %d registrations, want 2", n)
+	}
+	if dir.Pages() != 8 {
+		t.Fatalf("recovered directory pages = %d, want 8", dir.Pages())
+	}
+
+	// Drain the sole holder over the wire: its 8 pages move to dstSrv and
+	// a client can still read them.
+	moved, err := gmsubpage.DrainServer(dir.Addr(), srcSrv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 8 || dstSrv.Pages() != 8 {
+		t.Fatalf("drain moved %d pages, dest holds %d, want 8/8", moved, dstSrv.Pages())
+	}
+	c, err := gmsubpage.DialClient(dir.Addr(), gmsubpage.ClientOptions{CachePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 32)
+	for p := uint64(0); p < 8; p++ {
+		if err := c.Read(buf, p*gmsubpage.PageSize); err != nil {
+			t.Fatalf("read page %d after drain: %v", p, err)
+		}
 	}
 }

@@ -1,0 +1,570 @@
+// Package dirlog makes directory state durable: a CRC-framed write-ahead
+// journal of lease-table transitions plus periodic compacting snapshots,
+// so a crashed directory recovers its epochs, registrations and shard
+// assignment instead of healing through a re-registration storm.
+//
+// On disk a journal is a directory holding at most one generation pair:
+//
+//	snap-<gen>.snap   compacted state at the moment of rotation
+//	wal-<gen>.log     every transition applied since
+//
+// Both files carry the record framing defined in record.go. Rotation
+// writes the next generation's snapshot to a temporary name, fsyncs,
+// renames it into place, starts a fresh wal, and only then deletes the
+// previous generation — so every crash point leaves either the old
+// generation intact or the new one complete. Recovery picks the highest
+// generation whose snapshot is whole (terminated by RecSnapEnd), replays
+// its wal, and truncates the wal's torn tail if the crash interrupted a
+// write.
+//
+// Durability is tunable per deployment (Options.Fsync): fsync every
+// append, fsync on a background interval (the default — bounded loss,
+// negligible overhead), or never (leave flushing to the kernel).
+package dirlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when appends are forced to stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncInterval flushes on a background timer (Options.FsyncEvery):
+	// a crash loses at most one interval of transitions, all of which
+	// the restart grace window and re-registration heal.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways flushes after every append batch.
+	FsyncAlways
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever
+)
+
+// String names the policy (the flag spelling accepted by ParseFsync).
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	}
+	return "interval"
+}
+
+// ParseFsync parses a policy name: "always", "interval" or "never".
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncInterval, fmt.Errorf("dirlog: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// DefaultFsyncEvery is the background flush period under FsyncInterval.
+const DefaultFsyncEvery = 100 * time.Millisecond
+
+// DefaultSnapshotEvery is how many wal records accumulate before the
+// owner is told to compact (ShouldSnapshot).
+const DefaultSnapshotEvery = 4096
+
+// Options configures a journal.
+type Options struct {
+	// Dir is the journal directory, created if absent. Each directory
+	// (each shard) owns its journal directory exclusively.
+	Dir string
+
+	// Fsync selects the flush policy; FsyncEvery is the FsyncInterval
+	// period (DefaultFsyncEvery when zero).
+	Fsync      FsyncPolicy
+	FsyncEvery time.Duration
+
+	// SnapshotEvery is the wal record count after which ShouldSnapshot
+	// reports true (DefaultSnapshotEvery when zero, never when negative).
+	SnapshotEvery int
+
+	// Meta stamps new journal files with the owner's shard identity.
+	// Ignored when recovering — the recovered identity wins and the
+	// caller validates it against its own configuration.
+	Meta Meta
+
+	// CrashAfter is a deterministic crash-injection hook for tests: once
+	// this many records have been appended in this process, every further
+	// append is silently dropped — exactly what a crash between the
+	// in-memory apply and the disk write loses. Zero disables; a negative
+	// value crashes before the first append (zero records survive).
+	CrashAfter int
+}
+
+// Info reports what recovery found.
+type Info struct {
+	Recovered       bool   // prior journal files existed
+	Gen             uint64 // generation being appended to
+	SnapshotRecords int    // records replayed from the snapshot
+	WalRecords      int    // records replayed from the wal
+	SnapshotBytes   int64
+	WalBytes        int64
+	TruncatedBytes  int64 // torn tail cut from the wal on open
+}
+
+// A Journal is an open write-ahead log. Safe for concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	meta      Meta // identity stamped on new files (gen field updated per rotation)
+	f         *os.File
+	gen       uint64
+	appended  int // records appended this process (CrashAfter counter)
+	sinceSnap int // records in the current wal
+	walBytes  int64
+	dirty     bool // appended since the last fsync
+	crashed   bool
+	closed    bool
+	info      Info
+	buf       []byte
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x.snap", gen) }
+
+// Open opens (or creates) the journal in o.Dir and replays it: the
+// returned State is the recovered lease table (empty for a fresh
+// journal), ready for the caller to install with its restart grace rule.
+func Open(o Options) (*Journal, *State, error) {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = DefaultFsyncEvery
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("dirlog: %w", err)
+	}
+	j := &Journal{dir: o.Dir, opts: o, meta: o.Meta, stop: make(chan struct{})}
+
+	st, err := j.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.opts.Fsync == FsyncInterval {
+		j.wg.Add(1)
+		go j.syncLoop()
+	}
+	return j, st, nil
+}
+
+// recover scans the journal directory, replays the newest whole
+// generation, truncates the wal's torn tail, and leaves j appending to
+// that generation (creating generation 1 for a fresh directory).
+func (j *Journal) recover() (*State, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("dirlog: %w", err)
+	}
+	snaps := make(map[uint64]bool)
+	wals := make(map[uint64]bool)
+	maxGen := uint64(0)
+	for _, e := range entries {
+		var gen uint64
+		switch {
+		case parseGen(e.Name(), "snap-", ".snap", &gen):
+			snaps[gen] = true
+		case parseGen(e.Name(), "wal-", ".log", &gen):
+			wals[gen] = true
+		default:
+			continue
+		}
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	j.info.Recovered = maxGen > 0
+
+	st := NewState()
+	gens := make([]uint64, 0, len(snaps))
+	for g := range snaps {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, k int) bool { return gens[i] > gens[k] })
+	chosen := uint64(0)
+	for _, g := range gens {
+		snapSt, n, ok := replaySnapshot(filepath.Join(j.dir, snapName(g)))
+		if !ok {
+			continue // torn or corrupt snapshot: fall back a generation
+		}
+		st = snapSt
+		chosen = g
+		j.info.SnapshotRecords = n
+		break
+	}
+	if chosen == 0 {
+		// No usable snapshot: replay the oldest wal (a fresh journal's
+		// generation 1, or whatever survives of it).
+		for g := range wals {
+			if chosen == 0 || g < chosen {
+				chosen = g
+			}
+		}
+		if chosen == 0 {
+			chosen = maxGen + 1 // fresh directory (or nothing salvageable)
+		}
+	}
+	j.gen = chosen
+	if j.info.Recovered && st.Meta.Sharded() {
+		j.meta = st.Meta // recovered identity wins; caller validates
+	}
+
+	walPath := filepath.Join(j.dir, walName(chosen))
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dirlog: %w", err)
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("dirlog: %w", err)
+	}
+	recs, clean, _ := Decode(data)
+	// A decode error here is corruption past the clean point; for
+	// recovery it is handled the same way as a torn tail — the journal
+	// resumes at the last whole record. The typed distinction matters to
+	// tools and fuzzing, not to crash recovery.
+	for _, r := range recs {
+		st.Apply(r)
+	}
+	j.info.Gen = chosen
+	j.info.WalBytes = int64(clean)
+	j.info.TruncatedBytes = int64(len(data) - clean)
+	if clean < len(data) {
+		if err := f.Truncate(int64(clean)); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("dirlog: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(clean), 0); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("dirlog: %w", err)
+	}
+	j.f = f
+	j.walBytes = int64(clean)
+	j.sinceSnap = len(recs)
+	if len(recs) > 0 {
+		if _, isMeta := recs[0].(Meta); isMeta {
+			j.sinceSnap-- // the identity record is framing, not a transition
+		}
+	}
+	j.info.WalRecords = j.sinceSnap
+	if len(data) == 0 {
+		// Fresh wal: open it with the identity record.
+		j.meta.Gen = chosen
+		j.buf = appendRecord(j.buf[:0], j.meta)
+		if _, err := f.Write(j.buf); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("dirlog: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("dirlog: %w", err)
+		}
+		j.walBytes = int64(len(j.buf))
+		j.sinceSnap = 0
+	}
+	// Clean up generations the chosen one supersedes (best effort; a
+	// leftover older pair is re-deleted on the next rotation's sweep).
+	j.removeOthers(chosen)
+	return st, nil
+}
+
+func parseGen(name, prefix, suffix string, gen *uint64) bool {
+	if len(name) != len(prefix)+16+len(suffix) || name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	_, err := fmt.Sscanf(name[len(prefix):len(prefix)+16], "%016x", gen)
+	return err == nil
+}
+
+// replaySnapshot loads one snapshot file. ok is false when the file is
+// missing, torn (no SnapEnd terminator) or corrupt — recovery then falls
+// back to the previous generation.
+func replaySnapshot(path string) (*State, int, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	recs, clean, derr := Decode(data)
+	if derr != nil || clean != len(data) || len(recs) == 0 {
+		return nil, 0, false
+	}
+	if _, isEnd := recs[len(recs)-1].(SnapEnd); !isEnd {
+		return nil, 0, false
+	}
+	st := NewState()
+	for _, r := range recs {
+		st.Apply(r)
+	}
+	if !st.Complete {
+		return nil, 0, false
+	}
+	return st, len(recs), true
+}
+
+// removeOthers deletes every journal file not of generation keep.
+func (j *Journal) removeOthers(keep uint64) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var gen uint64
+		if parseGen(e.Name(), "snap-", ".snap", &gen) || parseGen(e.Name(), "wal-", ".log", &gen) {
+			if gen != keep {
+				_ = os.Remove(filepath.Join(j.dir, e.Name()))
+			}
+		}
+	}
+}
+
+// Info reports what recovery found when the journal was opened.
+func (j *Journal) Info() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Gen reports the generation currently being appended to.
+func (j *Journal) Gen() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gen
+}
+
+// Crashed reports whether the journal stopped persisting — the
+// CrashAfter hook fired or Crash was called.
+func (j *Journal) Crashed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.crashed
+}
+
+// SinceSnapshot reports how many transitions the current wal holds.
+func (j *Journal) SinceSnapshot() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sinceSnap
+}
+
+// ShouldSnapshot reports whether the wal has grown past the configured
+// compaction threshold.
+func (j *Journal) ShouldSnapshot() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.opts.SnapshotEvery > 0 && j.sinceSnap >= j.opts.SnapshotEvery
+}
+
+// Append journals records, in order, honoring the fsync policy. Appends
+// after the crash-injection point (or after Crash/Close) are dropped
+// silently — precisely the writes a real crash at that moment would
+// lose; the caller's in-memory state stays ahead of the journal, which
+// is what the recovery tests exercise.
+func (j *Journal) Append(recs ...Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed || j.closed {
+		return nil
+	}
+	j.buf = j.buf[:0]
+	wrote := 0
+	for _, r := range recs {
+		if j.opts.CrashAfter != 0 && (j.opts.CrashAfter < 0 || j.appended+wrote >= j.opts.CrashAfter) {
+			j.crashed = true
+			break
+		}
+		j.buf = appendRecord(j.buf, r)
+		wrote++
+	}
+	if wrote == 0 {
+		return nil
+	}
+	n, err := j.f.Write(j.buf)
+	j.walBytes += int64(n)
+	j.appended += wrote
+	j.sinceSnap += wrote
+	if err != nil {
+		return fmt.Errorf("dirlog: append: %w", err)
+	}
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("dirlog: fsync: %w", err)
+		}
+	} else {
+		j.dirty = true
+	}
+	return nil
+}
+
+// Snapshot compacts the journal: writes st as the next generation's
+// snapshot, rotates to a fresh wal, and deletes the previous generation.
+// The caller must pass a state at least as new as every appended record
+// (the directory captures it under the same lock it journals under).
+func (j *Journal) Snapshot(st *State) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed || j.closed {
+		return nil
+	}
+	newGen := j.gen + 1
+	j.meta.Gen = newGen
+
+	j.buf = j.buf[:0]
+	j.buf = appendRecord(j.buf, j.meta)
+	for _, r := range st.Records() {
+		j.buf = appendRecord(j.buf, r)
+	}
+	j.buf = appendRecord(j.buf, SnapEnd{})
+
+	tmp := filepath.Join(j.dir, "snap-tmp")
+	if err := writeFileSync(tmp, j.buf); err != nil {
+		return fmt.Errorf("dirlog: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName(newGen))); err != nil {
+		return fmt.Errorf("dirlog: snapshot: %w", err)
+	}
+
+	j.buf = j.buf[:0]
+	j.buf = appendRecord(j.buf, j.meta)
+	walPath := filepath.Join(j.dir, walName(newGen))
+	if err := writeFileSync(walPath, j.buf); err != nil {
+		return fmt.Errorf("dirlog: rotate: %w", err)
+	}
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("dirlog: rotate: %w", err)
+	}
+	syncDir(j.dir)
+
+	old := j.f
+	oldGen := j.gen
+	j.f = f
+	j.gen = newGen
+	j.walBytes = int64(len(j.buf))
+	j.sinceSnap = 0
+	_ = old.Close()
+	_ = os.Remove(filepath.Join(j.dir, walName(oldGen)))
+	_ = os.Remove(filepath.Join(j.dir, snapName(oldGen)))
+	return nil
+}
+
+// writeFileSync writes data to path and forces it to stable storage
+// before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Best
+// effort: some filesystems refuse directory fsync, and the rename is
+// still crash-atomic there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Sync forces buffered appends to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.crashed || j.closed || !j.dirty {
+		return nil
+	}
+	j.dirty = false
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("dirlog: fsync: %w", err)
+	}
+	return nil
+}
+
+// syncLoop is the FsyncInterval flusher.
+func (j *Journal) syncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			_ = j.Sync() // a failing flush retries next tick; Close surfaces the final one
+		}
+	}
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	return j.shutdown(true)
+}
+
+// Crash closes the journal without flushing — the kill path of the
+// crash tests and Directory.Kill. Buffered (un-fsynced) appends may or
+// may not survive, exactly as in a real crash.
+func (j *Journal) Crash() error {
+	return j.shutdown(false)
+}
+
+func (j *Journal) shutdown(flush bool) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	var err error
+	if flush && !j.crashed && j.dirty {
+		j.dirty = false
+		err = j.f.Sync()
+	}
+	if !flush {
+		j.crashed = true
+	}
+	cerr := j.f.Close()
+	j.mu.Unlock()
+	close(j.stop)
+	j.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("dirlog: close: %w", err)
+	}
+	if cerr != nil && flush {
+		return fmt.Errorf("dirlog: close: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+// Record encoding for the directory journal.
+//
+// A journal file — write-ahead log and snapshot alike — is a stream of
+// CRC-framed records (little endian):
+//
+//	bytes 0-3  payload length n
+//	bytes 4-7  CRC-32C (Castagnoli) of the payload
+//	bytes 8..  payload (n bytes)
+//
+// The payload's first byte is the record type, followed by a fixed
+// per-type body documented on each record struct. Strings are
+// length-prefixed with one byte, matching the wire protocol's convention.
+//
+// The framing distinguishes two failure shapes. A *torn tail* — the
+// stream ends mid-frame, or the final frame's checksum does not match
+// because the crash interrupted the write — is expected after any crash
+// and is handled by truncating to the last whole record. A *corrupt
+// frame* — a length field beyond MaxRecord, an undeclared record type, or
+// a body that fails to parse under a valid checksum — cannot be produced
+// by a torn write and reports a typed *CorruptError instead.
+package dirlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecType identifies a journal record.
+type RecType uint8
+
+// Record types. The journal replays these in order to rebuild directory
+// state; State.Apply defines the exact semantics of each.
+const (
+	// RecMeta opens every journal file: the file's generation and the
+	// shard identity of the directory that wrote it, so recovery can
+	// refuse a journal written by a different shard assignment.
+	RecMeta RecType = iota + 1
+	// RecRegister is one applied registration: the server's address,
+	// epoch, seniority sequence, absolute lease expiry, and the owned
+	// pages the registration added.
+	RecRegister
+	// RecRenewBatch carries a batch of lease renewals. Heartbeats are
+	// far too frequent to journal one record each; the directory buffers
+	// renewals and flushes them as one record per janitor sweep.
+	RecRenewBatch
+	// RecExpunge removes servers whose leases expired (or were drained).
+	// The address's epoch memory survives, exactly as in live operation.
+	RecExpunge
+	// RecDrain marks a server as draining: an admin asked the directory
+	// to move its pages away before dropping the lease.
+	RecDrain
+	// RecDrainAbort clears a draining mark after a failed transfer.
+	RecDrainAbort
+	// RecFence raises the remembered epoch for an address without a
+	// registration — the drain path's fence, so the drained incarnation
+	// stays rejected even though it never re-registered.
+	RecFence
+	// RecSnapEnd terminates a snapshot stream. A snapshot file whose
+	// last record is not RecSnapEnd was torn mid-write and is ignored in
+	// favor of the previous generation.
+	RecSnapEnd
+)
+
+// String names the record type for diagnostics.
+func (t RecType) String() string {
+	switch t {
+	case RecMeta:
+		return "Meta"
+	case RecRegister:
+		return "Register"
+	case RecRenewBatch:
+		return "RenewBatch"
+	case RecExpunge:
+		return "Expunge"
+	case RecDrain:
+		return "Drain"
+	case RecDrainAbort:
+		return "DrainAbort"
+	case RecFence:
+		return "Fence"
+	case RecSnapEnd:
+		return "SnapEnd"
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// MaxRecord bounds one record's payload. The largest legitimate record is
+// a RecRegister carrying one registration batch of pages; 1 MiB is far
+// above any batch the wire protocol can deliver, so a larger length field
+// can only come from corruption.
+const MaxRecord = 1 << 20
+
+const frameHeader = 8 // u32 length + u32 crc
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journal entry. The concrete types are Meta, Register,
+// RenewBatch, Expunge, Drain, DrainAbort, Fence and SnapEnd.
+type Record interface{ recType() RecType }
+
+// Meta identifies a journal file: its generation and the shard assignment
+// of the directory that wrote it. Self is -1 for an unsharded directory.
+type Meta struct {
+	Gen          uint64
+	ShardVersion uint64
+	Shards       []string
+	Self         int
+}
+
+func (Meta) recType() RecType { return RecMeta }
+
+// SameShard reports whether two metas describe the same shard identity
+// (generation excluded — that differs across rotations by design).
+func (m Meta) SameShard(o Meta) bool {
+	if m.ShardVersion != o.ShardVersion || m.Self != o.Self || len(m.Shards) != len(o.Shards) {
+		return false
+	}
+	for i, a := range m.Shards {
+		if o.Shards[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Sharded reports whether the meta describes one shard of a sharded
+// deployment.
+func (m Meta) Sharded() bool { return len(m.Shards) > 0 }
+
+// Register is one applied registration. Expires is absolute wall time in
+// Unix nanoseconds; Seq is the directory's seniority counter at the time
+// the server first registered, preserved so primary ordering survives
+// recovery.
+type Register struct {
+	Addr    string
+	Epoch   uint64
+	Seq     uint64
+	Expires int64
+	Pages   []uint64
+}
+
+func (Register) recType() RecType { return RecRegister }
+
+// Renew is one lease renewal inside a RenewBatch.
+type Renew struct {
+	Addr    string
+	Epoch   uint64
+	Expires int64
+}
+
+// RenewBatch carries buffered lease renewals.
+type RenewBatch struct{ Renews []Renew }
+
+func (RenewBatch) recType() RecType { return RecRenewBatch }
+
+// Expunge removes the named servers' registrations.
+type Expunge struct{ Addrs []string }
+
+func (Expunge) recType() RecType { return RecExpunge }
+
+// Drain marks Addr as draining.
+type Drain struct{ Addr string }
+
+func (Drain) recType() RecType { return RecDrain }
+
+// DrainAbort clears Addr's draining mark.
+type DrainAbort struct{ Addr string }
+
+func (DrainAbort) recType() RecType { return RecDrainAbort }
+
+// Fence raises Addr's remembered epoch to Epoch.
+type Fence struct {
+	Addr  string
+	Epoch uint64
+}
+
+func (Fence) recType() RecType { return RecFence }
+
+// SnapEnd terminates a snapshot stream.
+type SnapEnd struct{}
+
+func (SnapEnd) recType() RecType { return RecSnapEnd }
+
+// CorruptError reports a structurally impossible frame: not the torn tail
+// a crash leaves behind, but a stream no writer of this package produced.
+type CorruptError struct {
+	Offset int    // byte offset of the offending frame
+	Reason string // what was impossible about it
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("dirlog: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// appendRecord appends r's CRC-framed encoding to buf.
+func appendRecord(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf = appendBody(buf, r)
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+func appendBody(buf []byte, r Record) []byte {
+	buf = append(buf, byte(r.recType()))
+	switch m := r.(type) {
+	case Meta:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Gen)
+		buf = binary.LittleEndian.AppendUint64(buf, m.ShardVersion)
+		self := uint32(0xFFFFFFFF)
+		if m.Self >= 0 {
+			self = uint32(m.Self)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, self)
+		buf = append(buf, byte(len(m.Shards)))
+		for _, a := range m.Shards {
+			buf = appendString(buf, a)
+		}
+	case Register:
+		buf = appendString(buf, m.Addr)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Expires))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Pages)))
+		for _, p := range m.Pages {
+			buf = binary.LittleEndian.AppendUint64(buf, p)
+		}
+	case RenewBatch:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Renews)))
+		for _, rn := range m.Renews {
+			buf = appendString(buf, rn.Addr)
+			buf = binary.LittleEndian.AppendUint64(buf, rn.Epoch)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(rn.Expires))
+		}
+	case Expunge:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Addrs)))
+		for _, a := range m.Addrs {
+			buf = appendString(buf, a)
+		}
+	case Drain:
+		buf = appendString(buf, m.Addr)
+	case DrainAbort:
+		buf = appendString(buf, m.Addr)
+	case Fence:
+		buf = appendString(buf, m.Addr)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	case SnapEnd:
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255] // addresses are bounded on the wire; never reached
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...)
+}
+
+// Decode parses a record stream. It returns the decoded records, the
+// clean length — the byte offset up to which the stream parsed as whole,
+// checksummed frames — and an error.
+//
+// A nil error with clean < len(data) is a torn tail: the input ends
+// mid-frame or the last frame's checksum fails, which is what a crash
+// mid-write leaves behind; the caller truncates at clean and continues. A
+// *CorruptError reports a frame no writer produced (oversized length,
+// undeclared type, or an unparseable body under a valid checksum) at
+// offset clean. Decode never panics, whatever the input.
+func Decode(data []byte) (recs []Record, clean int, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, off, nil // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > MaxRecord {
+			return recs, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("length %d exceeds max %d", n, MaxRecord)}
+		}
+		if len(data)-off-frameHeader < n {
+			return recs, off, nil // torn payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return recs, off, nil // checksum mismatch: a torn or half-written frame
+		}
+		rec, derr := decodeBody(payload)
+		if derr != nil {
+			// The checksum matched, so the bytes arrived as written — a
+			// frame that still fails to parse was never valid.
+			return recs, off, &CorruptError{Offset: off, Reason: derr.Error()}
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+	return recs, off, nil
+}
+
+// decodeBody parses one record payload (type byte + body). It requires
+// the body to be consumed exactly.
+func decodeBody(p []byte) (Record, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	t, body := RecType(p[0]), p[1:]
+	d := &decoder{p: body}
+	var rec Record
+	switch t {
+	case RecMeta:
+		m := Meta{Gen: d.u64(), ShardVersion: d.u64()}
+		self := d.u32()
+		m.Self = -1
+		if self != 0xFFFFFFFF {
+			m.Self = int(self)
+		}
+		for i, n := 0, int(d.u8()); i < n && d.err == nil; i++ {
+			m.Shards = append(m.Shards, d.str())
+		}
+		rec = m
+	case RecRegister:
+		m := Register{Addr: d.str(), Epoch: d.u64(), Seq: d.u64(), Expires: int64(d.u64())}
+		n := int(d.u32())
+		if d.err == nil && n > len(d.p)/8+1 {
+			return nil, fmt.Errorf("register page count %d exceeds body", n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Pages = append(m.Pages, d.u64())
+		}
+		rec = m
+	case RecRenewBatch:
+		var m RenewBatch
+		n := int(d.u32())
+		if d.err == nil && n > len(d.p)/17+1 {
+			return nil, fmt.Errorf("renew count %d exceeds body", n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Renews = append(m.Renews, Renew{Addr: d.str(), Epoch: d.u64(), Expires: int64(d.u64())})
+		}
+		rec = m
+	case RecExpunge:
+		var m Expunge
+		n := int(d.u32())
+		if d.err == nil && n > len(d.p)+1 {
+			return nil, fmt.Errorf("expunge count %d exceeds body", n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Addrs = append(m.Addrs, d.str())
+		}
+		rec = m
+	case RecDrain:
+		rec = Drain{Addr: d.str()}
+	case RecDrainAbort:
+		rec = DrainAbort{Addr: d.str()}
+	case RecFence:
+		rec = Fence{Addr: d.str(), Epoch: d.u64()}
+	case RecSnapEnd:
+		rec = SnapEnd{}
+	default:
+		return nil, fmt.Errorf("undeclared record type %d", p[0])
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("short %v body", t)
+	}
+	if len(d.p) != 0 {
+		return nil, fmt.Errorf("trailing bytes in %v", t)
+	}
+	return rec, nil
+}
+
+// decoder consumes a record body left to right, latching the first
+// under-run instead of panicking.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.p) < n {
+		d.err = fmt.Errorf("short body")
+		return nil
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u8())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

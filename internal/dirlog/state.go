@@ -1,0 +1,173 @@
+package dirlog
+
+import "sort"
+
+// State is the durable portion of a directory's lease table: what a
+// replayed journal reconstructs and what a snapshot compacts. It mirrors
+// the directory's in-memory maps — servers with their epochs, seniority
+// and pages; the per-address epoch memory that survives lease expiry; and
+// draining marks — but not the volatile parts (connections, metrics,
+// service-time emulation), which recovery rebuilds empty.
+type State struct {
+	Meta     Meta
+	Seq      uint64 // high-water registration seniority counter
+	Epochs   map[string]uint64
+	Servers  map[string]*ServerState
+	Draining map[string]bool
+	Complete bool // a replayed snapshot carried its SnapEnd terminator
+}
+
+// ServerState is one recorded registration.
+type ServerState struct {
+	Epoch   uint64
+	Seq     uint64
+	Expires int64 // absolute lease expiry, Unix nanoseconds
+	Pages   map[uint64]struct{}
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Epochs:   make(map[string]uint64),
+		Servers:  make(map[string]*ServerState),
+		Draining: make(map[string]bool),
+	}
+}
+
+// Apply folds one record into the state. The semantics deliberately
+// mirror the live directory's: a Register below the remembered epoch is
+// ignored, a higher epoch fences out the old incarnation, renewals only
+// extend a matching live registration, and expunge keeps the epoch
+// memory. Replaying a journal therefore lands on the same lease table the
+// directory held when the journal was written.
+func (st *State) Apply(r Record) {
+	switch m := r.(type) {
+	case Meta:
+		st.Meta = m
+	case Register:
+		cur := st.Epochs[m.Addr]
+		if m.Epoch < cur {
+			return // stale incarnation; rejected live, rejected on replay
+		}
+		if m.Epoch > cur {
+			st.expunge(m.Addr)
+			st.Epochs[m.Addr] = m.Epoch
+		}
+		s := st.Servers[m.Addr]
+		if s == nil {
+			s = &ServerState{Epoch: m.Epoch, Seq: m.Seq, Pages: make(map[uint64]struct{})}
+			st.Servers[m.Addr] = s
+		}
+		s.Expires = m.Expires
+		for _, p := range m.Pages {
+			s.Pages[p] = struct{}{}
+		}
+		if m.Seq > st.Seq {
+			st.Seq = m.Seq
+		}
+	case RenewBatch:
+		for _, rn := range m.Renews {
+			if s := st.Servers[rn.Addr]; s != nil && s.Epoch == rn.Epoch && rn.Expires > s.Expires {
+				s.Expires = rn.Expires
+			}
+		}
+	case Expunge:
+		for _, a := range m.Addrs {
+			st.expunge(a)
+		}
+	case Drain:
+		st.Draining[m.Addr] = true
+	case DrainAbort:
+		delete(st.Draining, m.Addr)
+	case Fence:
+		if m.Epoch > st.Epochs[m.Addr] {
+			st.Epochs[m.Addr] = m.Epoch
+		}
+		if s := st.Servers[m.Addr]; s != nil && s.Epoch < m.Epoch {
+			st.expunge(m.Addr)
+		}
+	case SnapEnd:
+		st.Complete = true
+	}
+}
+
+func (st *State) expunge(addr string) {
+	delete(st.Servers, addr)
+	delete(st.Draining, addr)
+}
+
+// Records returns the canonical compacted encoding of the state: the
+// record stream a snapshot writes (meta and terminator excluded — the
+// snapshot writer frames those). Deterministic: entries are emitted in
+// sorted address order with sorted page lists.
+func (st *State) Records() []Record {
+	var recs []Record
+	// Epoch memory first: fences for every address, so a Register replayed
+	// after them can never be out-fenced by ordering.
+	for _, addr := range sortedKeys(st.Epochs) {
+		recs = append(recs, Fence{Addr: addr, Epoch: st.Epochs[addr]})
+	}
+	addrs := make([]string, 0, len(st.Servers))
+	for a := range st.Servers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		s := st.Servers[addr]
+		pages := make([]uint64, 0, len(s.Pages))
+		for p := range s.Pages {
+			pages = append(pages, p)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		recs = append(recs, Register{Addr: addr, Epoch: s.Epoch, Seq: s.Seq, Expires: s.Expires, Pages: pages})
+	}
+	for _, addr := range sortedKeys(st.Draining) {
+		recs = append(recs, Drain{Addr: addr})
+	}
+	return recs
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Equal reports whether two states hold the same lease table: epochs,
+// registrations (epoch, seniority, pages) and draining marks. Expiry
+// times are compared only when withExpiry is set — recovery rewrites them
+// with the restart grace window, so equivalence checks usually exclude
+// them. Meta and Complete are excluded.
+func (st *State) Equal(o *State, withExpiry bool) bool {
+	if len(st.Epochs) != len(o.Epochs) || len(st.Servers) != len(o.Servers) || len(st.Draining) != len(o.Draining) {
+		return false
+	}
+	for a, e := range st.Epochs {
+		if o.Epochs[a] != e {
+			return false
+		}
+	}
+	for a := range st.Draining {
+		if !o.Draining[a] {
+			return false
+		}
+	}
+	for a, s := range st.Servers {
+		os := o.Servers[a]
+		if os == nil || os.Epoch != s.Epoch || os.Seq != s.Seq || len(os.Pages) != len(s.Pages) {
+			return false
+		}
+		if withExpiry && os.Expires != s.Expires {
+			return false
+		}
+		for p := range s.Pages {
+			if _, ok := os.Pages[p]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -16,8 +16,10 @@ package dirshard
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
 	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/remote"
@@ -36,6 +38,32 @@ type Config struct {
 	// experiments on one machine set this so N shards exhibit N service
 	// slots, the way N real directory nodes would.
 	LookupService time.Duration
+
+	// Journal, when non-nil, makes each shard durable. StartShard uses
+	// the options verbatim (one shard per process owns its directory);
+	// StartCluster treats Journal.Dir as a root and gives shard i the
+	// subdirectory shard-NNN, so an in-process cluster's journals never
+	// collide. Each journal records its shard's identity (map version and
+	// self index) and recovery refuses a journal written by a different
+	// shard, so swapped data directories fail loudly instead of serving
+	// another shard's pages.
+	Journal *dirlog.Options
+
+	// RestartGrace bounds how long recovered registrations survive after
+	// a shard restart without a fresh heartbeat (see
+	// remote.DirectoryConfig; zero selects one lease TTL).
+	RestartGrace time.Duration
+}
+
+// shardJournal derives shard i's journal options from cfg, or nil when
+// the cluster is not durable.
+func (cfg Config) shardJournal(i int) *dirlog.Options {
+	if cfg.Journal == nil {
+		return nil
+	}
+	o := *cfg.Journal
+	o.Dir = filepath.Join(cfg.Journal.Dir, fmt.Sprintf("shard-%03d", i))
+	return &o
 }
 
 // StartShard starts one directory shard on addr serving shard index self
@@ -53,6 +81,8 @@ func StartShard(addr string, m proto.ShardMap, self int, cfg Config) (*remote.Di
 		LeaseTTL:      cfg.LeaseTTL,
 		LookupService: cfg.LookupService,
 		Shard:         &remote.ShardConfig{Map: m, Self: self},
+		Journal:       cfg.Journal,
+		RestartGrace:  cfg.RestartGrace,
 	})
 }
 
@@ -60,6 +90,7 @@ func StartShard(addr string, m proto.ShardMap, self int, cfg Config) (*remote.Di
 // remote.Directory per shard map entry, all serving the same map.
 type Cluster struct {
 	m      proto.ShardMap
+	cfg    Config
 	shards []*remote.Directory
 }
 
@@ -88,13 +119,23 @@ func StartCluster(n int, cfg Config) (*Cluster, error) {
 		lns = append(lns, ln)
 		m.Shards = append(m.Shards, ln.Addr().String())
 	}
-	c := &Cluster{m: m}
+	c := &Cluster{m: m, cfg: cfg}
 	for i, ln := range lns {
-		c.shards = append(c.shards, remote.ListenDirectoryOnWith(ln, remote.DirectoryConfig{
+		d, err := remote.ListenDirectoryOnWith(ln, remote.DirectoryConfig{
 			LeaseTTL:      cfg.LeaseTTL,
 			LookupService: cfg.LookupService,
 			Shard:         &remote.ShardConfig{Map: m, Self: i},
-		}))
+			Journal:       cfg.shardJournal(i),
+			RestartGrace:  cfg.RestartGrace,
+		})
+		if err != nil {
+			closeAll()
+			for _, prev := range c.shards {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("dirshard: shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, d)
 	}
 	return c, nil
 }
@@ -113,6 +154,46 @@ func (c *Cluster) Bootstrap() string { return c.m.Shards[0] }
 // Shard returns shard i's directory, for tests that kill, interrogate, or
 // instrument an individual shard.
 func (c *Cluster) Shard(i int) *remote.Directory { return c.shards[i] }
+
+// CrashShard simulates shard i dying mid-flight: the process goes away
+// without flushing buffered journal records or closing its journal
+// cleanly. Follow with RestartShard to model recovery. Only meaningful
+// for durable clusters, but harmless otherwise.
+func (c *Cluster) CrashShard(i int) error { return c.shards[i].Kill() }
+
+// RestartShard brings shard i back on its original address with its
+// original journal directory, replaying whatever the crash (or clean
+// shutdown) left behind. The address was chosen by the OS at StartCluster
+// time; rebinding it can briefly collide with TIME_WAIT or a lingering
+// socket, so the listen is retried for ~2s before giving up.
+func (c *Cluster) RestartShard(i int) error {
+	addr := c.m.Shards[i]
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 40; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("dirshard: rebind shard %d on %s: %w", i, addr, err)
+	}
+	d, err := remote.ListenDirectoryOnWith(ln, remote.DirectoryConfig{
+		LeaseTTL:      c.cfg.LeaseTTL,
+		LookupService: c.cfg.LookupService,
+		Shard:         &remote.ShardConfig{Map: c.m, Self: i},
+		Journal:       c.cfg.shardJournal(i),
+		RestartGrace:  c.cfg.RestartGrace,
+	})
+	if err != nil {
+		_ = ln.Close()
+		return fmt.Errorf("dirshard: restart shard %d: %w", i, err)
+	}
+	c.shards[i] = d
+	return nil
+}
 
 // SetMetrics registers shard i's gms_dir_* and gms_dirshard_* metrics on
 // r (nil disables them). Each shard gets its own registry in a real

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
 	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/remote"
@@ -226,5 +228,101 @@ func TestStartShardValidation(t *testing.T) {
 	got := d.ShardMap()
 	if got.Version != 1 || len(got.Shards) != 2 {
 		t.Fatalf("shard serves map %+v, want %+v", got, m)
+	}
+}
+
+// TestShardJournalRecovery crashes one shard of a durable cluster and
+// restarts it in place: registrations owned by that shard must come back
+// from its own journal, without the server re-registering and without
+// disturbing the other shards' state.
+func TestShardJournalRecovery(t *testing.T) {
+	const npages = 32
+	c, err := StartCluster(3, Config{
+		LeaseTTL: time.Minute,
+		Journal:  &dirlog.Options{Dir: t.TempDir(), Fsync: dirlog.FsyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	srv, err := remote.ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for p := uint64(0); p < npages; p++ {
+		srv.Store(p, pagePattern(p))
+	}
+	if err := srv.RegisterWith(c.Bootstrap()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash shard 1 mid-flight and bring it back from its journal. The
+	// server's heartbeats are off (default interval is long), so any
+	// recovered entry must come from disk, not a re-registration.
+	if err := c.CrashShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Shard(1).JournalInfo().Recovered {
+		t.Fatal("restarted shard did not recover from its journal")
+	}
+	ring := proto.NewRing(c.Map())
+	owned := 0
+	for p := uint64(0); p < npages; p++ {
+		if ring.Owner(p) != 1 {
+			continue
+		}
+		owned++
+		if got, ok := c.Shard(1).Lookup(p); !ok || got != srv.Addr() {
+			t.Fatalf("shard 1 lost page %d through the crash: Lookup = %q,%v", p, got, ok)
+		}
+	}
+	if owned == 0 {
+		t.Fatalf("no pages of %d hashed to shard 1; grow npages", npages)
+	}
+	// The whole data path works against the recovered shard.
+	cl, err := remote.Dial(remote.ClientConfig{Directory: c.Bootstrap(), CachePages: npages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	buf := make([]byte, 64)
+	for p := uint64(0); p < npages; p++ {
+		if err := cl.Read(buf, p*uint64(units.PageSize)); err != nil {
+			t.Fatalf("read page %d after shard recovery: %v", p, err)
+		}
+	}
+}
+
+// TestShardJournalIdentityEnforced proves a shard refuses a journal
+// written by a different shard: swapped data directories must fail
+// loudly, not serve another shard's pages.
+func TestShardJournalIdentityEnforced(t *testing.T) {
+	root := t.TempDir()
+	c, err := StartCluster(2, Config{
+		LeaseTTL: time.Minute,
+		Journal:  &dirlog.Options{Dir: root, Fsync: dirlog.FsyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.Map()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Point shard 1's identity at shard 0's journal directory.
+	_, err = StartShard("127.0.0.1:0", m, 1, Config{
+		Journal: &dirlog.Options{Dir: filepath.Join(root, "shard-000"), Fsync: dirlog.FsyncAlways},
+	})
+	if err == nil {
+		t.Fatal("shard 1 accepted shard 0's journal")
+	}
+	if !strings.Contains(err.Error(), "belongs to shard 0") {
+		t.Fatalf("error %q does not name the journal's true owner", err)
 	}
 }

@@ -31,9 +31,12 @@ var Lockio = &Analyzer{
 // held across the /metrics render or any blocking call; internal/dirshard
 // and internal/load because the shard cluster and the load harness are
 // exactly the many-goroutines-on-shared-mutexes code this analyzer exists
-// for.
+// for; internal/dirlog because the journal's mutex serializes every
+// directory mutation — a blocking operation under it stalls the whole
+// control plane (fsyncs are deliberate and bounded; channel waits are
+// not).
 var lockioSegments = []string{"internal/remote", "internal/chaos", "cmd/gmsnode",
-	"internal/obs", "internal/dirshard", "internal/load"}
+	"internal/obs", "internal/dirshard", "internal/load", "internal/dirlog"}
 
 func runLockio(pass *Pass) {
 	inScope := false

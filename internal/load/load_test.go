@@ -97,3 +97,36 @@ func TestScalingWithServiceEmulation(t *testing.T) {
 		t.Fatalf("4 shards served %.0f lookups/s vs %.0f on 1 shard; want >= 1.5x", r4, r1)
 	}
 }
+
+// TestRunSoak is the kill-anything crash soak at test scale: five
+// directory kill/restart cycles under live fault load. RunSoak enforces
+// the invariants itself (no hangs, bounded re-registrations, no
+// stale-epoch resurrection, every page resolvable after the last
+// restart); the test checks the ledger is coherent on top.
+func TestRunSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak takes a few seconds")
+	}
+	res, err := RunSoak(SoakConfig{
+		Servers:    2,
+		Pages:      128,
+		Clients:    4,
+		Crashes:    5,
+		CrashEvery: 250 * time.Millisecond,
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("soak failed after %d crashes: %v (result %+v)", res.Crashes, err, res)
+	}
+	if res.Crashes != 5 {
+		t.Fatalf("completed %d crashes, want 5", res.Crashes)
+	}
+	if res.Reads == 0 {
+		t.Fatal("soak issued no reads")
+	}
+	if res.Recovered == 0 && res.Reregs == 0 {
+		t.Fatal("final restart neither recovered servers from the journal nor saw a re-registration")
+	}
+	t.Logf("soak: %d reads (%d errs, max %.0fµs) across %d crashes; %d reregs, %d recovered",
+		res.Reads, res.ReadErrs, res.MaxReadUs, res.Crashes, res.Reregs, res.Recovered)
+}

@@ -58,6 +58,8 @@ func FuzzDecode(f *testing.F) {
 		})
 	})
 	seed(func(w *Writer) error { return w.SendCancel(Cancel{ReqID: 9}) })
+	seed(func(w *Writer) error { return w.SendDrain(Drain{Addr: "c:3"}) })
+	seed(func(w *Writer) error { return w.SendDrainReply(DrainReply{Moved: 17}) })
 
 	// Malformed shapes: truncated headers, payloads shorter than their
 	// frame length promises, length prefixes overrunning the payload,
@@ -77,6 +79,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{byte(TRegister), 10, 0, 0, 0, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0, 1}) // ragged page list
 	f.Add([]byte{byte(TGetPageV2), 5, 0, 0, 0, 1, 2, 3, 4, 5})                     // shorter than fixed layout
 	f.Add([]byte{byte(TCancel), 4, 0, 0, 0, 1, 2, 3, 4})                           // reqID truncated
+	f.Add([]byte{byte(TDrain), 3, 0, 0, 0, 9, 'a', ':'})                           // addr len 9 overruns
+	f.Add([]byte{byte(TDrainReply), 2, 0, 0, 0, 1, 2})                             // moved truncated
 	// Batch promising 2 runs with no table, and a table whose lengths
 	// disagree with the data section.
 	f.Add(append([]byte{byte(TSubpageBatch), 18, 0, 0, 0}, make([]byte, 17)...))
@@ -113,6 +117,8 @@ func FuzzDecode(f *testing.F) {
 			}
 			_, _ = DecodeGetPageV2(fr.Payload)
 			_, _ = DecodeCancel(fr.Payload)
+			_, _ = DecodeDrain(fr.Payload)
+			_, _ = DecodeDrainReply(fr.Payload)
 			if b, err := DecodeSubpageBatch(fr.Payload); err == nil {
 				// A decoded batch's runs must be safely iterable.
 				for i := 0; i < b.Runs(); i++ {

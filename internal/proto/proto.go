@@ -69,6 +69,14 @@ const (
 	// stops streaming the reply at the next batch boundary. Best effort —
 	// batches already on the wire still arrive and are discarded by ID.
 	TCancel
+	// TDrain is the admin request to gracefully decommission a page
+	// server: the directory transfers the server's sole-copy pages to
+	// its peers, fences the server's epoch, and drops the lease — so
+	// planned maintenance never looks like a failure to clients.
+	TDrain
+	// TDrainReply answers a TDrain with the number of pages the
+	// directory transferred off the drained server.
+	TDrainReply
 )
 
 // String names the type for diagnostics.
@@ -104,6 +112,10 @@ func (t Type) String() string {
 		return "SubpageBatch"
 	case TCancel:
 		return "Cancel"
+	case TDrain:
+		return "Drain"
+	case TDrainReply:
+		return "DrainReply"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -213,6 +225,15 @@ type WrongShard struct {
 	Page uint64
 	Map  ShardMap
 }
+
+// Drain asks a directory to decommission the server at Addr: move its
+// sole-copy pages to peers with epoch-fenced ownership transfer, then
+// drop the lease. Addr must match the server's registered address.
+type Drain struct{ Addr string }
+
+// DrainReply reports a completed drain: Moved counts the pages the
+// directory copied off the drained server before fencing it.
+type DrainReply struct{ Moved uint32 }
 
 // ErrorMsg reports a remote failure.
 type ErrorMsg struct{ Text string }
@@ -429,6 +450,23 @@ func (w *Writer) SendWrongShard(m WrongShard) error {
 	return w.send(TWrongShard, p)
 }
 
+// SendDrain writes a TDrain frame.
+func (w *Writer) SendDrain(m Drain) error {
+	if len(m.Addr) > 255 {
+		return fmt.Errorf("proto: address too long: %q", m.Addr)
+	}
+	p := make([]byte, 0, 1+len(m.Addr))
+	p = append(p, byte(len(m.Addr)))
+	p = append(p, m.Addr...)
+	return w.send(TDrain, p)
+}
+
+// SendDrainReply writes a TDrainReply frame.
+func (w *Writer) SendDrainReply(m DrainReply) error {
+	p := binary.LittleEndian.AppendUint32(make([]byte, 0, 4), m.Moved)
+	return w.send(TDrainReply, p)
+}
+
 // SendError writes a TError frame.
 func (w *Writer) SendError(text string) error {
 	if len(text) > MaxPayload {
@@ -456,7 +494,7 @@ func (r *Reader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	t := Type(head[0])
-	if t < TGetPage || t > TCancel {
+	if t < TGetPage || t > TDrainReply {
 		// Reject unknown tag bytes at the framing layer: every Frame
 		// handed to callers carries one of the declared T* constants, so
 		// tag switches downstream can be exhaustive with no default (and
@@ -603,6 +641,26 @@ func DecodeWrongShard(p []byte) (WrongShard, error) {
 		return WrongShard{}, err
 	}
 	return WrongShard{Page: binary.LittleEndian.Uint64(p[0:8]), Map: m}, nil
+}
+
+// DecodeDrain parses a TDrain payload.
+func DecodeDrain(p []byte) (Drain, error) {
+	if len(p) < 1 {
+		return Drain{}, short(TDrain)
+	}
+	alen := int(p[0])
+	if len(p) != 1+alen {
+		return Drain{}, short(TDrain)
+	}
+	return Drain{Addr: string(p[1 : 1+alen])}, nil
+}
+
+// DecodeDrainReply parses a TDrainReply payload.
+func DecodeDrainReply(p []byte) (DrainReply, error) {
+	if len(p) != 4 {
+		return DrainReply{}, short(TDrainReply)
+	}
+	return DrainReply{Moved: binary.LittleEndian.Uint32(p)}, nil
 }
 
 // DecodeError parses a TError payload.

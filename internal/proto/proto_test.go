@@ -258,7 +258,7 @@ func TestTruncatedFrame(t *testing.T) {
 // switches over Type be exhaustive with no default: Next never hands an
 // undeclared tag to a caller.
 func TestUnknownTypeByteRejected(t *testing.T) {
-	for _, tag := range []byte{0, byte(TCancel) + 1, 200, 255} {
+	for _, tag := range []byte{0, byte(TDrainReply) + 1, 200, 255} {
 		raw := []byte{tag, 0, 0, 0, 0}
 		_, err := NewReader(bytes.NewReader(raw)).Next()
 		if err == nil {
@@ -268,7 +268,7 @@ func TestUnknownTypeByteRejected(t *testing.T) {
 			t.Fatalf("type byte %d: err = %v, want the unknown-type rejection", tag, err)
 		}
 	}
-	for tag := TGetPage; tag <= TCancel; tag++ {
+	for tag := TGetPage; tag <= TDrainReply; tag++ {
 		raw := []byte{byte(tag), 0, 0, 0, 0}
 		if _, err := NewReader(bytes.NewReader(raw)).Next(); err != nil {
 			t.Fatalf("declared tag %v rejected at the framing layer: %v", tag, err)
@@ -402,11 +402,51 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 	}
 }
 
+func TestDrainRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.SendDrain(Drain{Addr: "s:9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SendDrainReply(DrainReply{Moved: 123}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	f, err := r.Next()
+	if err != nil || f.Type != TDrain {
+		t.Fatalf("frame: %v %v", f.Type, err)
+	}
+	d, err := DecodeDrain(f.Payload)
+	if err != nil || d.Addr != "s:9" {
+		t.Fatalf("DecodeDrain: %+v %v", d, err)
+	}
+	f, err = r.Next()
+	if err != nil || f.Type != TDrainReply {
+		t.Fatalf("frame: %v %v", f.Type, err)
+	}
+	rep, err := DecodeDrainReply(f.Payload)
+	if err != nil || rep.Moved != 123 {
+		t.Fatalf("DecodeDrainReply: %+v %v", rep, err)
+	}
+	if _, err := DecodeDrain(nil); err == nil {
+		t.Error("empty Drain should fail")
+	}
+	if _, err := DecodeDrain([]byte{5, 'a'}); err == nil {
+		t.Error("overrunning Drain addr should fail")
+	}
+	if _, err := DecodeDrainReply([]byte{1}); err == nil {
+		t.Error("short DrainReply should fail")
+	}
+	if err := w.SendDrain(Drain{Addr: strings.Repeat("x", 256)}); err == nil {
+		t.Error("overlong Drain addr accepted")
+	}
+}
+
 func TestTypeStrings(t *testing.T) {
 	types := []Type{TGetPage, TPageData, TPutPage, TAck, TLookup,
 		TLookupReply, TRegister, TError, THeartbeat,
 		TGetShardMap, TShardMap, TWrongShard,
-		TGetPageV2, TSubpageBatch, TCancel}
+		TGetPageV2, TSubpageBatch, TCancel, TDrain, TDrainReply}
 	seen := map[string]bool{}
 	for _, tp := range types {
 		s := tp.String()

@@ -1162,7 +1162,7 @@ func (dc *dirConn) lookupRPC(c *Client, page uint64) (proto.LookupReply, error) 
 	case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
 		proto.TLookup, proto.TRegister, proto.THeartbeat,
 		proto.TGetShardMap, proto.TShardMap, proto.TGetPageV2,
-		proto.TSubpageBatch, proto.TCancel:
+		proto.TSubpageBatch, proto.TCancel, proto.TDrain, proto.TDrainReply:
 		// Valid tags that never answer a lookup; fall through to the
 		// protocol error below.
 	}
@@ -1256,7 +1256,7 @@ func (c *Client) readLoop(addr string, conn net.Conn) {
 		case proto.TGetPage, proto.TPutPage, proto.TAck, proto.TLookup,
 			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
 			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard,
-			proto.TGetPageV2, proto.TCancel:
+			proto.TGetPageV2, proto.TCancel, proto.TDrain, proto.TDrainReply:
 			// A data connection only ever carries page fragments and
 			// errors. Any other tag means the peer is not speaking the
 			// page-server protocol (or the stream is desynchronized);

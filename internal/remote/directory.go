@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
 	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 )
@@ -53,6 +54,21 @@ type DirectoryConfig struct {
 	// "one directory process has one CPU's worth of lookup throughput".
 	// Zero (the default) disables emulation.
 	LookupService time.Duration
+
+	// Journal, when non-nil, makes the lease table durable: every state
+	// transition is appended to a dirlog write-ahead journal in
+	// Journal.Dir and compacted into snapshots, and construction replays
+	// whatever a previous incarnation left there — epochs,
+	// registrations, seniority and the shard assignment all survive a
+	// directory crash. Nil (the default) keeps the classic in-memory
+	// directory. The Journal.Meta field is overwritten from Shard.
+	Journal *dirlog.Options
+
+	// RestartGrace is how long recovered leases live before their first
+	// post-restart heartbeat must land. Zero selects the lease TTL; the
+	// value is capped at one TTL so a recovering directory never extends
+	// a dead server's visibility beyond the bound PR 4 pinned.
+	RestartGrace time.Duration
 }
 
 // ShardConfig identifies one directory shard: the versioned map of every
@@ -96,14 +112,24 @@ type Directory struct {
 	// on every client is a Lookup, while Register/Heartbeat traffic is
 	// per-server and periodic. Lookup/Replicas take the read lock and run
 	// concurrently; only lease mutation takes the write lock.
-	mu      sync.RWMutex
-	servers map[string]*dirServer
-	pages   map[uint64]map[string]struct{}
-	epochs  map[string]uint64 // highest epoch per addr; survives lease expiry
-	seq     uint64            // registration seniority counter
-	conns   map[net.Conn]struct{}
-	done    bool
-	met     directoryMetrics // gms_dir_* handles; nil-safe no-ops by default
+	mu       sync.RWMutex
+	servers  map[string]*dirServer
+	pages    map[uint64]map[string]struct{}
+	epochs   map[string]uint64 // highest epoch per addr; survives lease expiry
+	seq      uint64            // registration seniority counter
+	draining map[string]bool   // servers mid-drain (see Drain)
+	conns    map[net.Conn]struct{}
+	done     bool
+	met      directoryMetrics // gms_dir_* handles; nil-safe no-ops by default
+
+	// Durability (nil log = classic in-memory directory). pending
+	// buffers lease renewals between janitor sweeps: heartbeats are far
+	// too frequent to journal individually, and the restart grace window
+	// covers whatever a crash drops from the buffer.
+	log        *dirlog.Journal
+	grace      time.Duration
+	pending    []dirlog.Renew
+	recoveredN int // servers restored from the journal at construction
 
 	closeOnce sync.Once
 	closeErr  error
@@ -132,35 +158,54 @@ func ListenDirectoryWith(addr string, cfg DirectoryConfig) (*Directory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: directory listen: %w", err)
 	}
-	return ListenDirectoryOnWith(ln, cfg), nil
+	d, err := ListenDirectoryOnWith(ln, cfg)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	return d, nil
 }
 
 // ListenDirectoryOn starts a directory on an existing listener — the hook
 // for running it behind a chaos injector or a custom transport.
 func ListenDirectoryOn(ln net.Listener) *Directory {
-	return ListenDirectoryOnWith(ln, DirectoryConfig{})
+	d, _ := ListenDirectoryOnWith(ln, DirectoryConfig{}) // no journal: cannot fail
+	return d
 }
 
 // ListenDirectoryOnWith starts a directory on an existing listener with
-// explicit liveness settings.
-func ListenDirectoryOnWith(ln net.Listener, cfg DirectoryConfig) *Directory {
+// explicit liveness settings. The only failure mode is a journal that
+// cannot be opened or belongs to a different shard assignment; without
+// cfg.Journal it never fails.
+func ListenDirectoryOnWith(ln net.Listener, cfg DirectoryConfig) (*Directory, error) {
 	ttl := cfg.LeaseTTL
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
+	grace := cfg.RestartGrace
+	if grace <= 0 || grace > ttl {
+		grace = ttl
+	}
 	d := &Directory{
-		ln:      ln,
-		ttl:     ttl,
-		svc:     cfg.LookupService,
-		servers: make(map[string]*dirServer),
-		pages:   make(map[uint64]map[string]struct{}),
-		epochs:  make(map[string]uint64),
-		conns:   make(map[net.Conn]struct{}),
-		stop:    make(chan struct{}),
+		ln:       ln,
+		ttl:      ttl,
+		grace:    grace,
+		svc:      cfg.LookupService,
+		servers:  make(map[string]*dirServer),
+		pages:    make(map[uint64]map[string]struct{}),
+		epochs:   make(map[string]uint64),
+		draining: make(map[string]bool),
+		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
 	}
 	if cfg.Shard != nil {
 		d.ring = proto.NewRing(cfg.Shard.Map)
 		d.self = cfg.Shard.Self
+	}
+	if cfg.Journal != nil {
+		if err := d.openJournal(*cfg.Journal, cfg.Shard); err != nil {
+			return nil, err
+		}
 	}
 	if d.svc > 0 {
 		d.svcGate = make(chan struct{}, 1)
@@ -169,7 +214,78 @@ func ListenDirectoryOnWith(ln net.Listener, cfg DirectoryConfig) *Directory {
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.janitor()
-	return d
+	return d, nil
+}
+
+// openJournal opens (or creates) the write-ahead journal and installs
+// whatever it recovers: epochs, registrations with their seniority, and
+// — when this directory was started without a shard assignment — the
+// assignment recorded by the previous incarnation. Restored leases get
+// the restart grace window instead of their recorded expiry, so servers
+// that outlived the directory have one window to heartbeat before the
+// janitor may expunge them.
+func (d *Directory) openJournal(opts dirlog.Options, shard *ShardConfig) error {
+	opts.Meta = dirlog.Meta{Self: -1}
+	if shard != nil {
+		opts.Meta = dirlog.Meta{ShardVersion: shard.Map.Version, Shards: shard.Map.Shards, Self: shard.Self}
+	}
+	j, st, err := dirlog.Open(opts)
+	if err != nil {
+		return fmt.Errorf("remote: directory journal: %w", err)
+	}
+	if j.Info().Recovered && st.Meta.Sharded() {
+		if shard == nil {
+			// Adopt the recorded shard assignment: a restarted shard that
+			// was not handed its config still comes back as itself.
+			d.ring = proto.NewRing(proto.ShardMap{Version: st.Meta.ShardVersion, Shards: st.Meta.Shards})
+			d.self = st.Meta.Self
+		} else if !st.Meta.SameShard(dirlog.Meta{ShardVersion: shard.Map.Version, Shards: shard.Map.Shards, Self: shard.Self}) {
+			_ = j.Close()
+			return fmt.Errorf("remote: journal %s belongs to shard %d of map v%d, not shard %d of map v%d",
+				opts.Dir, st.Meta.Self, st.Meta.ShardVersion, shard.Self, shard.Map.Version)
+		}
+	}
+	d.log = j
+	expires := time.Now().Add(d.grace)
+	for addr, s := range st.Servers {
+		ds := &dirServer{epoch: s.Epoch, seq: s.Seq, expires: expires, pages: make(map[uint64]struct{})}
+		for p := range s.Pages {
+			ds.pages[p] = struct{}{}
+			holders := d.pages[p]
+			if holders == nil {
+				holders = make(map[string]struct{})
+				d.pages[p] = holders
+			}
+			holders[addr] = struct{}{}
+		}
+		d.servers[addr] = ds
+	}
+	for addr, e := range st.Epochs {
+		d.epochs[addr] = e
+	}
+	d.seq = st.Seq
+	d.recoveredN = len(st.Servers)
+	// A drain that was mid-flight when the previous incarnation died has
+	// no transfer running anymore: clear the mark (journaled, so the
+	// next recovery agrees) and let the admin re-issue the drain.
+	for addr := range st.Draining {
+		d.appendLog(dirlog.DrainAbort{Addr: addr})
+	}
+	return nil
+}
+
+// appendLog journals records when durability is on. Append failures are
+// deliberately non-fatal to the serving path — an in-memory directory
+// ahead of its journal degrades to exactly the pre-durability behavior —
+// but they are counted, and the recovery tests pin what replay loses.
+func (d *Directory) appendLog(recs ...dirlog.Record) {
+	if d.log == nil {
+		return
+	}
+	if err := d.log.Append(recs...); err != nil {
+		d.met.journalErrors.Inc()
+	}
+	d.met.journalRecords.Add(int64(len(recs)))
 }
 
 // Addr returns the directory's listen address.
@@ -195,6 +311,7 @@ func (d *Directory) SetMetrics(r *obs.Registry) {
 	d.mu.Lock()
 	d.met = newDirectoryMetrics(r, d.ring != nil)
 	d.met.pages.Set(int64(len(d.pages)))
+	d.met.recoveredServers.Set(int64(d.recoveredN))
 	if d.ring != nil {
 		d.met.shardSelf.Set(int64(d.self))
 		d.met.shardMapVersion.Set(int64(d.ring.Map().Version))
@@ -221,13 +338,37 @@ func (d *Directory) serviceDelay() {
 }
 
 // Close stops the directory, severing active connections. It is idempotent:
-// concurrent and repeated calls all return the first call's error.
+// concurrent and repeated calls all return the first call's error. A
+// journaling directory flushes buffered renewals and fsyncs on the way
+// out, so a clean shutdown recovers exactly.
 func (d *Directory) Close() error {
+	return d.shutdown(true)
+}
+
+// Kill stops the directory the way a crash would: connections are
+// severed and the journal is abandoned without a final flush — buffered
+// renewals and un-synced appends are lost, exactly as if the process had
+// died. The chaos soak's restart path; a clean shutdown uses Close.
+func (d *Directory) Kill() error {
+	return d.shutdown(false)
+}
+
+func (d *Directory) shutdown(flush bool) error {
 	d.closeOnce.Do(func() {
 		d.closeErr = d.ln.Close()
 		close(d.stop)
 		d.mu.Lock()
 		d.done = true
+		if d.log != nil {
+			if flush {
+				d.flushRenewsLocked()
+				if err := d.log.Close(); err != nil && d.closeErr == nil {
+					d.closeErr = err
+				}
+			} else {
+				_ = d.log.Crash()
+			}
+		}
 		for conn := range d.conns {
 			_ = conn.Close()
 		}
@@ -339,6 +480,7 @@ func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
 		d.servers[reg.Addr] = s
 	}
 	s.expires = now.Add(d.ttl)
+	accepted := make([]uint64, 0, len(reg.Pages))
 	for _, p := range reg.Pages {
 		if !d.Owns(p) {
 			// A shard records only the pages the ring assigns it. Servers
@@ -355,7 +497,15 @@ func (d *Directory) applyRegister(reg proto.Register, now time.Time) bool {
 			d.pages[p] = holders
 		}
 		holders[reg.Addr] = struct{}{}
+		accepted = append(accepted, p)
 	}
+	// Journal the registration as applied — owned pages only, with the
+	// seniority it landed at — so replay reproduces this exact table.
+	d.appendLog(dirlog.Register{
+		Addr: reg.Addr, Epoch: reg.Epoch, Seq: s.seq,
+		Expires: s.expires.UnixNano(), Pages: accepted,
+	})
+	d.maybeSnapshotLocked()
 	d.met.registers.Inc()
 	d.met.pages.Set(int64(len(d.pages)))
 	return true
@@ -375,6 +525,13 @@ func (d *Directory) renewLease(hb proto.Heartbeat, now time.Time) bool {
 		return false
 	}
 	s.expires = now.Add(d.ttl)
+	if d.log != nil {
+		// Heartbeats are too frequent to journal one record each: buffer
+		// the renewal and let the janitor flush the batch. A crash drops
+		// at most one sweep period of renewals, which the restart grace
+		// window re-grants wholesale.
+		d.pending = append(d.pending, dirlog.Renew{Addr: hb.Addr, Epoch: hb.Epoch, Expires: s.expires.UnixNano()})
+	}
 	d.met.heartbeats.Inc()
 	return true
 }
@@ -420,13 +577,99 @@ func (d *Directory) janitor() {
 func (d *Directory) sweep(now time.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.flushRenewsLocked()
+	var expired []string
 	for addr, s := range d.servers {
 		if now.After(s.expires) {
+			expired = append(expired, addr)
 			d.expungeLocked(addr)
 			d.met.expiries.Inc()
 		}
 	}
+	if len(expired) > 0 {
+		sort.Strings(expired) // deterministic journal across map iteration orders
+		d.appendLog(dirlog.Expunge{Addrs: expired})
+	}
+	d.maybeSnapshotLocked()
 	d.met.pages.Set(int64(len(d.pages)))
+}
+
+// flushRenewsLocked journals the buffered lease renewals as one batch
+// record. Called with d.mu held.
+func (d *Directory) flushRenewsLocked() {
+	if d.log == nil || len(d.pending) == 0 {
+		return
+	}
+	d.appendLog(dirlog.RenewBatch{Renews: d.pending})
+	d.pending = d.pending[:0]
+}
+
+// maybeSnapshotLocked compacts the journal once the wal passes the
+// configured threshold: buffered renewals are flushed first so the
+// snapshot state is at least as new as every journaled record, then the
+// current table rotates in as the next generation. Called with d.mu
+// held; the file writes happen under the lock, which is acceptable for a
+// rotation that runs once per thousands of transitions.
+func (d *Directory) maybeSnapshotLocked() {
+	if d.log == nil || !d.log.ShouldSnapshot() {
+		return
+	}
+	d.flushRenewsLocked()
+	if err := d.log.Snapshot(d.stateLocked()); err != nil {
+		d.met.journalErrors.Inc()
+		return
+	}
+	d.met.snapshots.Inc()
+}
+
+// stateLocked exports the durable portion of the lease table as a dirlog
+// state. Called with d.mu held (read or write).
+func (d *Directory) stateLocked() *dirlog.State {
+	st := dirlog.NewState()
+	st.Seq = d.seq
+	if d.ring != nil {
+		m := d.ring.Map()
+		st.Meta = dirlog.Meta{ShardVersion: m.Version, Shards: m.Shards, Self: d.self}
+	} else {
+		st.Meta = dirlog.Meta{Self: -1}
+	}
+	for addr, e := range d.epochs {
+		st.Epochs[addr] = e
+	}
+	for addr, s := range d.servers {
+		ss := &dirlog.ServerState{Epoch: s.epoch, Seq: s.seq, Expires: s.expires.UnixNano(), Pages: make(map[uint64]struct{}, len(s.pages))}
+		for p := range s.pages {
+			ss.Pages[p] = struct{}{}
+		}
+		st.Servers[addr] = ss
+	}
+	for addr := range d.draining {
+		st.Draining[addr] = true
+	}
+	return st
+}
+
+// StateSnapshot exports the directory's durable state — epochs,
+// registrations, draining marks — for tests and tools. The returned
+// state is a deep copy.
+func (d *Directory) StateSnapshot() *dirlog.State {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stateLocked()
+}
+
+// RecoveredServers reports how many registrations this directory
+// restored from its journal at startup (zero without one, or on a fresh
+// journal).
+func (d *Directory) RecoveredServers() int { return d.recoveredN }
+
+// JournalInfo reports what recovery found when the directory opened its
+// journal (the zero Info without one).
+func (d *Directory) JournalInfo() dirlog.Info {
+	if d.log == nil {
+		return dirlog.Info{}
+	}
+	return d.log.Info()
 }
 
 func (d *Directory) acceptLoop() {
@@ -534,10 +777,26 @@ func (d *Directory) serve(conn net.Conn) {
 			if err := w.SendShardMap(d.ring.Map()); err != nil {
 				return
 			}
+		case proto.TDrain:
+			dr, err := proto.DecodeDrain(f.Payload)
+			if err != nil {
+				_ = w.SendError(err.Error())
+				return
+			}
+			moved, err := d.Drain(dr.Addr)
+			if err != nil {
+				if serr := w.SendError(fmt.Sprintf("directory: drain %s: %v", dr.Addr, err)); serr != nil {
+					return
+				}
+				continue
+			}
+			if err := w.SendDrainReply(proto.DrainReply{Moved: uint32(moved)}); err != nil {
+				return
+			}
 		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
 			proto.TLookupReply, proto.TError, proto.TShardMap,
 			proto.TWrongShard, proto.TGetPageV2, proto.TSubpageBatch,
-			proto.TCancel:
+			proto.TCancel, proto.TDrainReply:
 			// Data-plane and reply tags never arrive at a directory;
 			// refuse and hang up rather than guess at the peer's intent.
 			_ = w.SendError(fmt.Sprintf("directory: unexpected %v", f.Type))

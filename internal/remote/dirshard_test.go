@@ -27,11 +27,14 @@ func shardedCluster(t *testing.T, n, npages int, ttl time.Duration) ([]*Director
 	}
 	dirs := make([]*Directory, n)
 	for i, ln := range lns {
-		dirs[i] = ListenDirectoryOnWith(ln, DirectoryConfig{
+		d, err := ListenDirectoryOnWith(ln, DirectoryConfig{
 			LeaseTTL: ttl,
 			Shard:    &ShardConfig{Map: m, Self: i},
 		})
-		d := dirs[i]
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs[i] = d
 		t.Cleanup(func() { d.Close() })
 	}
 	srv, err := ListenServer("127.0.0.1:0")

@@ -1,0 +1,343 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
+	"github.com/gms-sim/gmsubpage/internal/proto"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// Drain transfer timeouts: dialing a server and one page copy
+// (fetch + put + ordered confirmation) each get a bounded window, so a
+// dead peer fails the drain instead of wedging it.
+const (
+	drainDialTimeout = 2 * time.Second
+	drainOpTimeout   = 5 * time.Second
+)
+
+// Drain gracefully decommissions the server registered at addr: every
+// page whose only live replica sits on that server is copied to a peer
+// first, the destination's registration is extended to cover it, and
+// only then is the server's lease dropped with its epoch fenced — so a
+// planned shutdown never turns a page unavailable and the drained
+// incarnation can never re-register as if nothing happened. Pages that
+// already have live replicas elsewhere need no copy; expunging the
+// drained holder leaves them served by the survivors.
+//
+// Drain returns the number of pages transferred. It fails — leaving the
+// server registered and serving, with the draining mark rolled back —
+// when addr is unknown or expired, already draining, re-registered with
+// a new epoch mid-drain, or when its sole-copy pages have no live peer
+// to move to (the last server cannot be drained away).
+//
+// In a sharded deployment each shard drains the pages it owns;
+// decommissioning a server means draining it on every shard.
+func (d *Directory) Drain(addr string) (int, error) {
+	plan, epoch, err := d.beginDrain(addr)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, t := range plan {
+		if err := transferPages(addr, t.dest, t.pages); err != nil {
+			d.abortDrain(addr)
+			return moved, fmt.Errorf("transferring %d pages to %s: %w", len(t.pages), t.dest, err)
+		}
+		if err := d.commitTransfer(addr, t.dest, t.pages); err != nil {
+			d.abortDrain(addr)
+			return moved, err
+		}
+		moved += len(t.pages)
+	}
+	if err := d.finishDrain(addr, epoch); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// transfer is one destination's share of a drain plan.
+type transfer struct {
+	dest  string
+	pages []uint64
+}
+
+// beginDrain validates the drain, marks addr draining (journaled), and
+// plans the sole-copy transfers round-robin across the live peers. The
+// plan is deterministic: pages and destinations are sorted.
+func (d *Directory) beginDrain(addr string) ([]transfer, uint64, error) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done {
+		return nil, 0, fmt.Errorf("directory closed")
+	}
+	s := d.servers[addr]
+	if s == nil || now.After(s.expires) {
+		return nil, 0, fmt.Errorf("no live registration")
+	}
+	if d.draining[addr] {
+		return nil, 0, fmt.Errorf("already draining")
+	}
+
+	var dests []string
+	for a, peer := range d.servers {
+		if a != addr && !d.draining[a] && !now.After(peer.expires) {
+			dests = append(dests, a)
+		}
+	}
+	sort.Strings(dests)
+
+	var sole []uint64
+	for p := range s.pages {
+		alone := true
+		for holder := range d.pages[p] {
+			h := d.servers[holder]
+			if holder != addr && h != nil && !now.After(h.expires) {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			sole = append(sole, p)
+		}
+	}
+	sort.Slice(sole, func(i, j int) bool { return sole[i] < sole[j] })
+	if len(sole) > 0 && len(dests) == 0 {
+		return nil, 0, fmt.Errorf("%d sole-copy pages and no live peer to move them to", len(sole))
+	}
+
+	byDest := make(map[string][]uint64, len(dests))
+	for i, p := range sole {
+		dst := dests[i%len(dests)]
+		byDest[dst] = append(byDest[dst], p)
+	}
+	plan := make([]transfer, 0, len(byDest))
+	for _, dst := range dests {
+		if pages := byDest[dst]; len(pages) > 0 {
+			plan = append(plan, transfer{dest: dst, pages: pages})
+		}
+	}
+
+	d.draining[addr] = true
+	d.appendLog(dirlog.Drain{Addr: addr})
+	return plan, s.epoch, nil
+}
+
+// commitTransfer records that dest now holds pages: the directory's
+// table and the journal both gain the replicas before the source is
+// expunged, so a lookup never sees a window with no holder.
+func (d *Directory) commitTransfer(addr, dest string, pages []uint64) error {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.servers[dest]
+	if s == nil || now.After(s.expires) {
+		return fmt.Errorf("destination %s lost its lease mid-drain", dest)
+	}
+	if src := d.servers[addr]; src == nil || !d.draining[addr] {
+		return fmt.Errorf("drain of %s superseded mid-transfer", addr)
+	}
+	for _, p := range pages {
+		s.pages[p] = struct{}{}
+		holders := d.pages[p]
+		if holders == nil {
+			holders = make(map[string]struct{})
+			d.pages[p] = holders
+		}
+		holders[dest] = struct{}{}
+	}
+	d.appendLog(dirlog.Register{
+		Addr: dest, Epoch: s.epoch, Seq: s.seq,
+		Expires: s.expires.UnixNano(), Pages: pages,
+	})
+	d.met.drainMoved.Add(int64(len(pages)))
+	return nil
+}
+
+// finishDrain fences the drained epoch and drops the lease: the fence is
+// journaled before the expunge applies, so even a crash between the two
+// recovers with the old incarnation locked out.
+func (d *Directory) finishDrain(addr string, epoch uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.servers[addr]
+	if s == nil || s.epoch != epoch {
+		// The server re-registered as a new incarnation mid-drain; its
+		// new lease is not ours to drop.
+		delete(d.draining, addr)
+		d.appendLog(dirlog.DrainAbort{Addr: addr})
+		return fmt.Errorf("server re-registered with epoch %d mid-drain", s.epoch)
+	}
+	fenced := epoch + 1
+	if cur := d.epochs[addr]; cur >= fenced {
+		fenced = cur
+	}
+	d.epochs[addr] = fenced
+	d.appendLog(dirlog.Fence{Addr: addr, Epoch: fenced})
+	d.expungeLocked(addr)
+	delete(d.draining, addr)
+	d.appendLog(dirlog.Expunge{Addrs: []string{addr}})
+	d.maybeSnapshotLocked()
+	d.met.drains.Inc()
+	d.met.pages.Set(int64(len(d.pages)))
+	return nil
+}
+
+// abortDrain rolls back the draining mark after a failed transfer.
+func (d *Directory) abortDrain(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.draining, addr)
+	d.appendLog(dirlog.DrainAbort{Addr: addr})
+}
+
+// transferPages copies pages from the draining server src to dest: a
+// full-page fetch from src, a put to dest, and one ordered read-back so
+// the puts are known applied before the source's lease is dropped. All
+// I/O is deadline-bounded.
+func transferPages(src, dest string, pages []uint64) error {
+	sc, err := net.DialTimeout("tcp", src, drainDialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial source: %w", err)
+	}
+	defer func() { _ = sc.Close() }()
+	dc, err := net.DialTimeout("tcp", dest, drainDialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial destination: %w", err)
+	}
+	defer func() { _ = dc.Close() }()
+
+	sr, sw := proto.NewReader(sc), proto.NewWriter(sc)
+	dr, dw := proto.NewReader(dc), proto.NewWriter(dc)
+	buf := make([]byte, units.PageSize)
+	for _, p := range pages {
+		if err := sc.SetDeadline(time.Now().Add(drainOpTimeout)); err != nil {
+			return err
+		}
+		if err := fetchFullPage(sr, sw, p, buf); err != nil {
+			return fmt.Errorf("fetch page %d from %s: %w", p, src, err)
+		}
+		if err := dc.SetDeadline(time.Now().Add(drainOpTimeout)); err != nil {
+			return err
+		}
+		if err := dw.SendPutPage(proto.PutPage{Page: p, Data: buf}); err != nil {
+			return fmt.Errorf("put page %d to %s: %w", p, dest, err)
+		}
+	}
+	// Puts carry no ack; a subpage read-back of the last page flushes the
+	// destination's receive pipeline (frames on one connection apply in
+	// order), proving every put above is stored before we fence the source.
+	if err := dc.SetDeadline(time.Now().Add(drainOpTimeout)); err != nil {
+		return err
+	}
+	if err := confirmPage(dr, dw, pages[len(pages)-1]); err != nil {
+		return fmt.Errorf("confirm on %s: %w", dest, err)
+	}
+	return nil
+}
+
+// fetchFullPage issues a v1 full-page get and assembles the reply into
+// buf (PageSize bytes).
+func fetchFullPage(r *proto.Reader, w *proto.Writer, page uint64, buf []byte) error {
+	if err := w.SendGetPage(proto.GetPage{
+		Page: page, FaultOff: 0, SubpageSize: units.PageSize, Policy: proto.PolicyFullPage,
+	}); err != nil {
+		return err
+	}
+	return readPageData(r, page, buf)
+}
+
+// confirmPage issues a minimal lazy get and drains the reply, discarding
+// the data: its only job is proving the connection's earlier frames were
+// processed.
+func confirmPage(r *proto.Reader, w *proto.Writer, page uint64) error {
+	if err := w.SendGetPage(proto.GetPage{
+		Page: page, FaultOff: 0, SubpageSize: units.MinSubpage, Policy: proto.PolicyLazy,
+	}); err != nil {
+		return err
+	}
+	return readPageData(r, page, nil)
+}
+
+// readPageData consumes one v1 reply stream (TPageData frames through
+// FlagLast), copying fragments into buf when non-nil.
+func readPageData(r *proto.Reader, page uint64, buf []byte) error {
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case proto.TPageData:
+			pd, err := proto.DecodePageData(f.Payload)
+			if err != nil {
+				return err
+			}
+			if pd.Page != page {
+				return fmt.Errorf("reply for page %d while fetching %d", pd.Page, page)
+			}
+			if buf != nil && len(pd.Data) > 0 && int(pd.Offset)+len(pd.Data) <= len(buf) {
+				copy(buf[pd.Offset:], pd.Data)
+			}
+			if pd.Flags&proto.FlagLast != 0 {
+				return nil
+			}
+		case proto.TError:
+			return fmt.Errorf("%s", proto.DecodeError(f.Payload).Text)
+		case proto.TGetPage, proto.TPutPage, proto.TAck, proto.TLookup,
+			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
+			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard,
+			proto.TGetPageV2, proto.TSubpageBatch, proto.TCancel,
+			proto.TDrain, proto.TDrainReply:
+			return fmt.Errorf("unexpected %v in page reply", f.Type)
+		}
+	}
+}
+
+// DrainVia is the admin client for TDrain: it asks the directory at
+// dirAddr to drain the server at serverAddr and reports how many pages
+// were moved. The deadline bounds the whole drain; zero selects a
+// minute, enough for thousands of page transfers on a LAN.
+func DrainVia(dirAddr, serverAddr string, timeout time.Duration) (int, error) {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", dirAddr, drainDialTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("remote: drain: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	if err := w.SendDrain(proto.Drain{Addr: serverAddr}); err != nil {
+		return 0, fmt.Errorf("remote: drain: %w", err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		return 0, fmt.Errorf("remote: drain: %w", err)
+	}
+	switch f.Type {
+	case proto.TDrainReply:
+		rep, err := proto.DecodeDrainReply(f.Payload)
+		if err != nil {
+			return 0, err
+		}
+		return int(rep.Moved), nil
+	case proto.TError:
+		return 0, fmt.Errorf("remote: drain: %s", proto.DecodeError(f.Payload).Text)
+	case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TAck,
+		proto.TLookup, proto.TLookupReply, proto.TRegister,
+		proto.THeartbeat, proto.TGetShardMap, proto.TShardMap,
+		proto.TWrongShard, proto.TGetPageV2, proto.TSubpageBatch,
+		proto.TCancel, proto.TDrain:
+		return 0, fmt.Errorf("remote: drain: unexpected %v reply", f.Type)
+	}
+	return 0, nil
+}

@@ -85,6 +85,15 @@ type directoryMetrics struct {
 	expiries     *obs.Counter
 	pages        *obs.Gauge
 
+	// Durability handles (gms_dirlog_*); registered alongside the core
+	// block, nil-safe no-ops for in-memory directories like the rest.
+	journalRecords   *obs.Counter
+	journalErrors    *obs.Counter
+	snapshots        *obs.Counter
+	recoveredServers *obs.Gauge
+	drains           *obs.Counter
+	drainMoved       *obs.Counter
+
 	// Shard-mode handles (gms_dirshard_*).
 	wrongShard      *obs.Counter
 	mapRequests     *obs.Counter
@@ -102,6 +111,13 @@ func newDirectoryMetrics(r *obs.Registry, sharded bool) directoryMetrics {
 		staleRejects: r.Counter("gms_dir_stale_rejects_total", "registrations rejected for a stale epoch"),
 		expiries:     r.Counter("gms_dir_lease_expiries_total", "server leases expired by the janitor"),
 		pages:        r.Gauge("gms_dir_pages", "pages currently mapped to at least one server"),
+
+		journalRecords:   r.Counter("gms_dirlog_records_total", "state transitions appended to the write-ahead journal"),
+		journalErrors:    r.Counter("gms_dirlog_errors_total", "journal appends that failed (directory keeps serving in memory)"),
+		snapshots:        r.Counter("gms_dirlog_snapshots_total", "compacting snapshots written"),
+		recoveredServers: r.Gauge("gms_dirlog_recovered_servers", "registrations restored from the journal at startup"),
+		drains:           r.Counter("gms_dir_drains_total", "graceful server drains completed"),
+		drainMoved:       r.Counter("gms_dir_drain_pages_moved_total", "sole-copy pages transferred off draining servers"),
 	}
 	if sharded {
 		m.wrongShard = r.Counter("gms_dirshard_wrong_shard_total", "lookups answered TWrongShard: the page belongs to another shard")

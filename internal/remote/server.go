@@ -58,6 +58,7 @@ type Server struct {
 	Gets    int64
 	Puts    int64
 	Cancels int64 // v2 requests withdrawn by TCancel before completion
+	Reregs  int64 // full re-registrations after a directory answered "no lease"
 
 	// met holds the gms_server_* metric handles (nil-safe no-ops until
 	// SetMetrics is called).
@@ -330,7 +331,8 @@ func (s *Server) registerAt(dirAddr string, epoch uint64, ids []uint64) error {
 		case proto.TGetPage, proto.TPageData, proto.TPutPage, proto.TLookup,
 			proto.TLookupReply, proto.TRegister, proto.THeartbeat,
 			proto.TGetShardMap, proto.TShardMap, proto.TWrongShard,
-			proto.TGetPageV2, proto.TSubpageBatch, proto.TCancel:
+			proto.TGetPageV2, proto.TSubpageBatch, proto.TCancel,
+			proto.TDrain, proto.TDrainReply:
 			return fmt.Errorf("remote: register: unexpected %v", f.Type)
 		}
 		ids = ids[n:]
@@ -407,6 +409,7 @@ func (s *Server) heartbeat() {
 		met.heartbeats.Inc()
 		if !renewed {
 			met.reregs.Inc()
+			atomic.AddInt64(&s.Reregs, 1)
 			_ = s.RegisterWith(boot)
 			return
 		}
@@ -605,7 +608,7 @@ func (s *Server) serve(conn net.Conn) {
 		case proto.TAck, proto.TLookup, proto.TLookupReply, proto.TRegister,
 			proto.TError, proto.THeartbeat, proto.TGetShardMap,
 			proto.TShardMap, proto.TWrongShard, proto.TPageData,
-			proto.TSubpageBatch:
+			proto.TSubpageBatch, proto.TDrain, proto.TDrainReply:
 			// Tags a page server never receives; refuse and hang up so a
 			// confused peer cannot keep feeding us misdirected traffic.
 			st.queue <- srvReq{kind: reqError, errMsg: fmt.Sprintf("server: unexpected %v", f.Type)}

@@ -3,6 +3,7 @@ package gmsubpage
 import (
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/dirlog"
 	"github.com/gms-sim/gmsubpage/internal/dirshard"
 	"github.com/gms-sim/gmsubpage/internal/proto"
 	"github.com/gms-sim/gmsubpage/internal/remote"
@@ -26,7 +27,58 @@ func StartDirectory(addr string) (*Directory, error) {
 // after leaseTTL without a heartbeat (0 selects the default, 30s). A dead
 // page server stops being returned by lookups within one TTL.
 func StartDirectoryTTL(addr string, leaseTTL time.Duration) (*Directory, error) {
-	d, err := remote.ListenDirectoryWith(addr, remote.DirectoryConfig{LeaseTTL: leaseTTL})
+	return StartDirectoryWith(addr, DirectoryOptions{LeaseTTL: leaseTTL})
+}
+
+// DirectoryOptions shape a directory, most notably its durability (see
+// DESIGN.md §12 and the README's "Durability" section).
+type DirectoryOptions struct {
+	// LeaseTTL is how long a registration stays visible without a
+	// renewing heartbeat (0 = default 30s).
+	LeaseTTL time.Duration
+
+	// JournalDir, when non-empty, makes the directory durable: every
+	// state transition is appended to a write-ahead journal in this
+	// directory and compacted into snapshots, and a restart replays
+	// whatever a previous incarnation left there — registrations,
+	// seniority and epoch fences all survive a crash. Empty (the
+	// default) keeps the classic in-memory directory.
+	JournalDir string
+	// Fsync is the journal's fsync policy: "always" (every append),
+	// "interval" (batched, the default) or "never" (the OS decides).
+	Fsync string
+	// SnapshotEvery is how many journal records accumulate before the
+	// directory writes a compacting snapshot (0 = default).
+	SnapshotEvery int
+	// RestartGrace is how long recovered leases live before their first
+	// post-restart heartbeat must land (0 = one lease TTL; capped at one
+	// TTL).
+	RestartGrace time.Duration
+}
+
+func (o DirectoryOptions) journal() (*dirlog.Options, error) {
+	if o.JournalDir == "" {
+		return nil, nil
+	}
+	fsync, err := dirlog.ParseFsync(o.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	return &dirlog.Options{Dir: o.JournalDir, Fsync: fsync, SnapshotEvery: o.SnapshotEvery}, nil
+}
+
+// StartDirectoryWith starts a directory with full options, including the
+// durable journal.
+func StartDirectoryWith(addr string, opts DirectoryOptions) (*Directory, error) {
+	jopts, err := opts.journal()
+	if err != nil {
+		return nil, err
+	}
+	d, err := remote.ListenDirectoryWith(addr, remote.DirectoryConfig{
+		LeaseTTL:     opts.LeaseTTL,
+		Journal:      jopts,
+		RestartGrace: opts.RestartGrace,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +93,23 @@ func StartDirectoryTTL(addr string, leaseTTL time.Duration) (*Directory, error) 
 // configuration — they bootstrap from any shard, fetch the map, and route
 // per page; see the README's "Scale-out" section.
 func StartDirectoryShard(addr string, shardAddrs []string, self int, version uint64, leaseTTL time.Duration) (*Directory, error) {
-	d, err := dirshard.StartShard(addr, proto.ShardMap{Version: version, Shards: shardAddrs}, self, dirshard.Config{LeaseTTL: leaseTTL})
+	return StartDirectoryShardWith(addr, shardAddrs, self, version, DirectoryOptions{LeaseTTL: leaseTTL})
+}
+
+// StartDirectoryShardWith is StartDirectoryShard with full options. With
+// JournalDir set, the shard's journal records its identity (map version
+// and self index) and a restart refuses a journal written by a different
+// shard.
+func StartDirectoryShardWith(addr string, shardAddrs []string, self int, version uint64, opts DirectoryOptions) (*Directory, error) {
+	jopts, err := opts.journal()
+	if err != nil {
+		return nil, err
+	}
+	d, err := dirshard.StartShard(addr, proto.ShardMap{Version: version, Shards: shardAddrs}, self, dirshard.Config{
+		LeaseTTL:     opts.LeaseTTL,
+		Journal:      jopts,
+		RestartGrace: opts.RestartGrace,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +121,26 @@ func (d *Directory) Addr() string { return d.d.Addr() }
 
 // Pages returns the number of registered pages.
 func (d *Directory) Pages() int { return d.d.Len() }
+
+// RecoveredServers reports how many server registrations this directory
+// recovered from its journal at startup (0 without a journal, or for a
+// fresh one).
+func (d *Directory) RecoveredServers() int { return d.d.RecoveredServers() }
+
+// Drain gracefully removes the page server at serverAddr from this
+// directory: every page for which it holds the only live copy is copied
+// to a surviving server first, then the registration is expunged behind
+// an epoch fence so the drained server cannot wander back with a stale
+// epoch. It returns the number of pages moved. Clients faulting
+// concurrently never observe ErrPageUnavailable for a drained page.
+func (d *Directory) Drain(serverAddr string) (int, error) { return d.d.Drain(serverAddr) }
+
+// DrainServer asks the directory at dirAddr (over the wire, the way an
+// operator would) to drain the page server at serverAddr; see
+// Directory.Drain. Zero timeout selects a default.
+func DrainServer(dirAddr, serverAddr string, timeout time.Duration) (int, error) {
+	return remote.DrainVia(dirAddr, serverAddr, timeout)
+}
 
 // Close stops the directory.
 func (d *Directory) Close() error { return d.d.Close() }
