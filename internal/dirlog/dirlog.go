@@ -126,7 +126,8 @@ type Journal struct {
 	appended  int // records appended this process (CrashAfter counter)
 	sinceSnap int // records in the current wal
 	walBytes  int64
-	dirty     bool // appended since the last fsync
+	dirty     bool  // appended since the last fsync
+	failed    error // sticky: a torn frame is on disk and could not be rolled back
 	crashed   bool
 	closed    bool
 	info      Info
@@ -148,6 +149,9 @@ func Open(o Options) (*Journal, *State, error) {
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := o.Meta.Validate(); err != nil {
+		return nil, nil, err
 	}
 	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("dirlog: %w", err)
@@ -378,9 +382,18 @@ func (j *Journal) ShouldSnapshot() bool {
 // silently — precisely the writes a real crash at that moment would
 // lose; the caller's in-memory state stays ahead of the journal, which
 // is what the recovery tests exercise.
+//
+// A failed write is rolled back by truncating the file to the last whole
+// record, so the torn frame never strands later appends behind it (Decode
+// stops at the first bad frame). If the rollback itself fails the journal
+// latches a sticky error and every further Append returns it — durability
+// is gone and the caller must know, not a crash to paper over.
 func (j *Journal) Append(recs ...Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
 	if j.crashed || j.closed {
 		return nil
 	}
@@ -397,13 +410,19 @@ func (j *Journal) Append(recs ...Record) error {
 	if wrote == 0 {
 		return nil
 	}
-	n, err := j.f.Write(j.buf)
-	j.walBytes += int64(n)
-	j.appended += wrote
-	j.sinceSnap += wrote
-	if err != nil {
+	if n, err := j.f.Write(j.buf); err != nil || n != len(j.buf) {
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(j.buf))
+		}
+		if terr := j.rollbackLocked(); terr != nil {
+			j.failed = fmt.Errorf("dirlog: append: %w (rollback failed: %v)", err, terr)
+			return j.failed
+		}
 		return fmt.Errorf("dirlog: append: %w", err)
 	}
+	j.walBytes += int64(len(j.buf))
+	j.appended += wrote
+	j.sinceSnap += wrote
 	if j.opts.Fsync == FsyncAlways {
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("dirlog: fsync: %w", err)
@@ -414,6 +433,16 @@ func (j *Journal) Append(recs ...Record) error {
 	return nil
 }
 
+// rollbackLocked cuts a torn frame off the wal, restoring the file to
+// the last whole record at j.walBytes.
+func (j *Journal) rollbackLocked() error {
+	if err := j.f.Truncate(j.walBytes); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.walBytes, 0)
+	return err
+}
+
 // Snapshot compacts the journal: writes st as the next generation's
 // snapshot, rotates to a fresh wal, and deletes the previous generation.
 // The caller must pass a state at least as new as every appended record
@@ -421,6 +450,9 @@ func (j *Journal) Append(recs ...Record) error {
 func (j *Journal) Snapshot(st *State) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
 	if j.crashed || j.closed {
 		return nil
 	}
@@ -504,6 +536,9 @@ func (j *Journal) Sync() error {
 }
 
 func (j *Journal) syncLocked() error {
+	if j.failed != nil {
+		return j.failed
+	}
 	if j.crashed || j.closed || !j.dirty {
 		return nil
 	}

@@ -3,9 +3,11 @@ package dirlog
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -288,6 +290,99 @@ func TestShardIdentityRecovered(t *testing.T) {
 	}
 	if got.Meta.SameShard(Meta{Self: -1}) {
 		t.Fatal("SameShard confuses distinct identities")
+	}
+}
+
+// TestAppendWriteFailureLatches pins the torn-frame durability hole: a
+// failed write whose rollback also fails must leave the journal in a
+// sticky failed state, because any further append would land behind the
+// torn frame and be silently discarded by Decode at recovery.
+func TestAppendWriteFailureLatches(t *testing.T) {
+	dir := t.TempDir()
+	recs := scenario()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if err := j.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the descriptor out from under the journal: the next write
+	// fails, and so does the rollback truncate.
+	j.mu.Lock()
+	_ = j.f.Close()
+	j.mu.Unlock()
+	if err := j.Append(recs[1]); err == nil {
+		t.Fatal("append over a dead file must fail")
+	}
+	if err := j.Append(recs[2]); err == nil {
+		t.Fatal("append after a failed rollback must keep failing, not silently lose durability")
+	}
+	if err := j.Snapshot(applyAll(recs[:1])); err == nil {
+		t.Fatal("snapshot after a failed rollback must fail")
+	}
+	if err := j.Sync(); err == nil {
+		t.Fatal("sync after a failed rollback must fail")
+	}
+	_ = j.Crash() // Close would re-fail on the severed descriptor
+
+	j2, got := mustOpen(t, Options{Dir: dir})
+	defer func() { _ = j2.Close() }()
+	if !got.Equal(applyAll(recs[:1]), true) {
+		t.Fatalf("recovered state is not the pre-failure prefix: %+v", got)
+	}
+}
+
+// TestAppendRollbackCutsTornFrame: after a failed write, the rollback
+// truncates the torn frame so later appends stay decodable instead of
+// being stranded behind it.
+func TestAppendRollbackCutsTornFrame(t *testing.T) {
+	dir := t.TempDir()
+	recs := scenario()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if err := j.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the half-frame a failed write leaves behind, then run the
+	// rollback Append performs on write error.
+	j.mu.Lock()
+	if _, err := j.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		j.mu.Unlock()
+		t.Fatal(err)
+	}
+	if err := j.rollbackLocked(); err != nil {
+		j.mu.Unlock()
+		t.Fatal(err)
+	}
+	j.mu.Unlock()
+	if err := j.Append(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got := mustOpen(t, Options{Dir: dir})
+	defer func() { _ = j2.Close() }()
+	if j2.Info().TruncatedBytes != 0 {
+		t.Fatalf("rollback left a torn tail on disk: %+v", j2.Info())
+	}
+	if !got.Equal(applyAll(recs[:2]), true) {
+		t.Fatalf("append after rollback was lost at recovery: %+v", got)
+	}
+}
+
+// TestOpenRejectsUnencodableMeta: the journal's one-byte shard count and
+// string lengths must refuse a configuration they cannot represent
+// instead of silently truncating the journaled shard identity.
+func TestOpenRejectsUnencodableMeta(t *testing.T) {
+	shards := make([]string, 256)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("s%d:1", i)
+	}
+	if _, _, err := Open(Options{Dir: t.TempDir(), Meta: Meta{ShardVersion: 1, Shards: shards, Self: 0}}); err == nil {
+		t.Fatal("256 shards accepted: the count would wrap to 0 in the frame")
+	}
+	long := strings.Repeat("x", 256)
+	if _, _, err := Open(Options{Dir: t.TempDir(), Meta: Meta{ShardVersion: 1, Shards: []string{long}, Self: 0}}); err == nil {
+		t.Fatal("256-byte shard address accepted: it would be truncated in the frame")
 	}
 }
 

@@ -128,6 +128,23 @@ func (m Meta) SameShard(o Meta) bool {
 // deployment.
 func (m Meta) Sharded() bool { return len(m.Shards) > 0 }
 
+// Validate rejects a meta the frame encoding cannot represent: the shard
+// count and each shard address carry one-byte length prefixes, so a
+// deployment past either bound would journal a silently-wrong identity
+// that SameShard later trusts. Open refuses such a configuration up
+// front instead.
+func (m Meta) Validate() error {
+	if len(m.Shards) > 255 {
+		return fmt.Errorf("dirlog: %d shards exceed the journal's one-byte shard count", len(m.Shards))
+	}
+	for _, a := range m.Shards {
+		if len(a) > 255 {
+			return fmt.Errorf("dirlog: shard address %.16q… exceeds the journal's 255-byte string bound", a)
+		}
+	}
+	return nil
+}
+
 // Register is one applied registration. Expires is absolute wall time in
 // Unix nanoseconds; Seq is the directory's seniority counter at the time
 // the server first registered, preserved so primary ordering survives
@@ -254,7 +271,11 @@ func appendBody(buf []byte, r Record) []byte {
 
 func appendString(buf []byte, s string) []byte {
 	if len(s) > 255 {
-		s = s[:255] // addresses are bounded on the wire; never reached
+		// Unreachable for a validated journal: wire-decoded addresses
+		// carry one-byte length prefixes and Open rejects oversized
+		// shard metas (Meta.Validate). Clamp rather than corrupt the
+		// frame if a future caller slips one through.
+		s = s[:255]
 	}
 	buf = append(buf, byte(len(s)))
 	return append(buf, s...)

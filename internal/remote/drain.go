@@ -138,6 +138,13 @@ func (d *Directory) commitTransfer(addr, dest string, pages []uint64) error {
 	if s == nil || now.After(s.expires) {
 		return fmt.Errorf("destination %s lost its lease mid-drain", dest)
 	}
+	if d.draining[dest] {
+		// A concurrent drain of dest started after our plan was computed.
+		// Committing sole-copy pages onto it would let its finishDrain
+		// expunge them with no live holder; refuse so the caller aborts
+		// and retries against a live destination.
+		return fmt.Errorf("destination %s began draining mid-drain", dest)
+	}
 	if src := d.servers[addr]; src == nil || !d.draining[addr] {
 		return fmt.Errorf("drain of %s superseded mid-transfer", addr)
 	}
@@ -166,10 +173,15 @@ func (d *Directory) finishDrain(addr string, epoch uint64) error {
 	defer d.mu.Unlock()
 	s := d.servers[addr]
 	if s == nil || s.epoch != epoch {
-		// The server re-registered as a new incarnation mid-drain; its
-		// new lease is not ours to drop.
 		delete(d.draining, addr)
 		d.appendLog(dirlog.DrainAbort{Addr: addr})
+		if s == nil {
+			// The lease expired and was expunged mid-drain (the server
+			// died during the transfers); nothing left to drop.
+			return fmt.Errorf("registration of epoch %d gone mid-drain", epoch)
+		}
+		// The server re-registered as a new incarnation mid-drain; its
+		// new lease is not ours to drop.
 		return fmt.Errorf("server re-registered with epoch %d mid-drain", s.epoch)
 	}
 	fenced := epoch + 1

@@ -427,3 +427,69 @@ func TestDrainUnknownServer(t *testing.T) {
 		t.Fatalf("failed drain left a draining mark: %v", st.Draining)
 	}
 }
+
+// TestDrainServerExpungedMidDrain pins the path where the draining
+// server's lease expires and is expunged while its pages are in flight
+// (the server died during the transfers): finishDrain must report the
+// vanished registration — it used to dereference the nil entry and
+// panic while holding the directory lock — and roll the draining mark
+// back.
+func TestDrainServerExpungedMidDrain(t *testing.T) {
+	d := leaseDirectory(t, time.Minute)
+	if rawRegister(t, d.Addr(), proto.Register{Addr: "a:1", Epoch: 10, Pages: []uint64{1}}) != proto.TAck {
+		t.Fatal("register a:1 rejected")
+	}
+	if rawRegister(t, d.Addr(), proto.Register{Addr: "b:1", Epoch: 20, Pages: []uint64{1}}) != proto.TAck {
+		t.Fatal("register b:1 rejected")
+	}
+	_, epoch, err := d.beginDrain("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server dies mid-drain: the janitor expunges its lease.
+	d.mu.Lock()
+	d.expungeLocked("a:1")
+	d.mu.Unlock()
+	if err := d.finishDrain("a:1", epoch); err == nil {
+		t.Fatal("finishDrain must fail when the registration vanished mid-drain")
+	}
+	if st := d.StateSnapshot(); len(st.Draining) != 0 {
+		t.Fatalf("aborted drain left a draining mark: %v", st.Draining)
+	}
+}
+
+// TestDrainRefusesDrainingDestination pins the two-concurrent-drains
+// hole: once the destination starts draining itself, committing
+// sole-copy pages onto it would let its finishDrain expunge them with no
+// live holder left, losing the pages. commitTransfer must refuse so the
+// drain aborts and retries against a live destination.
+func TestDrainRefusesDrainingDestination(t *testing.T) {
+	d := leaseDirectory(t, time.Minute)
+	// a:1 holds sole-copy page 1; b:1 shares page 2 with a:1, so b:1's
+	// own drain has nothing to move and succeeds instantly.
+	if rawRegister(t, d.Addr(), proto.Register{Addr: "a:1", Epoch: 10, Pages: []uint64{1, 2}}) != proto.TAck {
+		t.Fatal("register a:1 rejected")
+	}
+	if rawRegister(t, d.Addr(), proto.Register{Addr: "b:1", Epoch: 20, Pages: []uint64{2}}) != proto.TAck {
+		t.Fatal("register b:1 rejected")
+	}
+	plan, _, err := d.beginDrain("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].dest != "b:1" {
+		t.Fatalf("plan = %+v, want page 1 -> b:1", plan)
+	}
+	// b:1 starts its own drain while a:1's transfer is in flight.
+	if _, _, err := d.beginDrain("b:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.commitTransfer("a:1", "b:1", plan[0].pages); err == nil {
+		t.Fatal("commitTransfer must refuse a destination that began draining")
+	}
+	// The refused transfer left no replica on the draining destination.
+	if got := d.Replicas(1); len(got) != 1 || got[0] != "a:1" {
+		t.Fatalf("Replicas(1) = %v, want [a:1]", got)
+	}
+	d.abortDrain("a:1")
+}
