@@ -4,14 +4,14 @@ GO ?= go
 # full traces.
 BENCH_SCALE ?= 0.25
 
-.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke wire-smoke soak soak-smoke
+.PHONY: ci fmt vet lint lint-baseline build test race bench trace-smoke chaos chaos-demo loadtest loadtest-smoke wire-smoke soak-smoke soak prefetch-smoke
 
 # ci is the full gate: formatting, vet, the gmslint analyzer suite, build,
 # tests (including the gmsdebug-instrumented core), a race-detector pass
 # over every package, the trace-export smoke, the bounded scale-out load
 # smoke, the batched-wire concurrency smoke, the bounded crash-soak smoke,
-# and the benchmark snapshot.
-ci: fmt vet lint build test race trace-smoke loadtest-smoke wire-smoke soak-smoke bench
+# the learned-prefetcher smoke, and the benchmark snapshot.
+ci: fmt vet lint build test race trace-smoke loadtest-smoke wire-smoke soak-smoke prefetch-smoke bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -134,3 +134,20 @@ soak-smoke:
 
 chaos-demo:
 	$(GO) run ./cmd/gmsnode chaos -pages 256 -kill-at 0.5 -restart -hedge 5ms
+
+# prefetch-smoke drives the learned prefetcher through both planes, bounded:
+# the prefetch experiment runs twice at small scale through the CLI and must
+# render byte-identically (the stateful planner's determinism contract), and
+# the client-side prediction path runs against a real server under the race
+# detector.
+prefetch-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	for run in a b; do \
+		$(GO) run ./cmd/subpagesim -run prefetch -scale 0.05 -j 4 \
+			> "$$tmp/$$run.txt" || exit 1; \
+	done && \
+	test -s "$$tmp/a.txt" && cmp -s "$$tmp/a.txt" "$$tmp/b.txt" && \
+	grep -q 'strided' "$$tmp/a.txt" && \
+	echo "prefetch-smoke: experiment deterministic across reruns" && \
+	$(GO) test -race -run 'TestClientPrefetchLearnsStride|TestPolicyWireRoundTrip|TestServerWantBeyondPlanIsHonored' \
+		-count=1 ./internal/remote/

@@ -105,10 +105,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
 		return 2
 	}
-	polByte, err := proto.PolicyByte(*policy)
-	if err != nil {
-		_, _ = fmt.Fprintln(stderr, "gmsload:", err)
+	// "prefetch" is not a wire policy: the learned prefetcher rides the
+	// v2 want bitmap over the lazy wire policy, selected client-side.
+	var polByte uint8
+	prefetch := *policy == "prefetch"
+	if prefetch && *wireMode {
+		_, _ = fmt.Fprintln(stderr, "gmsload: -policy prefetch needs the v2 want bitmap; the -wire comparison's v1 arm cannot carry it")
 		return 2
+	}
+	if !prefetch {
+		if polByte, err = proto.PolicyByte(*policy); err != nil {
+			_, _ = fmt.Fprintln(stderr, "gmsload:", err)
+			return 2
+		}
 	}
 
 	fail := func(err error) int {
@@ -187,6 +196,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			RPS:         *rps,
 			SubpageSize: *subpage,
 			Policy:      polByte,
+			Prefetch:    prefetch,
 			CachePages:  *cache,
 			DirService:  *dirservice,
 			Seed:        *seed,
@@ -242,6 +252,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			RPS:         *rps,
 			SubpageSize: *subpage,
 			Policy:      polByte,
+			Prefetch:    prefetch,
 			CachePages:  *cache,
 			DirService:  *dirservice,
 			Warmup:      *warmup,

@@ -104,7 +104,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			_, _ = fmt.Fprintln(stdout, out)
 		}
 		if *benchOut != "" {
-			if err := writeBench(*benchOut, *scale, pool.Workers(), ids, dursMs, totalMs); err != nil {
+			// When the run covered the prefetch experiment, snapshot its
+			// coverage/accuracy/stall numbers as a first-class section —
+			// the wall-clock list above only records how long it took.
+			var prefetchSec any
+			for _, id := range ids {
+				if id == "prefetch" {
+					prefetchSec = experiments.PrefetchBenchSection(experiments.Config{Scale: *scale, Pool: pool})
+					break
+				}
+			}
+			if err := writeBench(*benchOut, *scale, pool.Workers(), ids, dursMs, totalMs, prefetchSec); err != nil {
 				return fail(err)
 			}
 		}
@@ -256,7 +266,9 @@ type benchExperiment struct {
 // writeBench is a read-modify-write: other tools share the snapshot file
 // (gmsload merges a "loadtest" section), so keys this tool does not own
 // must survive a bench refresh. A missing or unparsable file starts fresh.
-func writeBench(path string, scale float64, workers int, ids []string, dursMs []float64, totalMs float64) error {
+// prefetchSec, when non-nil, replaces the "prefetch" section (the learned
+// prefetcher's coverage/accuracy/stall snapshot).
+func writeBench(path string, scale float64, workers int, ids []string, dursMs []float64, totalMs float64, prefetchSec any) error {
 	top := map[string]any{}
 	if raw, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(raw, &top)
@@ -271,6 +283,9 @@ func writeBench(path string, scale float64, workers int, ids []string, dursMs []
 	top["gomaxprocs"] = runtime.GOMAXPROCS(0)
 	top["total_ms"] = round1(totalMs)
 	top["experiments"] = exps
+	if prefetchSec != nil {
+		top["prefetch"] = prefetchSec
+	}
 	out, err := json.MarshalIndent(top, "", "  ")
 	if err != nil {
 		return err

@@ -63,11 +63,17 @@ const (
 	// WideFault doubles the initial transfer, picking the preceding or
 	// following neighbour from the fault's offset (§4.3).
 	WideFault Policy = "widefault"
+	// Prefetch is the Leap-style learned prefetcher: a per-page-group
+	// majority-vote stride detector over recent fault offsets emits a
+	// confidence-scaled prefetch window, falling back to Pipelined when
+	// no trend is confident. Stateful: each simulation run learns from
+	// its own fault stream. Extension beyond the paper.
+	Prefetch Policy = "prefetch"
 )
 
 // Policies lists every policy name.
 func Policies() []Policy {
-	return []Policy{FullPage, Lazy, Eager, Pipelined, PipelinedDouble, PipelinedSW, WideFault}
+	return []Policy{FullPage, Lazy, Eager, Pipelined, PipelinedDouble, PipelinedSW, WideFault, Prefetch}
 }
 
 // Workloads lists the paper's five applications.

@@ -15,8 +15,9 @@ func TestWorkloadsAndPolicies(t *testing.T) {
 	if len(w) != 5 || w[0] != "modula3" || w[4] != "gdb" {
 		t.Fatalf("Workloads = %v", w)
 	}
-	if len(gmsubpage.Policies()) != 7 {
-		t.Fatalf("Policies = %v", gmsubpage.Policies())
+	pols := gmsubpage.Policies()
+	if len(pols) != 8 || pols[len(pols)-1] != gmsubpage.Prefetch {
+		t.Fatalf("Policies = %v", pols)
 	}
 }
 

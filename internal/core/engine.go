@@ -27,9 +27,15 @@ type Transfer struct {
 
 	covers   []memmodel.Bitmap
 	arrivals []units.Ticks
-	pending  int   // messages not yet applied to the frame
-	traceID  int64 // span id in the engine's tracer; 0 when untraced
+	demand   memmodel.Bitmap // the faulted subpage's blocks
+	pending  int             // messages not yet applied to the frame
+	traceID  int64           // span id in the engine's tracer; 0 when untraced
 }
+
+// Demand returns the blocks of the faulted subpage — the part of the
+// transfer the program demanded, as opposed to what the policy chose to
+// send speculatively alongside it.
+func (t *Transfer) Demand() memmodel.Bitmap { return t.demand }
 
 // TraceID returns the transfer's span id in the engine's tracer (0 when
 // tracing is disabled). The runner uses it to reclassify or cancel spans.
@@ -104,6 +110,13 @@ type Engine struct {
 	Faults      int64
 	BytesMoved  int64
 
+	// PrefetchIssued counts the MinSubpage blocks transferred beyond each
+	// fault's demanded subpage — the speculative part of every plan,
+	// whatever the policy (an eager remainder and a stride prediction both
+	// count). The runner pairs it with the used-block count to report
+	// prefetch accuracy.
+	PrefetchIssued int64
+
 	// trace, when non-nil, records every fault's anatomy (transfer plan,
 	// stall re-entries, close-out attribution) on the event clock.
 	trace *obs.SimTrace
@@ -132,7 +145,13 @@ func (e *Engine) SetTrace(t *obs.SimTrace) { e.trace = t }
 // faultOff of page, issued at time now. The returned transfer's
 // FirstArrival is when the program may resume.
 func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int) *Transfer {
-	plan := e.policy.Plan(e.subpage, faultOff)
+	var plan []PlannedMessage
+	if sp, ok := e.policy.(StatefulPolicy); ok {
+		sp.Record(uint64(page), faultOff)
+		plan = sp.PlanPage(uint64(page), e.subpage, faultOff)
+	} else {
+		plan = e.policy.Plan(e.subpage, faultOff)
+	}
 	msgs := make([]netmodel.Message, len(plan))
 	for i, m := range plan {
 		msgs[i] = netmodel.Message{Bytes: m.Bytes, Deliver: m.Deliver}
@@ -160,6 +179,8 @@ func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int)
 		}
 	}
 	t.FirstArrival = t.arrivals[0]
+	t.demand = memmodel.MaskFor(e.subpage, t.FaultIdx)
+	e.PrefetchIssued += int64((t.Covered() &^ t.demand).Count())
 	if debugEnabled {
 		e.checkTransferInvariants(t, plan, now, faultOff)
 	}
@@ -172,6 +193,25 @@ func (e *Engine) StartFault(now units.Ticks, page memmodel.PageID, faultOff int)
 	}
 	e.Faults++
 	return t
+}
+
+// RecordUse feeds a stateful policy the first demand touch of a block that
+// arrived speculatively. Faults alone under-represent the access pattern
+// once prefetching works — a correct prediction suppresses the fault that
+// would have recorded it — so the owner reports consumed prefetches here
+// and the history tracks the demand stream, not the (policy-dependent)
+// fault stream. No-op for stateless policies.
+func (e *Engine) RecordUse(page memmodel.PageID, off int) {
+	if sp, ok := e.policy.(StatefulPolicy); ok {
+		sp.Record(uint64(page), off)
+	}
+}
+
+// Stateful reports whether the engine's policy keeps fault history (and
+// therefore needs prefetch-usage tracking to see the full demand stream).
+func (e *Engine) Stateful() bool {
+	_, ok := e.policy.(StatefulPolicy)
+	return ok
 }
 
 // checkTransferInvariants verifies, under -tags gmsdebug, the properties

@@ -229,20 +229,33 @@ func (WideFault) Plan(subpageSize, faultOff int) []PlannedMessage {
 	return msgs
 }
 
+// policyFactories enumerates the registered policies in presentation order.
+// Entries are constructors, not instances: a stateful policy (the
+// Prefetcher) must come out fresh per lookup so callers never share fault
+// history, and the server's per-request lookup should not build policies it
+// will not return.
+var policyFactories = []func() Policy{
+	func() Policy { return FullPage{} },
+	func() Policy { return Lazy{} },
+	func() Policy { return Eager{} },
+	func() Policy { return Pipelined{} },
+	func() Policy { return Pipelined{DoubleFollowOn: true} },
+	func() Policy { return Pipelined{SoftwareDelivery: true} },
+	func() Policy { return WideFault{} },
+	func() Policy { return NewPrefetcher() },
+}
+
 // ByName returns the policy with the given Name, or an error listing the
-// valid names.
+// valid names. Stateful policies come back fresh on every call.
 func ByName(name string) (Policy, error) {
-	policies := []Policy{
-		FullPage{}, Lazy{}, Eager{},
-		Pipelined{}, Pipelined{DoubleFollowOn: true}, Pipelined{SoftwareDelivery: true},
-		WideFault{},
-	}
-	valid := make([]string, len(policies))
-	for i, p := range policies {
-		if p.Name() == name {
+	for _, mk := range policyFactories {
+		if p := mk(); p.Name() == name {
 			return p, nil
 		}
-		valid[i] = p.Name()
+	}
+	valid := make([]string, len(policyFactories))
+	for i, mk := range policyFactories {
+		valid[i] = mk().Name()
 	}
 	return nil, fmt.Errorf("core: unknown policy %q (valid: %v)", name, valid)
 }

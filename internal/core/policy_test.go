@@ -11,7 +11,7 @@ import (
 var allPolicies = []Policy{
 	FullPage{}, Lazy{}, Eager{},
 	Pipelined{}, Pipelined{DoubleFollowOn: true}, Pipelined{SoftwareDelivery: true},
-	Pipelined{Neighbors: 2}, WideFault{},
+	Pipelined{Neighbors: 2}, WideFault{}, NewPrefetcher(),
 }
 
 var testSubpageSizes = []int{256, 512, 1024, 2048, 4096}
@@ -19,38 +19,43 @@ var testSubpageSizes = []int{256, 512, 1024, 2048, 4096}
 // checkPlanInvariants verifies the properties every plan must satisfy.
 func checkPlanInvariants(t *testing.T, p Policy, subpage, off int) {
 	t.Helper()
-	plan := p.Plan(subpage, off)
+	checkPlan(t, p.Name(), p.Plan(subpage, off), subpage, off)
+}
+
+// checkPlan verifies an already-produced plan (PlanPage plans included).
+func checkPlan(t *testing.T, name string, plan []PlannedMessage, subpage, off int) {
+	t.Helper()
 	if len(plan) == 0 {
-		t.Fatalf("%s: empty plan", p.Name())
+		t.Fatalf("%s: empty plan", name)
 	}
 	if !plan[0].Covers.Has(off) {
 		t.Fatalf("%s(sub=%d, off=%d): first message does not cover the fault",
-			p.Name(), subpage, off)
+			name, subpage, off)
 	}
 	if !plan[0].Deliver {
-		t.Fatalf("%s: first message must be CPU-delivered (it resumes the program)", p.Name())
+		t.Fatalf("%s: first message must be CPU-delivered (it resumes the program)", name)
 	}
 	var union memmodel.Bitmap
 	totalBytes := 0
 	for i, m := range plan {
 		if m.Bytes <= 0 || m.Bytes > units.PageSize {
-			t.Fatalf("%s: message %d has %d bytes", p.Name(), i, m.Bytes)
+			t.Fatalf("%s: message %d has %d bytes", name, i, m.Bytes)
 		}
 		if m.Covers == 0 {
-			t.Fatalf("%s: message %d covers nothing", p.Name(), i)
+			t.Fatalf("%s: message %d covers nothing", name, i)
 		}
 		if union&m.Covers != 0 {
-			t.Fatalf("%s: message %d re-covers bits", p.Name(), i)
+			t.Fatalf("%s: message %d re-covers bits", name, i)
 		}
 		if want := m.Covers.Count() * units.MinSubpage; want != m.Bytes {
 			t.Fatalf("%s: message %d has %d bytes but covers %d bytes",
-				p.Name(), i, m.Bytes, want)
+				name, i, m.Bytes, want)
 		}
 		union |= m.Covers
 		totalBytes += m.Bytes
 	}
 	if totalBytes > units.PageSize {
-		t.Fatalf("%s: plan moves %d bytes > page size", p.Name(), totalBytes)
+		t.Fatalf("%s: plan moves %d bytes > page size", name, totalBytes)
 	}
 }
 
@@ -223,7 +228,7 @@ func TestWideFaultAtEdges(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"fullpage", "lazy", "eager", "pipelined", "widefault"} {
+	for _, name := range []string{"fullpage", "lazy", "eager", "pipelined", "widefault", "prefetch"} {
 		p, err := ByName(name)
 		if err != nil || p.Name() != name {
 			t.Errorf("ByName(%q) = %v, %v", name, p, err)

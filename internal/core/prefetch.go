@@ -1,0 +1,333 @@
+package core
+
+import (
+	"github.com/gms-sim/gmsubpage/internal/memmodel"
+	"github.com/gms-sim/gmsubpage/internal/units"
+)
+
+// StatefulPolicy is a Policy whose plans depend on observed fault history.
+// The engine feeds it every fault via Record and asks for page-aware plans
+// via PlanPage; the embedded stateless Plan remains the history-free
+// fallback so a StatefulPolicy is still usable anywhere a Policy is.
+type StatefulPolicy interface {
+	Policy
+	// Record feeds one observed fault (page number and byte offset within
+	// the page) into the policy's history. The engine calls it exactly
+	// once per fault, before PlanPage.
+	Record(page uint64, faultOff int)
+	// PlanPage plans the messages for a fault on a specific page, using
+	// whatever history Record has accumulated. The same contract as
+	// Policy.Plan applies: the first message covers faultOff and is
+	// CPU-delivered.
+	PlanPage(page uint64, subpageSize, faultOff int) []PlannedMessage
+}
+
+// Prefetcher is a Leap-style online prefetch policy (PAPERS.md,
+// "Effectively Prefetching Remote Memory with Leap"): instead of the
+// paper's hardcoded +1/−1 pipeline window, it detects the majority trend
+// (stride) in the recent fault history of each page group with a
+// Boyer–Moore majority vote over a fixed-size delta ring, and prefetches a
+// confidence-scaled window of subpages along that stride. Below the
+// confidence threshold — or when the detected stride carries no
+// information about the faulted page (it jumps straight out of it) — it
+// falls back to the paper's Pipelined planning, so the +1-dominated
+// workloads of Figure 7 see exactly the baseline behaviour.
+//
+// Everything is integer arithmetic over fault offsets, so simulation
+// results stay deterministic; positions are tracked in MinSubpage blocks
+// (the prototype's 256-byte valid-bit granularity), making the detector
+// independent of the configured subpage size.
+type Prefetcher struct {
+	// GroupShift is log2 of the pages per history group (default 4:
+	// 16-page / 128 KB groups). Grouping keeps interleaved streams from
+	// different regions out of each other's delta history.
+	GroupShift uint
+	// Window is the per-group delta ring size (default 16).
+	Window int
+	// MinSamples is the smallest delta window the majority vote runs on
+	// (default 4); fewer observed deltas always fall back.
+	MinSamples int
+	// MaxPrefetch caps the predicted window in subpages per fault
+	// (default 4). The emitted window scales with vote confidence.
+	MaxPrefetch int
+	// MaxGroups bounds the tracked group map (default 1024); the oldest
+	// group is evicted first, deterministically.
+	MaxGroups int
+	// Fallback plans faults with no confident trend (default the paper's
+	// Pipelined policy).
+	Fallback Policy
+
+	groups map[uint64]*groupHist
+	order  []uint64 // group insertion order, for bounded deterministic eviction
+	head   int      // index of the oldest live entry in order
+
+	// Confident / Fallbacks count how PlanPage decided, for reporting.
+	Confident int64
+	Fallbacks int64
+}
+
+// groupHist is one page group's recent fault history: a ring of deltas
+// between consecutive fault positions, in MinSubpage blocks.
+type groupHist struct {
+	deltas  []int64
+	next    int
+	n       int
+	last    int64
+	hasLast bool
+}
+
+// NewPrefetcher returns a Prefetcher with the default parameters.
+func NewPrefetcher() *Prefetcher {
+	return &Prefetcher{
+		GroupShift:  4,
+		Window:      16,
+		MinSamples:  4,
+		MaxPrefetch: 4,
+		MaxGroups:   1024,
+		Fallback:    Pipelined{},
+	}
+}
+
+// Name implements Policy.
+func (p *Prefetcher) Name() string { return "prefetch" }
+
+// Plan implements Policy: with no page identity there is no usable
+// history, so the stateless call is always the fallback plan.
+func (p *Prefetcher) Plan(subpageSize, faultOff int) []PlannedMessage {
+	return p.fallback().Plan(subpageSize, faultOff)
+}
+
+func (p *Prefetcher) fallback() Policy {
+	if p.Fallback != nil {
+		return p.Fallback
+	}
+	return Pipelined{}
+}
+
+// Record implements StatefulPolicy: append the delta from the previous
+// fault position in the page's group to the group's ring.
+func (p *Prefetcher) Record(page uint64, faultOff int) {
+	pos := int64(page)*int64(units.ValidBitsPerPage) + int64(faultOff/units.MinSubpage)
+	g := p.group(page >> p.groupShift())
+	if g.hasLast {
+		if len(g.deltas) == 0 {
+			g.deltas = make([]int64, p.window())
+		}
+		g.deltas[g.next] = pos - g.last
+		g.next = (g.next + 1) % len(g.deltas)
+		if g.n < len(g.deltas) {
+			g.n++
+		}
+	}
+	g.last = pos
+	g.hasLast = true
+}
+
+func (p *Prefetcher) groupShift() uint {
+	return p.GroupShift
+}
+
+func (p *Prefetcher) window() int {
+	if p.Window > 0 {
+		return p.Window
+	}
+	return 16
+}
+
+func (p *Prefetcher) minSamples() int {
+	if p.MinSamples > 0 {
+		return p.MinSamples
+	}
+	return 4
+}
+
+func (p *Prefetcher) maxPrefetch() int {
+	if p.MaxPrefetch > 0 {
+		return p.MaxPrefetch
+	}
+	return 4
+}
+
+// group returns the history for a group id, creating it (and evicting the
+// oldest group beyond MaxGroups) as needed.
+func (p *Prefetcher) group(id uint64) *groupHist {
+	if p.groups == nil {
+		p.groups = make(map[uint64]*groupHist)
+	}
+	if g, ok := p.groups[id]; ok {
+		return g
+	}
+	max := p.MaxGroups
+	if max <= 0 {
+		max = 1024
+	}
+	if len(p.groups) >= max {
+		delete(p.groups, p.order[p.head])
+		p.head++
+		if p.head > len(p.order)/2 && p.head > 64 {
+			p.order = append(p.order[:0], p.order[p.head:]...)
+			p.head = 0
+		}
+	}
+	g := &groupHist{}
+	p.groups[id] = g
+	p.order = append(p.order, id)
+	return g
+}
+
+// trend runs the Leap majority vote on a group: starting from the smallest
+// window (MinSamples) and doubling up to the full ring, find the first
+// window whose most recent deltas have a strict majority element. It
+// returns that stride plus the vote count and window size (the confidence
+// ratio count/w), or ok=false when no window has a majority.
+func (g *groupHist) trend(minSamples int) (stride int64, count, w int, ok bool) {
+	for w = minSamples; ; w *= 2 {
+		if w > g.n {
+			w = g.n
+		}
+		if w < minSamples {
+			return 0, 0, 0, false
+		}
+		// Boyer–Moore majority candidate over the w most recent deltas,
+		// then one verifying scan for the true count.
+		var cand int64
+		lead := 0
+		for i := 0; i < w; i++ {
+			d := g.at(i)
+			switch {
+			case lead == 0:
+				cand, lead = d, 1
+			case d == cand:
+				lead++
+			default:
+				lead--
+			}
+		}
+		count = 0
+		for i := 0; i < w; i++ {
+			if g.at(i) == cand {
+				count++
+			}
+		}
+		if 2*count > w {
+			return cand, count, w, true
+		}
+		if w == g.n {
+			return 0, 0, 0, false
+		}
+	}
+}
+
+// at returns the i-th most recent delta (0 = newest).
+func (g *groupHist) at(i int) int64 {
+	return g.deltas[((g.next-1-i)%len(g.deltas)+len(g.deltas))%len(g.deltas)]
+}
+
+// Predict returns the predicted subpage mask for a fault at faultOff of
+// page — the confidence-scaled stride window, excluding the faulted
+// subpage itself — and whether the group's history supports a confident
+// in-page prediction. It does not modify history.
+func (p *Prefetcher) Predict(page uint64, subpageSize, faultOff int) (memmodel.Bitmap, bool) {
+	idxs, _, ok := p.predict(page, subpageSize, faultOff)
+	if !ok {
+		return 0, false
+	}
+	var mask memmodel.Bitmap
+	for _, idx := range idxs {
+		mask |= memmodel.MaskFor(subpageSize, idx)
+	}
+	return mask, true
+}
+
+// predict computes the predicted subpage indices in stride order (nearest
+// along the trend first, deduplicated, excluding the faulted subpage),
+// plus the detected block stride.
+func (p *Prefetcher) predict(page uint64, subpageSize, faultOff int) ([]int, int64, bool) {
+	g, ok := p.groups[page>>p.groupShift()]
+	if !ok {
+		return nil, 0, false
+	}
+	stride, count, w, ok := g.trend(p.minSamples())
+	if !ok || stride == 0 {
+		return nil, 0, false
+	}
+	// Scale the window with how decisive the vote was: a bare majority
+	// prefetches one stride ahead, a unanimous ring the full MaxPrefetch.
+	max := p.maxPrefetch()
+	k := max * (2*count - w) / w
+	if k < 1 {
+		k = 1
+	}
+	blocksPerPage := int64(units.ValidBitsPerPage)
+	pos := int64(page)*blocksPerPage + int64(faultOff/units.MinSubpage)
+	faultIdx := memmodel.SubpageIndex(subpageSize, faultOff)
+	var idxs []int
+	var seen memmodel.Bitmap
+	for i := 1; i <= k; i++ {
+		q := pos + stride*int64(i)
+		if q < 0 || q/blocksPerPage != int64(page) {
+			// The trend leaves the page: nothing further on this page is
+			// implied by the history.
+			break
+		}
+		blk := int(q % blocksPerPage)
+		idx := memmodel.SubpageIndex(subpageSize, blk*units.MinSubpage)
+		if idx == faultIdx {
+			continue
+		}
+		m := memmodel.MaskFor(subpageSize, idx)
+		if seen&m != 0 {
+			continue
+		}
+		seen |= m
+		idxs = append(idxs, idx)
+	}
+	if len(idxs) == 0 {
+		// A confident trend that predicts nothing on this page (e.g. a
+		// whole-page stride) is not a within-page prediction.
+		return nil, 0, false
+	}
+	return idxs, stride, true
+}
+
+// PlanPage implements StatefulPolicy: the faulted subpage first, then each
+// predicted subpage as a controller-deposited pipelined message, in stride
+// order. A dense trend — a stride no larger than one subpage, meaning the
+// program is walking contiguously and will reach the whole page — keeps
+// the paper's remainder message after the window, exactly as Pipelined
+// does; a sparse trend (a real stride that skips subpages) trims it, and
+// the bandwidth the prediction saves is the point: unpredicted subpages
+// fault in lazily if the trend was wrong. Without a confident in-page
+// prediction the fallback policy plans the fault.
+func (p *Prefetcher) PlanPage(page uint64, subpageSize, faultOff int) []PlannedMessage {
+	if subpageSize >= units.PageSize {
+		return FullPage{}.Plan(subpageSize, faultOff)
+	}
+	idxs, stride, ok := p.predict(page, subpageSize, faultOff)
+	if !ok {
+		p.Fallbacks++
+		return p.fallback().Plan(subpageSize, faultOff)
+	}
+	p.Confident++
+	idx := memmodel.SubpageIndex(subpageSize, faultOff)
+	first := memmodel.MaskFor(subpageSize, idx)
+	msgs := []PlannedMessage{{Bytes: subpageSize, Deliver: true, Covers: first}}
+	covered := first
+	for _, j := range idxs {
+		m := memmodel.MaskFor(subpageSize, j)
+		msgs = append(msgs, PlannedMessage{Bytes: subpageSize, Deliver: false, Covers: m})
+		covered |= m
+	}
+	bps := int64(subpageSize / units.MinSubpage)
+	dense := stride >= -bps && stride <= bps
+	if dense {
+		if rest := memmodel.FullBitmap &^ covered; rest != 0 {
+			msgs = append(msgs, PlannedMessage{
+				Bytes:   rest.Count() * units.MinSubpage,
+				Deliver: false,
+				Covers:  rest,
+			})
+		}
+	}
+	return msgs
+}

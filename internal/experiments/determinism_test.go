@@ -17,8 +17,9 @@ func TestSameSeedSameOutput(t *testing.T) {
 	// fig7 exercises the synthetic trace generator and the fault engine;
 	// cluster exercises the multi-node path; table2 the analytic model;
 	// reliability exercises the node-failure schedule; timeline exercises
-	// the fault tracer.
-	for _, id := range []string{"fig7", "cluster", "table2", "reliability", "timeline"} {
+	// the fault tracer; prefetch exercises the stateful planner (a fresh
+	// Prefetcher per cell, whose history feed must replay identically).
+	for _, id := range []string{"fig7", "cluster", "table2", "reliability", "timeline", "prefetch"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

@@ -91,6 +91,7 @@ var registry = []Experiment{
 	{"smallpage", "Ablation: small pages / lazy fetch lose", SmallPage},
 	{"pipevariants", "Ablation: pipelining variants (§4.3)", PipeVariants},
 	{"eventtime", "Methodology: average time per simulation event (§3.2)", EventTime},
+	{"prefetch", "Extension: learned prefetching vs. the static pipeline (Leap)", Prefetch},
 	{"cluster", "Extension: multi-node global memory under load", Cluster},
 	{"reliability", "Extension: graceful degradation under donor-node failures", Reliability},
 	{"timeline", "Observability: per-fault timeline traces", Timeline},

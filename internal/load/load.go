@@ -57,6 +57,7 @@ type Config struct {
 	// Cluster shaping.
 	SubpageSize int           // client transfer granularity (default 1024)
 	Policy      uint8         // transfer policy (default eager)
+	Prefetch    bool          // learned prefetcher: predictions in v2 want bitmaps (overrides Policy with lazy)
 	CachePages  int           // client cache pages (default 64)
 	DirService  time.Duration // emulated per-lookup service time, 0 = off
 
@@ -347,6 +348,7 @@ func faultPhase(cfg Config, bootstrap string, res *Result) error {
 		c, err := remote.Dial(remote.ClientConfig{
 			Directory:   bootstrap,
 			Policy:      cfg.Policy,
+			Prefetch:    cfg.Prefetch,
 			SubpageSize: cfg.SubpageSize,
 			CachePages:  cfg.CachePages,
 			WireV1:      cfg.WireV1,

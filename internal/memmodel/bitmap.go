@@ -44,6 +44,15 @@ func SubpageIndex(subpageSize, off int) int {
 // Set marks the given bits valid.
 func (b Bitmap) Set(mask Bitmap) Bitmap { return b | mask }
 
+// BlockMask returns the single valid bit of the 256-byte block containing
+// the byte at offset off.
+func BlockMask(off int) Bitmap {
+	if off < 0 || off >= units.PageSize {
+		panic(fmt.Sprintf("memmodel: offset %d out of page", off))
+	}
+	return 1 << (off / units.MinSubpage)
+}
+
 // Has reports whether the byte at offset off is valid.
 func (b Bitmap) Has(off int) bool {
 	if off < 0 || off >= units.PageSize {

@@ -19,6 +19,12 @@ type Frame struct {
 	// *different* subpage (the Figure 7 measurement), or -1.
 	DistFrom int16
 
+	// Prefetched marks blocks that arrived speculatively (beyond the
+	// faulted subpage) and have not been accessed yet. Only maintained
+	// when the owner tracks prefetch usage; each bit is cleared — and
+	// counted as a used prefetch — on the first access to it.
+	Prefetched Bitmap
+
 	prev, next *Frame // LRU list, most recent at head
 }
 

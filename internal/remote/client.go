@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gms-sim/gmsubpage/internal/core"
 	"github.com/gms-sim/gmsubpage/internal/memmodel"
 	"github.com/gms-sim/gmsubpage/internal/obs"
 	"github.com/gms-sim/gmsubpage/internal/proto"
@@ -29,6 +30,14 @@ type ClientConfig struct {
 	// on p-1 — client-driven sequential prefetch, an extension beyond
 	// the paper's sender-side pipelining.
 	Readahead bool
+	// Prefetch enables the learned prefetcher (core.Prefetcher): the
+	// client feeds its access stream into a Leap-style stride detector,
+	// and each fault's v2 want bitmap carries the predicted window
+	// alongside the accessed range. The wire policy is forced to lazy so
+	// the server ships exactly the requested blocks — predictions ride
+	// the existing want bitmap, no new wire tags. Requires the v2 wire
+	// (incompatible with WireV1: the v1 request has no want bitmap).
+	Prefetch bool
 
 	// Resilience knobs (see DESIGN.md §7). The paper's prototype assumed
 	// a lossless, always-up AN2 network; these are what replace that
@@ -124,6 +133,7 @@ type Stats struct {
 	Failovers  int64         // retries redirected to a different replica
 	Hedges     int64         // duplicate GetPages sent to mask a slow primary
 	Cancels    int64         // cancel frames sent to withdraw superseded v2 requests
+	Predicted  int64         // fault attempts whose want bitmap carried prefetch predictions
 	SubpageLat stats.Summary // fault -> faulted-subpage arrival
 	FullLat    stats.Summary // fault -> complete page arrival
 
@@ -147,6 +157,7 @@ type Stats struct {
 type cpage struct {
 	data     []byte
 	valid    memmodel.Bitmap
+	touched  memmodel.Bitmap // blocks some access has covered (prefetch history feed)
 	dirty    bool
 	faulting bool // a faultLoop goroutine owns fetching this page
 	inflight bool // a GetPage reply is streaming in
@@ -209,9 +220,33 @@ func (c *Client) regRequest(p *cpage, addr string) uint64 {
 	return id
 }
 
-// wantBits reports the subpage blocks p still misses, for the v2 want
-// bitmap. Called with c.mu held.
-func wantBits(p *cpage) uint32 { return uint32(^p.valid) }
+// wantFor computes the v2 want bitmap for a fault attempt on [off, off+n).
+// Full-coverage policies ask for everything still missing. Lazy asks only
+// for the accessed range — the want bitmap is now a request the server
+// honors beyond its plan, so over-asking would silently turn lazy into
+// eager. With the learned prefetcher on, the predicted stride window rides
+// alongside the accessed range. Called with c.mu held.
+func (c *Client) wantFor(p *cpage, page uint64, off, n int) uint32 {
+	miss := ^p.valid
+	if c.pf != nil {
+		want := neededMask(off, n)
+		if m, ok := c.pf.Predict(page, c.cfg.SubpageSize, off); ok {
+			want |= m
+			c.stats.Predicted++
+		}
+		if want &= miss; want == 0 {
+			want = memmodel.BlockMask(off)
+		}
+		return uint32(want)
+	}
+	if c.cfg.Policy == proto.PolicyLazy {
+		if want := neededMask(off, n) & miss; want != 0 {
+			return uint32(want)
+		}
+		return uint32(memmodel.BlockMask(off))
+	}
+	return uint32(miss)
+}
 
 // deregSources retires every source of p's current attempt, returning the
 // cancel frames to send for streams that may still be live server-side.
@@ -272,6 +307,11 @@ type Client struct {
 	stats   Stats
 	closed  bool
 	netErr  error
+	// pf is the learned prefetcher (nil unless ClientConfig.Prefetch).
+	// All access — Record on first touches, Predict when building want
+	// bitmaps — happens under c.mu; the Prefetcher itself is not
+	// thread-safe.
+	pf *core.Prefetcher
 
 	// V2 request-ID pipelining (under c.mu): nextReq mints IDs, reqs maps
 	// a live ID to the page it is fetching. A TSubpageBatch whose ID is
@@ -328,6 +368,14 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if !units.ValidSubpageSize(cfg.SubpageSize) {
 		return nil, fmt.Errorf("remote: invalid subpage size %d", cfg.SubpageSize)
 	}
+	if cfg.Prefetch {
+		if cfg.WireV1 {
+			return nil, errors.New("remote: Prefetch requires the v2 wire (the v1 request has no want bitmap)")
+		}
+		// Predictions select content through the want bitmap; the lazy
+		// wire policy hands the server no plan of its own to fight them.
+		cfg.Policy = proto.PolicyLazy
+	}
 	c := &Client{
 		cfg:     cfg,
 		cache:   make(map[uint64]*cpage),
@@ -341,6 +389,9 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		jrand: rand.New(rand.NewSource(time.Now().UnixNano())), //lint:allow simpurity jitter seed wants real-time entropy, not determinism
 		br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		met:   newClientMetrics(cfg.Metrics),
+	}
+	if cfg.Prefetch {
+		c.pf = core.NewPrefetcher()
 	}
 	conn, err := c.dial(cfg.Directory)
 	if err != nil {
@@ -471,6 +522,17 @@ func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
 	c.tick++
 	p.lastUse = c.tick
 	need := neededMask(off, n)
+	if c.pf != nil {
+		// Feed the detector the access stream, not the fault stream: a
+		// correct prediction suppresses the fault it covered, and a
+		// history fed only by faults would starve itself of the very
+		// pattern it learned. First touch of any block keeps repeated
+		// accesses from flooding the delta ring.
+		if need&^p.touched != 0 {
+			p.touched |= need
+			c.pf.Record(page, off)
+		}
+	}
 	// Park as a waiter: evictIfFull never recycles a page an accessor
 	// still holds, so the buffer returned here cannot be repurposed
 	// between the wait loop and the caller's copy (which runs under the
@@ -494,7 +556,7 @@ func (c *Client) ensureValid(page uint64, off, n int) (*cpage, error) {
 			c.stats.Faults++
 			c.met.faults.Inc()
 			c.wg.Add(1)
-			go c.faultLoop(p, page, off, false)
+			go c.faultLoop(p, page, off, n, false)
 			if c.cfg.Readahead {
 				c.maybePrefetch(page)
 			}
@@ -525,16 +587,16 @@ func (c *Client) maybePrefetch(page uint64) {
 	c.stats.Prefetches++
 	c.met.prefetches.Inc()
 	c.wg.Add(1)
-	go c.faultLoop(p, next, 0, true)
+	go c.faultLoop(p, next, 0, units.PageSize, true)
 }
 
 // faultLoop owns one page's fetch from first attempt to success or typed
 // failure: it is the only goroutine that retries, fails over and hedges
 // for the page, while any number of accessors wait on the condition
 // variable for valid bits.
-func (c *Client) faultLoop(p *cpage, page uint64, off int, prefetch bool) {
+func (c *Client) faultLoop(p *cpage, page uint64, off, n int, prefetch bool) {
 	defer c.wg.Done()
-	err := c.fetchPage(p, page, off)
+	err := c.fetchPage(p, page, off, n)
 
 	c.mu.Lock()
 	p.faulting = false
@@ -555,7 +617,7 @@ func (c *Client) faultLoop(p *cpage, page uint64, off int, prefetch bool) {
 
 // fetchPage is the retry engine: locate, attempt, back off, fail over to
 // the next replica, until the transfer completes or the budget is spent.
-func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
+func (c *Client) fetchPage(p *cpage, page uint64, off, n int) error {
 	var lastErr error
 	var firstAddr string
 	tried := make(map[string]bool)
@@ -588,7 +650,7 @@ func (c *Client) fetchPage(p *cpage, page uint64, off int) error {
 			c.mu.Unlock()
 			c.met.failovers.Inc()
 		}
-		if err := c.attempt(p, page, off, addr, c.hedgeAddr(addrs, addr)); err != nil {
+		if err := c.attempt(p, page, off, n, addr, c.hedgeAddr(addrs, addr)); err != nil {
 			if c.br.failure(addr, time.Now()) {
 				c.mu.Lock()
 				c.stats.BreakerOpens++
@@ -660,7 +722,7 @@ func (c *Client) hedgeAddr(addrs []string, primary string) string {
 // fail, or time out. If hedging is enabled and the faulted subpage is late,
 // a duplicate request goes to hedge; the attempt succeeds when either
 // stream completes.
-func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) error {
+func (c *Client) attempt(p *cpage, page uint64, off, n int, addr, hedge string) error {
 	ch := make(chan error, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -671,7 +733,7 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 	p.inflight = true
 	p.firstOK = false
 	id := c.regRequest(p, addr)
-	want := wantBits(p)
+	want := c.wantFor(p, page, off, n)
 	p.sources = map[string]uint64{addr: id}
 	p.start = time.Now()
 	c.mu.Unlock()
@@ -701,7 +763,7 @@ func (c *Client) attempt(p *cpage, page uint64, off int, addr, hedge string) err
 			var hwant uint32
 			if fire {
 				hid = c.regRequest(p, hedge)
-				hwant = wantBits(p)
+				hwant = c.wantFor(p, page, off, n)
 				p.sources[hedge] = hid
 				c.stats.Hedges++
 				c.met.hedges.Inc()

@@ -774,12 +774,11 @@ func (s *Server) sendPageV2(st *connState, w *proto.Writer, req proto.GetPageV2,
 		return true
 	}
 
+	// The want bitmap is a request, not a filter: blocks the client asks for
+	// beyond the plan's coverage (prefetch predictions on a lazy fault) are
+	// still owed. The plan shapes timing and batching; want decides content.
 	first := plan[0].Covers & want
-	rest := memmodel.Bitmap(0)
-	for _, msg := range plan[1:] {
-		rest |= msg.Covers
-	}
-	rest &= want &^ first
+	rest := want &^ first
 
 	if !emulate {
 		// Fast path: the faulted message, then one maximal batch for the
@@ -799,11 +798,21 @@ func (s *Server) sendPageV2(st *connState, w *proto.Writer, req proto.GetPageV2,
 
 	// Emulated wire: one batch per plan message, each delayed by its
 	// serialization time, so v2 keeps the arrival timing the transfer
-	// plans model — only the framing overhead changes.
+	// plans model — only the framing overhead changes. Requested blocks no
+	// plan message covers ride the final batch: they arrive last, after
+	// everything the policy deliberately scheduled.
+	planned := memmodel.Bitmap(0)
+	for _, msg := range plan {
+		planned |= msg.Covers
+	}
+	extra := want &^ planned
 	sent := memmodel.Bitmap(0)
 	for i, msg := range plan {
 		covers := msg.Covers & want &^ sent
 		last := i == len(plan)-1
+		if last {
+			covers |= extra
+		}
 		if covers == 0 && !last {
 			continue
 		}

@@ -291,6 +291,75 @@ func TestServerWantBitmapTrimsReply(t *testing.T) {
 	}
 }
 
+// collectRuns flattens a batch stream into total bytes and a valid bitmap,
+// verifying every run's data against the page's pattern.
+func collectRuns(t *testing.T, batches []proto.SubpageBatch, page uint64) (total int, got uint32) {
+	t.Helper()
+	want := pagePattern(page)
+	for _, b := range batches {
+		for i := 0; i < b.Runs(); i++ {
+			off, data := b.Run(i)
+			if !bytes.Equal(data, want[off:off+len(data)]) {
+				t.Fatalf("run at %d carries wrong bytes", off)
+			}
+			total += len(data)
+			for blk := off / units.MinSubpage; blk < (off+len(data))/units.MinSubpage; blk++ {
+				got |= 1 << blk
+			}
+		}
+	}
+	return total, got
+}
+
+// Regression: the want bitmap is a request, not a filter. A client may ask
+// for blocks the policy's transfer plan never covers (a lazy fault carrying
+// prefetch predictions is exactly that), and the server must ship every
+// requested block it stores — previously `rest &= plan coverage` silently
+// dropped want bits outside the plan and the client waited forever for
+// blocks that never came.
+func TestServerWantBeyondPlanIsHonored(t *testing.T) {
+	_, srv := testCluster(t, 1)
+	conn, w, r := dialRaw(t, srv.Addr())
+
+	// Lazy plans only the faulted 1024B subpage (blocks 4-7). Want adds
+	// blocks 12-15 and 31, which no lazy plan message covers.
+	const wantBits = 0xF0 | 0xF000 | 1<<31
+	if err := w.SendGetPageV2(proto.GetPageV2{
+		ReqID: 11, Page: 0, FaultOff: 1024, SubpageSize: 1024,
+		Want: wantBits, Policy: proto.PolicyLazy,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches, last := readBatches(t, conn, r, 11, 2*time.Second)
+	if !last {
+		t.Fatal("stream never completed")
+	}
+	total, got := collectRuns(t, batches, 0)
+	if got != wantBits {
+		t.Fatalf("reply covered bitmap %#x, want %#x: requested blocks beyond the plan were dropped", got, wantBits)
+	}
+	if total != 9*units.MinSubpage {
+		t.Fatalf("reply carried %d bytes, want %d", total, 9*units.MinSubpage)
+	}
+
+	// The emulated wire must honor the same contract: extra want bits ride
+	// the final batch instead of vanishing.
+	srv.SetWireMbps(1000)
+	if err := w.SendGetPageV2(proto.GetPageV2{
+		ReqID: 12, Page: 0, FaultOff: 1024, SubpageSize: 1024,
+		Want: wantBits, Policy: proto.PolicyLazy,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches, last = readBatches(t, conn, r, 12, 2*time.Second)
+	if !last {
+		t.Fatal("emulated stream never completed")
+	}
+	if _, got := collectRuns(t, batches, 0); got != wantBits {
+		t.Fatalf("emulated reply covered bitmap %#x, want %#x", got, wantBits)
+	}
+}
+
 // A TCancel between batches stops an emulated-wire stream mid-page: the
 // server spends no more serialization time on a reply nobody wants.
 func TestCancelStopsEmulatedStream(t *testing.T) {

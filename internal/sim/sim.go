@@ -112,6 +112,13 @@ type Config struct {
 	// and the distance histogram behind Figure 7.
 	TrackPerFault bool
 
+	// TrackPrefetch counts speculative transfer usage: how many blocks
+	// arrived beyond each fault's demanded subpage (Result.PrefetchIssued)
+	// and how many of those were later accessed (Result.PrefetchUsed).
+	// Tracked runs keep complete pages off the reference loop's fast path,
+	// so this costs simulation wall time; results are unaffected.
+	TrackPrefetch bool
+
 	// Trace, when non-nil, records every fault's anatomy (transfer plan,
 	// restart, follow-on arrivals, stall re-entries) into the given tracer
 	// for JSONL / Chrome trace-event export. Tracing never advances the
@@ -216,6 +223,14 @@ type Result struct {
 	// TLB detail.
 	TLBMisses int64
 
+	// Prefetch usage (TrackPrefetch only). Issued counts blocks moved
+	// beyond each fault's demanded subpage — speculative under any policy,
+	// whether an eager remainder or a learned stride window; Used counts
+	// the issued blocks the program went on to access. accuracy =
+	// Used/Issued; unprefetched demand shows up in SubpageFaults.
+	PrefetchIssued int64
+	PrefetchUsed   int64
+
 	// Per-fault data (TrackPerFault only).
 	PerFaultWait []units.Ticks // total wait attributable to each fault
 	// FaultEvents is the number of references executed when each page
@@ -263,6 +278,11 @@ type runner struct {
 	open    []openTransfer
 	now     units.Ticks
 	subpage int
+	// trackUse maintains Frame.Prefetched marks: set for TrackPrefetch
+	// runs (reporting) and for stateful policies, which need the consumed
+	// marks fed back as history (core.Engine.RecordUse) to see the demand
+	// stream their own predictions would otherwise hide.
+	trackUse bool
 }
 
 // Run executes the simulation described by cfg and returns its Result.
@@ -294,6 +314,7 @@ func newRunner(cfg Config) *runner {
 			MemPages: cfg.memPages(),
 		},
 	}
+	r.trackUse = cfg.TrackPrefetch || r.engine.Stateful()
 	if cfg.Trace != nil {
 		r.engine.SetTrace(cfg.Trace)
 	}
@@ -378,6 +399,9 @@ func (r *runner) finishRun() {
 	r.res.CompOverlap = r.engine.CompOverlap
 	r.res.IOOverlapShare = r.engine.IOOverlapShare()
 	r.res.BytesMoved = r.engine.BytesMoved
+	if r.trackUse {
+		r.res.PrefetchIssued = r.engine.PrefetchIssued
+	}
 	if r.emu != nil {
 		r.res.EmulatedOps = r.emu.EmulatedOps
 	}
@@ -405,8 +429,9 @@ func (r *runner) step(ref trace.Ref) {
 		f = r.pageFault(page, off)
 	}
 
-	// Fast path: complete page.
-	if f.Xfer == nil && f.Valid == memmodel.FullBitmap {
+	// Fast path: complete page. Pages with unconsumed speculative marks
+	// (TrackPrefetch runs only) stay on the slow path so usage is counted.
+	if f.Xfer == nil && f.Valid == memmodel.FullBitmap && f.Prefetched == 0 {
 		return
 	}
 
@@ -423,7 +448,7 @@ func (r *runner) step(ref trace.Ref) {
 
 	if f.Xfer != nil {
 		tr := f.Xfer.(*core.Transfer)
-		f.Valid |= tr.ApplyArrived(r.now)
+		r.apply(f, tr)
 		if tr.Done() {
 			r.finish(tr, f)
 		} else if !f.Valid.Has(off) {
@@ -432,7 +457,7 @@ func (r *runner) step(ref trace.Ref) {
 				r.engine.NoteStall(r.now, at, tr, false)
 				r.res.PageWait += at - r.now
 				r.now = at
-				f.Valid |= tr.ApplyArrived(r.now)
+				r.apply(f, tr)
 				if tr.Done() {
 					r.finish(tr, f)
 				}
@@ -442,7 +467,7 @@ func (r *runner) step(ref trace.Ref) {
 				r.engine.NoteStall(r.now, tr.CompleteAt, tr, false)
 				r.res.PageWait += tr.CompleteAt - r.now
 				r.now = tr.CompleteAt
-				f.Valid |= tr.ApplyArrived(r.now)
+				r.apply(f, tr)
 				r.finish(tr, f)
 			}
 		}
@@ -454,10 +479,35 @@ func (r *runner) step(ref trace.Ref) {
 		r.subpageFault(f, off)
 	}
 
+	if f.Prefetched != 0 {
+		// A usage-tracked run: consume the covering subpage's speculative
+		// marks on its first access. Consumption is per subpage — the
+		// policies' prediction unit — and feeds the stateful policy's
+		// history, so the detector sees the demand stream even where a
+		// correct prediction suppressed the fault.
+		m := memmodel.MaskFor(r.subpage, off/r.subpage)
+		if used := f.Prefetched & m; used != 0 {
+			f.Prefetched &^= m
+			r.res.PrefetchUsed += int64(used.Count())
+			r.engine.RecordUse(f.Page, off)
+		}
+	}
+
 	if r.emu != nil && f.Valid != memmodel.FullBitmap {
 		d := r.emu.Access(f.Page, ref.Store).ToTicks()
 		r.now += d
 		r.res.PALTicks += d
+	}
+}
+
+// apply folds a transfer's arrived messages into the frame, marking the
+// speculative blocks (beyond the fault's demanded subpage) when the run
+// tracks prefetch usage.
+func (r *runner) apply(f *memmodel.Frame, tr *core.Transfer) {
+	got := tr.ApplyArrived(r.now)
+	f.Valid |= got
+	if r.trackUse {
+		f.Prefetched |= got &^ tr.Demand()
 	}
 }
 
@@ -487,7 +537,7 @@ func (r *runner) pageFault(page memmodel.PageID, off int) *memmodel.Frame {
 	r.res.SpLatency += tr.FirstArrival - r.now
 	r.now = tr.FirstArrival
 
-	f.Valid |= tr.ApplyArrived(r.now)
+	r.apply(f, tr)
 	if tr.Done() {
 		r.finish(tr, f)
 	}
@@ -523,7 +573,7 @@ func (r *runner) subpageFault(f *memmodel.Frame, off int) {
 	r.res.SpLatency += tr.FirstArrival - r.now
 	r.now = tr.FirstArrival
 
-	f.Valid |= tr.ApplyArrived(r.now)
+	r.apply(f, tr)
 	if tr.Done() {
 		r.finish(tr, f)
 	}

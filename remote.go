@@ -201,7 +201,10 @@ type ClientOptions struct {
 	CachePages int
 	// SubpageSize is the transfer granularity (default 1024).
 	SubpageSize int
-	// Policy is FullPage, Lazy, Eager or Pipelined (default Eager).
+	// Policy is FullPage, Lazy, Eager, Pipelined or Prefetch (default
+	// Eager). Prefetch enables the learned prefetcher: predictions ride
+	// the v2 want bitmap over the lazy wire policy, so it needs no wire
+	// tag of its own (and is incompatible with WireV1).
 	Policy Policy
 	// Readahead prefetches the next page during sequential fault runs.
 	Readahead bool
@@ -256,15 +259,20 @@ type Client struct{ c *remote.Client }
 
 // DialClient connects a client to the directory at dirAddr.
 func DialClient(dirAddr string, opts ClientOptions) (*Client, error) {
-	wire, err := proto.PolicyByte(string(opts.Policy))
-	if err != nil {
-		return nil, err
+	var wire uint8
+	prefetch := opts.Policy == Prefetch
+	if !prefetch {
+		var err error
+		if wire, err = proto.PolicyByte(string(opts.Policy)); err != nil {
+			return nil, err
+		}
 	}
 	c, err := remote.Dial(remote.ClientConfig{
 		Directory:        dirAddr,
 		CachePages:       opts.CachePages,
 		SubpageSize:      opts.SubpageSize,
 		Policy:           wire,
+		Prefetch:         prefetch,
 		Readahead:        opts.Readahead,
 		DialTimeout:      opts.DialTimeout,
 		RequestTimeout:   opts.RequestTimeout,
